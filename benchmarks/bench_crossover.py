@@ -1,0 +1,194 @@
+"""§6.2.2.1's break-even claim: when does building the ETI pay off?
+
+"Thus, if we have more than 10 input tuples to fuzzy match, then it seems
+advantageous to build the ETI, and use our fuzzy match algorithm."
+
+Measured directly: total cost of (ETI build + N indexed queries) against
+N naive-scan queries, reporting the crossover N.  Also §5.1's claim that
+transpositions and column weights slot in without re-architecting: the
+extension ablations live here because, like the crossover, they are
+paper *claims* rather than numbered figures.
+"""
+
+from benchmarks.conftest import record
+from repro.core.config import SignatureScheme
+from repro.core.matcher import FuzzyMatcher
+from repro.eval.figures import FigureResult
+from repro.eval.metrics import accuracy
+
+
+def test_eti_break_even(benchmark, workbench, naive_unit):
+    """The ETI pays for itself within tens of queries, not thousands."""
+    config = workbench.config_for(SignatureScheme.QGRAMS_PLUS_TOKEN, 2)
+    handle = workbench.eti_for(config)
+    matcher = workbench.matcher_for(config)
+    dataset = workbench.datasets["D2"]
+
+    def run():
+        import time
+
+        started = time.perf_counter()
+        for dirty in dataset.inputs:
+            matcher.match(dirty.values)
+        query_seconds = time.perf_counter() - started
+        return query_seconds / len(dataset.inputs)
+
+    per_query_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    build_seconds = handle.build_stats.elapsed_seconds
+    if naive_unit > per_query_seconds:
+        crossover = build_seconds / (naive_unit - per_query_seconds)
+    else:
+        crossover = float("inf")
+    result = FigureResult(
+        "§6.2.2.1: ETI break-even point (D2, Q+T_2)",
+        ("quantity", "value"),
+        [
+            ("ETI build (naive-tuple units)", build_seconds / naive_unit),
+            ("indexed query (naive-tuple units)", per_query_seconds / naive_unit),
+            ("break-even (queries)", crossover),
+        ],
+    )
+    record(result)
+    assert per_query_seconds < naive_unit, "an indexed query must beat a full scan"
+    assert crossover < 100, (
+        f"the ETI should amortize within tens of queries, got {crossover:.0f}"
+    )
+
+
+def test_transposition_extension(benchmark, workbench):
+    """§5.3: the token transposition operation helps on reordered inputs.
+
+    Every input has its name tokens reordered *and* a corrupted zipcode:
+    with plain fms, the reorder costs two token replacements and the
+    similarity gap to other same-city customers narrows; the transposition
+    operation restores most of it.  The comparison is on mean similarity
+    to the seed tuple (accuracy saturates before the reorder cost shows).
+    """
+    import random
+
+    from repro.core.fms import fms
+
+    rng = random.Random(35)
+    reference_rows = [
+        (tid, values)
+        for tid, values in workbench.reference.scan()
+        if len((values[0] or "").split()) >= 2
+    ]
+    sample = rng.sample(reference_rows, 80)
+    inputs = []
+    for tid, values in sample:
+        tokens = values[0].split()
+        position = rng.randrange(len(tokens) - 1)
+        tokens[position], tokens[position + 1] = tokens[position + 1], tokens[position]
+        zipcode = list(values[3])
+        zipcode[rng.randrange(len(zipcode))] = rng.choice("0123456789")
+        inputs.append((tid, (" ".join(tokens), values[1], values[2], "".join(zipcode))))
+
+    config = workbench.config_for(SignatureScheme.QGRAMS_PLUS_TOKEN, 2)
+    swap_config = config.with_(allow_transpositions=True)
+
+    def run():
+        rows = []
+        for cfg, label in ((config, "plain fms"), (swap_config, "with transpositions")):
+            similarities = [
+                fms(values, workbench.reference.fetch(tid), workbench.weights, cfg)
+                for tid, values in inputs
+            ]
+            rows.append((label, sum(similarities) / len(similarities)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        FigureResult(
+            "§5.3: token transposition extension (every name reordered)",
+            ("variant", "mean fms to seed"),
+            rows,
+        )
+    )
+    plain, swapped = rows[0][1], rows[1][1]
+    assert swapped > plain + 0.02, (
+        "the transposition operation must recover reorder cost "
+        f"(plain {plain:.3f}, with swaps {swapped:.3f})"
+    )
+
+
+def test_top_k_extension(benchmark, workbench):
+    """The K-fuzzy-match extension: "return the closest K reference tuples
+    enabling users, if necessary, to choose one among them as the target."
+
+    Measured as accuracy@K — how often the seed tuple appears among the K
+    returned matches — on the dirtiest dataset, where a human picking from
+    a short list recovers real headroom over the top-1 answer.
+    """
+    config = workbench.config_for(SignatureScheme.QGRAMS_PLUS_TOKEN, 2)
+    matcher = workbench.matcher_for(config)
+    dataset = workbench.datasets["D1"]
+
+    def run():
+        rows = []
+        for k in (1, 3, 5):
+            hits = 0
+            for dirty in dataset.inputs:
+                result = matcher.match(dirty.values, k=k)
+                if any(m.tid == dirty.target_tid for m in result.matches):
+                    hits += 1
+            rows.append((f"K={k}", hits / len(dataset.inputs)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        FigureResult(
+            "Extension: accuracy@K on D1 (Q+T_2)",
+            ("variant", "accuracy_at_k"),
+            rows,
+        )
+    )
+    accuracies = [row[1] for row in rows]
+    assert accuracies == sorted(accuracies), "accuracy@K must be monotone in K"
+    assert accuracies[-1] >= accuracies[0]
+
+
+def test_column_weights_extension(benchmark, workbench):
+    """§5.2: up-weighting the name column changes ranking as designed.
+
+    With the zipcode column error-free and the name column heavily
+    corrupted, down-weighting the name (relative to the rest) should help
+    — the match leans on the trustworthy columns.
+    """
+    from repro.data.datasets import DatasetSpec
+
+    config = workbench.config_for(SignatureScheme.QGRAMS_PLUS_TOKEN, 2)
+    handle = workbench.eti_for(config)
+    spec = DatasetSpec("nameonly", (0.95, 0.0, 0.0, 0.0))
+    dataset = workbench.custom_dataset(spec, seed_offset=9)
+
+    def run():
+        rows = []
+        for weights, label in (
+            (None, "uniform columns"),
+            ((0.5, 1.0, 1.0, 2.0), "zip up-weighted"),
+        ):
+            cfg = config.with_(column_weights=weights)
+            matcher = FuzzyMatcher(
+                workbench.reference, workbench.weights, cfg, handle.index
+            )
+            predictions = [
+                (
+                    (result.best.tid if (result := matcher.match(d.values)).best else None),
+                    d.target_tid,
+                )
+                for d in dataset.inputs
+            ]
+            rows.append((label, accuracy(predictions)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        FigureResult(
+            "§5.2: column weights (name column corrupted, zip clean)",
+            ("variant", "accuracy"),
+            rows,
+        )
+    )
+    uniform, weighted = rows[0][1], rows[1][1]
+    assert weighted >= uniform - 0.02

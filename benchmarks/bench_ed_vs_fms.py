@@ -1,0 +1,35 @@
+"""§6.2.1.1 — accuracy of fms vs plain edit distance (Type I and Type II).
+
+Paper's numbers (1.7M reference tuples, ~100 inputs/type):
+
+    Type I :  fms 69%,  ed 63%
+    Type II:  fms 95%,  ed 71%
+
+Expected shape: fms >= ed on both error types, with a decisively larger
+margin under Type II (frequency-proportional) errors.
+"""
+
+from benchmarks.conftest import EDFMS_INPUTS, record
+from repro.eval.figures import run_ed_vs_fms
+
+
+def test_ed_vs_fms_accuracy(benchmark, workbench):
+    result = benchmark.pedantic(
+        run_ed_vs_fms, args=(workbench,), kwargs={"num_inputs": EDFMS_INPUTS},
+        rounds=1, iterations=1,
+    )
+    record(result)
+    rows = {row[0]: (row[1], row[2]) for row in result.rows}
+    fms_t1, ed_t1 = rows["Type I"]
+    fms_t2, ed_t2 = rows["Type II"]
+    # The paper's qualitative claims.  Type I is a small-margin effect
+    # (69% vs 63% in the paper) that sample noise can flip at bench scale,
+    # so it gets a tolerance; Type II is the headline result (95% vs 71%)
+    # and must hold strictly.
+    assert fms_t1 >= ed_t1 - 0.06, "fms should not lose to ed under Type I errors"
+    assert fms_t2 > ed_t2, "fms must beat ed under Type II errors"
+    # The paper's secondary claim — the gap is *larger* under Type II — is
+    # a difference of differences; with ~±4% sampling noise per accuracy
+    # it needs thousands of inputs to resolve and is not asserted here
+    # (EXPERIMENTS.md discusses it).  Both direction claims above are the
+    # load-bearing ones.

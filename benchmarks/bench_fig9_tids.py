@@ -1,0 +1,20 @@
+"""Figure 9 — tids processed per input tuple (D2).
+
+Paper's reading: the number of tids processed grows with signature size
+(more tid-lists fetched), but the growth is more than compensated by the
+shrinking candidate set (Figure 8).
+"""
+
+from benchmarks.conftest import record
+from repro.eval.figures import fig9_tids
+
+
+def test_fig9_tids_processed(benchmark, grid):
+    result = benchmark.pedantic(fig9_tids, args=(grid,), rounds=1, iterations=1)
+    record(result)
+    by_strategy = {row[0]: row for row in result.rows}
+    # More coordinates -> more ETI lookups -> more tids processed.
+    assert by_strategy["Q+T_3"][1] > by_strategy["Q+T_0"][1]
+    assert by_strategy["Q_3"][2] > by_strategy["Q_1"][2]
+    for row in result.rows:
+        assert row[1] > 0

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the hot-path primitives (real pytest-benchmark timing).
+
+Unlike the figure benches (single-shot experiment reproductions), these use
+pytest-benchmark's statistical timing to track the cost of the operations
+the match loop is made of: fms evaluation, ETI lookups, B+-tree access,
+min-hash signatures, and the external sort.
+"""
+
+import random
+
+from repro.core.config import SignatureScheme
+from repro.core.fms import fms
+from repro.core.minhash import MinHasher
+from repro.core.tokens import TupleTokens
+from repro.db.btree import BPlusTree
+from repro.db.exsort import external_sort
+
+
+def test_fms_evaluation(benchmark, workbench):
+    """One fms(u, v) evaluation on realistic 4-column customer tuples."""
+    rows = list(workbench.reference.scan())
+    u = TupleTokens.from_values(("beoing compny", "seattle", "wa", "98004"))
+    v = TupleTokens.from_values(rows[0][1])
+    config = workbench.base_config
+    weights = workbench.weights
+    benchmark(lambda: fms(u, v, weights, config))
+
+
+def test_eti_lookup(benchmark, workbench):
+    """One clustered-index ETI lookup."""
+    config = workbench.config_for(SignatureScheme.QGRAMS_PLUS_TOKEN, 2)
+    eti = workbench.eti_for(config).index
+    keys = [
+        (row[0], row[1], row[2]) for row in list(eti.relation.scan())[:64]
+    ]
+    counter = iter(range(10**9))
+
+    def lookup():
+        key = keys[next(counter) % len(keys)]
+        return eti.lookup(*key)
+
+    benchmark(lookup)
+
+
+def test_full_match_query(benchmark, workbench):
+    """One end-to-end OSC fuzzy match query."""
+    config = workbench.config_for(SignatureScheme.QGRAMS_PLUS_TOKEN, 2)
+    matcher = workbench.matcher_for(config)
+    inputs = [d.values for d in workbench.datasets["D2"].inputs]
+    counter = iter(range(10**9))
+
+    def query():
+        return matcher.match(inputs[next(counter) % len(inputs)])
+
+    benchmark(query)
+
+
+def test_minhash_signature(benchmark):
+    hasher = MinHasher(q=4, num_hashes=3)
+    tokens = ["corporation", "international", "manufacturing", "consolidated"]
+    counter = iter(range(10**9))
+
+    def signature():
+        # Bypass the memo to measure real hashing work.
+        hasher._memo.clear()
+        return hasher.signature(tokens[next(counter) % len(tokens)])
+
+    benchmark(signature)
+
+
+def test_btree_point_lookup(benchmark):
+    tree = BPlusTree(order=64)
+    for i in range(50_000):
+        tree.insert(i, i)
+    rng = random.Random(4)
+
+    benchmark(lambda: tree.search(rng.randrange(50_000)))
+
+
+def test_external_sort_spilling(benchmark):
+    rng = random.Random(9)
+    rows = [(rng.randrange(10_000), i) for i in range(20_000)]
+
+    benchmark.pedantic(
+        lambda: list(external_sort(rows, key=lambda r: r[0], memory_limit=2_000)),
+        rounds=3,
+        iterations=1,
+    )

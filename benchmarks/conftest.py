@@ -1,0 +1,74 @@
+"""Shared benchmark fixtures.
+
+One session-scoped :class:`Workbench` backs every per-figure benchmark, so
+the seven ETIs and the 3x7 strategy/dataset query grid are computed once.
+Scale is environment-tunable:
+
+    REPRO_BENCH_REFERENCE   reference relation size   (default 2000)
+    REPRO_BENCH_INPUTS      dirty inputs per dataset  (default 100)
+    REPRO_BENCH_EDFMS       inputs for the ed-vs-fms naive comparison
+                            (default 60; this one scans the whole
+                            reference per input, twice)
+
+Every figure's rendered table is printed and appended to
+``benchmarks/results/figures.txt`` so EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.figures import run_strategy_grid
+from repro.eval.harness import Workbench
+
+REFERENCE_SIZE = int(os.environ.get("REPRO_BENCH_REFERENCE", "2000"))
+NUM_INPUTS = int(os.environ.get("REPRO_BENCH_INPUTS", "100"))
+EDFMS_INPUTS = int(os.environ.get("REPRO_BENCH_EDFMS", "60"))
+
+RESULTS_PATH = Path(__file__).parent / "results" / "figures.txt"
+
+
+@pytest.fixture(scope="session")
+def workbench():
+    bench = Workbench(
+        num_reference=REFERENCE_SIZE, num_inputs=NUM_INPUTS, seed=2003
+    )
+    yield bench
+    bench.close()
+
+
+@pytest.fixture(scope="session")
+def grid(workbench):
+    """All paper strategies over D1, D2, D3 — shared by figures 5–10."""
+    return run_strategy_grid(workbench)
+
+
+@pytest.fixture(scope="session")
+def naive_unit(workbench):
+    return workbench.naive_unit_time()
+
+
+def record(figure_result) -> str:
+    """Print a figure's table (plus a bar chart) and append both to the
+    results file."""
+    from repro.eval.plots import figure_chart
+
+    text = figure_result.render()
+    try:
+        chart = figure_chart(figure_result, width=40)
+    except (ValueError, TypeError):
+        chart = None  # non-numeric first value column; table only
+    scale_note = (
+        f"[scale: {REFERENCE_SIZE} reference tuples, {NUM_INPUTS} inputs/dataset]"
+    )
+    block = f"{text}\n{scale_note}\n"
+    if chart is not None:
+        block += f"\n{chart}\n"
+    print("\n" + block)
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(RESULTS_PATH, "a") as handle:
+        handle.write(block + "\n")
+    return text

@@ -1,0 +1,84 @@
+"""The Figure 1 template: online data cleaning in an ETL load path.
+
+Incoming customer records (with realistic data-entry errors) are validated
+against the warehouse's Customer reference relation before loading:
+
+- fms above the load threshold  -> load the *reference* tuple (corrected),
+- otherwise                     -> route to the cleaning queue.
+
+This is exactly the decision diamond of the paper's Figure 1, driven by a
+synthetic 5000-tuple Customer relation and the Table 4/5 error model.
+
+Run:  python examples/etl_pipeline.py
+"""
+
+import time
+
+from repro import Database, FuzzyMatcher, MatchConfig, ReferenceTable
+from repro.core.weights import build_frequency_cache
+from repro.data.datasets import DatasetSpec, make_dataset
+from repro.data.generator import CUSTOMER_COLUMNS, generate_customers
+from repro.eti.builder import build_eti
+
+REFERENCE_SIZE = 5_000
+INCOMING_BATCH = 300
+LOAD_THRESHOLD = 0.70  # fms needed to auto-correct and load
+
+# --- Set up the warehouse --------------------------------------------------
+
+print(f"Generating Customer reference relation ({REFERENCE_SIZE} tuples)...")
+db = Database.in_memory()
+reference = ReferenceTable(db, "customer", list(CUSTOMER_COLUMNS))
+customers = generate_customers(REFERENCE_SIZE, seed=20030609)
+reference.load((c.tid, c.values) for c in customers)
+
+config = MatchConfig()  # paper defaults: q=4, Q+T_2 signatures, OSC on
+weights = build_frequency_cache(reference.scan_values(), reference.num_columns)
+
+started = time.perf_counter()
+eti, build_stats = build_eti(db, reference, config)
+print(
+    f"ETI built in {time.perf_counter() - started:.2f}s "
+    f"({build_stats.eti_rows} rows, {build_stats.stop_qgrams} stop q-grams)\n"
+)
+
+matcher = FuzzyMatcher(reference, weights, config, eti)
+
+# --- Simulate an incoming batch from a distributor -------------------------
+
+spec = DatasetSpec("incoming", (0.8, 0.5, 0.5, 0.6))
+batch = make_dataset(
+    [(c.tid, c.values) for c in customers], spec, INCOMING_BATCH, seed=77
+)
+
+loaded_exact = 0
+loaded_corrected = 0
+routed_to_cleaning = 0
+correct_target = 0
+
+started = time.perf_counter()
+for record in batch.inputs:
+    result = matcher.match(record.values)
+    best = result.best
+    if best is None or best.similarity < LOAD_THRESHOLD:
+        routed_to_cleaning += 1
+        continue
+    if best.similarity == 1.0:
+        loaded_exact += 1
+    else:
+        loaded_corrected += 1
+    if best.tid == record.target_tid:
+        correct_target += 1
+elapsed = time.perf_counter() - started
+
+# --- Report ----------------------------------------------------------------
+
+loaded = loaded_exact + loaded_corrected
+print(f"Processed {INCOMING_BATCH} incoming records in {elapsed:.2f}s "
+      f"({1000 * elapsed / INCOMING_BATCH:.1f} ms/record)")
+print(f"  loaded unchanged (exact match):   {loaded_exact}")
+print(f"  loaded after fuzzy correction:    {loaded_corrected}")
+print(f"  routed to the cleaning queue:     {routed_to_cleaning}")
+if loaded:
+    print(f"  correction precision:             {correct_target / loaded:.1%} "
+          f"of loaded records mapped to their true customer")

@@ -1,0 +1,352 @@
+"""Command-line interface.
+
+Six subcommands covering the full workflow:
+
+- ``repro generate``  — write a synthetic Customer reference relation CSV;
+- ``repro corrupt``   — sample reference tuples and inject Table 4 errors;
+- ``repro match``     — build the ETI and fuzzy-match an input CSV;
+- ``repro explain``   — trace one query's lookups and OSC decisions;
+- ``repro dedup``     — flag fuzzy duplicates inside a reference CSV;
+- ``repro evaluate``  — run the paper's experiment suite and print tables.
+
+CSV conventions: the reference file's first column is the integer ``tid``;
+a dirty-input file may carry a ``target_tid`` first column (written by
+``corrupt``), in which case ``match`` also reports accuracy.  Empty cells
+are treated as missing (NULL) attribute values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import time
+from typing import Sequence
+
+from repro.core.config import MatchConfig, SignatureScheme
+from repro.core.matcher import FuzzyMatcher
+from repro.core.reference import ReferenceTable
+from repro.core.weights import build_frequency_cache
+from repro.data.datasets import DATASET_PRESETS, DatasetSpec, make_dataset
+from repro.data.generator import CUSTOMER_COLUMNS, generate_customers
+from repro.db.database import Database
+from repro.eti.builder import build_eti
+from repro.eval.harness import Workbench
+from repro.eval import figures as figure_drivers
+from repro.eval.metrics import accuracy
+
+
+def _cell(value: str | None) -> str:
+    return "" if value is None else value
+
+
+def _value(cell: str) -> str | None:
+    return cell if cell != "" else None
+
+
+def _read_reference_csv(path: str):
+    """Returns (column_names, [(tid, values), ...])."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if not header or header[0] != "tid":
+            raise SystemExit(f"{path}: first column must be 'tid', got {header[:1]}")
+        columns = header[1:]
+        rows = []
+        for record in reader:
+            rows.append((int(record[0]), tuple(_value(c) for c in record[1:])))
+    return columns, rows
+
+
+def _build_matcher(reference_path: str, config: MatchConfig):
+    columns, rows = _read_reference_csv(reference_path)
+    db = Database.in_memory()
+    reference = ReferenceTable(db, "reference", columns)
+    reference.load(rows)
+    weights = build_frequency_cache(reference.scan_values(), reference.num_columns)
+    eti, build_stats = build_eti(db, reference, config)
+    return FuzzyMatcher(reference, weights, config, eti), build_stats
+
+
+def cmd_generate(args) -> int:
+    """``repro generate``: write a synthetic reference relation CSV."""
+    customers = generate_customers(
+        args.count,
+        seed=args.seed,
+        business_fraction=args.business_fraction,
+        unique=args.unique,
+    )
+    writer = csv.writer(args.out)
+    writer.writerow(("tid",) + CUSTOMER_COLUMNS)
+    for customer in customers:
+        writer.writerow((customer.tid,) + customer.values)
+    print(f"wrote {len(customers)} reference tuples", file=sys.stderr)
+    return 0
+
+
+def cmd_corrupt(args) -> int:
+    """``repro corrupt``: sample reference tuples and inject errors."""
+    columns, rows = _read_reference_csv(args.reference)
+    if args.preset:
+        spec = DatasetSpec.preset(args.preset, method=args.method)
+    else:
+        probabilities = tuple(float(p) for p in args.probabilities.split(","))
+        if len(probabilities) != len(columns):
+            raise SystemExit(
+                f"need {len(columns)} probabilities, got {len(probabilities)}"
+            )
+        spec = DatasetSpec("custom", probabilities, method=args.method)
+    frequency_lookup = None
+    if args.method == "type2":
+        cache = build_frequency_cache((v for _, v in rows), len(columns))
+        frequency_lookup = cache.frequency
+    dataset = make_dataset(
+        rows, spec, args.count, seed=args.seed, frequency_lookup=frequency_lookup
+    )
+    writer = csv.writer(args.out)
+    writer.writerow(["target_tid"] + columns)
+    for dirty in dataset.inputs:
+        writer.writerow([dirty.target_tid] + [_cell(v) for v in dirty.values])
+    print(
+        f"wrote {len(dataset)} dirty tuples "
+        f"(errors: {dataset.error_counts()})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_match(args) -> int:
+    """``repro match``: build an ETI and fuzzy-match an input CSV."""
+    config = MatchConfig(
+        q=args.q,
+        signature_size=args.signature_size,
+        scheme=SignatureScheme(args.scheme),
+        k=args.k,
+        min_similarity=args.min_similarity,
+        use_osc=(args.strategy != "basic"),
+    )
+    started = time.perf_counter()
+    matcher, build_stats = _build_matcher(args.reference, config)
+    build_seconds = time.perf_counter() - started
+    print(
+        f"built ETI: {build_stats.eti_rows} rows in {build_seconds:.2f}s",
+        file=sys.stderr,
+    )
+
+    with open(args.input, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        has_target = bool(header) and header[0] == "target_tid"
+        input_columns = header[1:] if has_target else header
+        if len(input_columns) != matcher.reference.num_columns:
+            raise SystemExit(
+                f"input has {len(input_columns)} attribute columns, "
+                f"reference has {matcher.reference.num_columns}"
+            )
+        inputs = []
+        for record in reader:
+            target = int(record[0]) if has_target else None
+            values = tuple(_value(c) for c in (record[1:] if has_target else record))
+            inputs.append((target, values))
+
+    writer = csv.writer(args.out)
+    out_header = (["target_tid"] if has_target else []) + list(input_columns)
+    writer.writerow(out_header + ["matched_tid", "similarity"])
+    predictions = []
+    started = time.perf_counter()
+    for target, values in inputs:
+        result = matcher.match(values, strategy=args.strategy)
+        best = result.best
+        row = ([target] if has_target else []) + [_cell(v) for v in values]
+        if best is None:
+            writer.writerow(row + ["", ""])
+        else:
+            writer.writerow(row + [best.tid, f"{best.similarity:.4f}"])
+        if has_target:
+            predictions.append((best.tid if best else None, target))
+    elapsed = time.perf_counter() - started
+    print(
+        f"matched {len(inputs)} tuples in {elapsed:.2f}s "
+        f"({1000 * elapsed / max(len(inputs), 1):.1f} ms/tuple)",
+        file=sys.stderr,
+    )
+    if has_target and predictions:
+        print(f"accuracy: {accuracy(predictions):.3f}", file=sys.stderr)
+    return 0
+
+
+def cmd_dedup(args) -> int:
+    """``repro dedup``: flag fuzzy duplicates inside a reference CSV."""
+    from repro.dedup import FuzzyDeduplicator
+
+    columns, rows = _read_reference_csv(args.reference)
+    db = Database.in_memory()
+    reference = ReferenceTable(db, "reference", columns)
+    reference.load(rows)
+    dedup = FuzzyDeduplicator(threshold=args.threshold, neighbors=args.neighbors)
+    report = dedup.deduplicate(reference, db)
+    mapping = report.duplicates_of()
+
+    writer = csv.writer(args.out)
+    writer.writerow(["tid"] + columns + ["duplicate_of"])
+    for tid, values in reference.scan():
+        canonical = mapping.get(tid, "")
+        writer.writerow([tid] + [_cell(v) for v in values] + [canonical])
+    print(
+        f"scanned {report.tuples_scanned} tuples in {report.elapsed_seconds:.2f}s; "
+        f"{len(report.clusters)} clusters, "
+        f"{report.duplicate_count} duplicates flagged",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """``repro explain``: trace one fuzzy match query, step by step."""
+    config = MatchConfig(
+        q=args.q,
+        signature_size=args.signature_size,
+        scheme=SignatureScheme(args.scheme),
+    )
+    matcher, _ = _build_matcher(args.reference, config)
+    values = tuple(_value(v) for v in args.values)
+    if len(values) != matcher.reference.num_columns:
+        raise SystemExit(
+            f"{len(values)} values given, reference has "
+            f"{matcher.reference.num_columns} columns"
+        )
+    result = matcher.match(values, strategy=args.strategy, trace=True)
+    for line in result.trace or ():
+        print(line)
+    print()
+    if result.best is None:
+        print("no match")
+    else:
+        for match in result.matches:
+            print(f"match tid={match.tid} fms={match.similarity:.4f} {match.values}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """``repro evaluate``: run the paper's experiment suite."""
+    workbench = Workbench(
+        num_reference=args.reference_size, num_inputs=args.inputs, seed=args.seed
+    )
+    wanted = args.figures.split(",") if args.figures != "all" else [
+        "edfms", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"
+    ]
+    grid = None
+    if any(f.startswith("fig") and f != "fig7" for f in wanted):
+        grid = figure_drivers.run_strategy_grid(workbench)
+    naive_unit = None
+    if "fig6" in wanted or "fig7" in wanted:
+        naive_unit = workbench.naive_unit_time()
+    for name in wanted:
+        if name == "edfms":
+            result = figure_drivers.run_ed_vs_fms(workbench, num_inputs=args.edfms_inputs)
+        elif name == "fig5":
+            result = figure_drivers.fig5_accuracy(grid)
+        elif name == "fig6":
+            result = figure_drivers.fig6_times(grid, naive_unit)
+        elif name == "fig7":
+            result = figure_drivers.fig7_build_times(workbench, naive_unit)
+        elif name == "fig8":
+            result = figure_drivers.fig8_candidates(grid)
+        elif name == "fig9":
+            result = figure_drivers.fig9_tids(grid)
+        elif name == "fig10":
+            result = figure_drivers.fig10_osc(grid)
+        else:
+            raise SystemExit(f"unknown figure {name!r}")
+        print(result.render())
+        print()
+    workbench.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fuzzy match for online data cleaning (SIGMOD 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic reference relation CSV")
+    gen.add_argument("--count", type=int, default=5000)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--business-fraction", type=float, default=0.4)
+    gen.add_argument("--unique", action="store_true", default=True)
+    gen.add_argument("--out", type=argparse.FileType("w"), default=sys.stdout)
+    gen.set_defaults(func=cmd_generate)
+
+    cor = sub.add_parser("corrupt", help="inject errors into sampled reference tuples")
+    cor.add_argument("--reference", required=True)
+    cor.add_argument("--count", type=int, default=200)
+    cor.add_argument("--preset", choices=sorted(DATASET_PRESETS))
+    cor.add_argument(
+        "--probabilities",
+        help="comma-separated per-column error probabilities (alternative to --preset)",
+    )
+    cor.add_argument("--method", choices=("type1", "type2"), default="type1")
+    cor.add_argument("--seed", type=int, default=7)
+    cor.add_argument("--out", type=argparse.FileType("w"), default=sys.stdout)
+    cor.set_defaults(func=cmd_corrupt)
+
+    mat = sub.add_parser("match", help="fuzzy-match an input CSV against a reference CSV")
+    mat.add_argument("--reference", required=True)
+    mat.add_argument("--input", required=True)
+    mat.add_argument("--k", type=int, default=1)
+    mat.add_argument("--min-similarity", type=float, default=0.0)
+    mat.add_argument("--q", type=int, default=4)
+    mat.add_argument("--signature-size", type=int, default=2)
+    mat.add_argument("--scheme", choices=("Q", "Q+T"), default="Q+T")
+    mat.add_argument("--strategy", choices=("naive", "basic", "osc"), default="osc")
+    mat.add_argument("--out", type=argparse.FileType("w"), default=sys.stdout)
+    mat.set_defaults(func=cmd_match)
+
+    ded = sub.add_parser("dedup", help="flag fuzzy duplicates inside a reference CSV")
+    ded.add_argument("--reference", required=True)
+    ded.add_argument("--threshold", type=float, default=0.85)
+    ded.add_argument("--neighbors", type=int, default=4)
+    ded.add_argument("--out", type=argparse.FileType("w"), default=sys.stdout)
+    ded.set_defaults(func=cmd_dedup)
+
+    exp = sub.add_parser("explain", help="trace one fuzzy match query step by step")
+    exp.add_argument("--reference", required=True)
+    exp.add_argument("--q", type=int, default=4)
+    exp.add_argument("--signature-size", type=int, default=2)
+    exp.add_argument("--scheme", choices=("Q", "Q+T"), default="Q+T")
+    exp.add_argument("--strategy", choices=("basic", "osc"), default="osc")
+    exp.add_argument(
+        "values",
+        nargs="+",
+        help="the input tuple's attribute values (use '' for NULL)",
+    )
+    exp.set_defaults(func=cmd_explain)
+
+    ev = sub.add_parser("evaluate", help="run the paper's experiment suite")
+    ev.add_argument("--reference-size", type=int, default=2000)
+    ev.add_argument("--inputs", type=int, default=100)
+    ev.add_argument("--edfms-inputs", type=int, default=40)
+    ev.add_argument("--seed", type=int, default=2003)
+    ev.add_argument(
+        "--figures",
+        default="all",
+        help="comma list from: edfms,fig5,fig6,fig7,fig8,fig9,fig10 (default all)",
+    )
+    ev.set_defaults(func=cmd_evaluate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "corrupt" and not args.preset and not args.probabilities:
+        parser.error("corrupt needs --preset or --probabilities")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Score accumulation for candidate set determination (§4.3.1).
+
+While q-gram tid-lists stream in from the ETI, every tid accumulates a
+score equal to the sum of the weights of the q-grams whose lists it
+appeared in.  Two details from the paper are implemented exactly:
+
+- *New-tid admission*: a tid not yet in the table is only added while the
+  total weight of the q-grams still to be looked up could lift a fresh tid
+  past the similarity threshold ("We add a new tid to the hash table only
+  if the total weight ... yet to be looked up ... is greater than or equal
+  to w(u)·c").  This bounds the hash table size.
+- *Adjustment term*: per token whose signature contributes at least one
+  lookup, ``w(t)·(1 − 1/q)`` is added to an adjustment that corrects for
+  approximating edit distance by q-gram overlap (Figure 3, step 7).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass
+class ScoreTableStats:
+    """Counters the paper reports in Figures 8–9."""
+
+    tids_processed: int = 0
+    tids_admitted: int = 0
+    tids_rejected: int = 0
+
+
+class ScoreTable:
+    """Accumulates per-tid similarity scores from ETI tid-lists."""
+
+    def __init__(self, threshold: float):
+        """``threshold`` is ``w(u) · c``, the admission bar for new tids."""
+        self.threshold = threshold
+        self.scores: dict[int, float] = {}
+        self.stats = ScoreTableStats()
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def add_tid_list(
+        self,
+        tids: Iterable[int],
+        weight: float,
+        remaining_weight: float,
+    ) -> None:
+        """Credit ``weight`` to every tid in one fetched tid-list.
+
+        ``remaining_weight`` is the total weight of all signature q-grams
+        not yet looked up (including this one): the best score a brand-new
+        tid could still reach.  New tids are admitted only while that bound
+        meets the threshold.
+        """
+        scores = self.scores
+        admit_new = remaining_weight >= self.threshold
+        for tid in tids:
+            self.stats.tids_processed += 1
+            current = scores.get(tid)
+            if current is not None:
+                scores[tid] = current + weight
+            elif admit_new:
+                scores[tid] = weight
+                self.stats.tids_admitted += 1
+            else:
+                self.stats.tids_rejected += 1
+
+    def score(self, tid: int) -> float:
+        """Current accumulated score of ``tid`` (0.0 if untracked)."""
+        return self.scores.get(tid, 0.0)
+
+    def top(self, count: int) -> list[tuple[int, float]]:
+        """The ``count`` highest-scoring tids, best first.
+
+        Ties break on tid for determinism (the paper breaks ties
+        arbitrarily; fixing an order makes runs reproducible).
+        """
+        return heapq.nsmallest(
+            count, self.scores.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+
+    def candidates(self, score_floor: float) -> list[tuple[int, float]]:
+        """All tids with score ≥ ``score_floor``, best first (step 11)."""
+        items = [
+            (tid, score) for tid, score in self.scores.items() if score >= score_floor
+        ]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return items

@@ -1,0 +1,172 @@
+"""The fuzzy match similarity function *fms* (§3.1) .
+
+``fms(u, v) = 1 − min(tc(u, v) / w(u), 1)`` where ``tc`` is the minimum cost
+of transforming input tuple ``u`` into reference tuple ``v`` column by
+column, using three token-level operations:
+
+- *replacement* of input token t1 by reference token t2:
+  ``ed(t1, t2) · w(t1)`` (cross-column replacements are forbidden — the DP
+  only ever compares same-column sequences);
+- *insertion* of reference token t: ``c_ins · w(t)``;
+- *deletion* of input token t: ``w(t)``.
+
+The per-column minimum-cost sequence is found with the classic edit-distance
+dynamic program lifted from characters to weighted tokens.  With
+``allow_transpositions`` (§5.3) the DP also admits the Damerau-style swap of
+two adjacent tokens at cost ``g(w(t1), w(t2))``; since a transposition only
+reorders tokens, fms with transpositions is still upper-bounded by fmsapx
+and every index-based guarantee carries over.
+
+fms is deliberately asymmetric: ``u`` is always the dirty input, ``v`` the
+clean reference.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import MatchConfig, TranspositionCost
+from repro.core.strings import cached_edit_distance
+from repro.core.tokens import TupleTokens
+from repro.core.weights import WeightFunction
+
+
+def _transposition_cost(w1: float, w2: float, config: MatchConfig) -> float:
+    kind = config.transposition_cost
+    if kind is TranspositionCost.AVERAGE:
+        return (w1 + w2) / 2.0
+    if kind is TranspositionCost.MINIMUM:
+        return min(w1, w2)
+    if kind is TranspositionCost.MAXIMUM:
+        return max(w1, w2)
+    return config.transposition_constant
+
+
+def transformation_cost(
+    input_tokens: Sequence[str],
+    reference_tokens: Sequence[str],
+    column: int,
+    weights: WeightFunction,
+    config: MatchConfig,
+    column_weight: float = 1.0,
+) -> float:
+    """``tc(u[i], v[i])``: minimum cost to transform one column's tokens.
+
+    ``input_tokens`` / ``reference_tokens`` are the *ordered* token
+    sequences of column ``column``.  ``column_weight`` scales every token
+    weight (§5.2); 1.0 is plain fms.
+    """
+    m = len(input_tokens)
+    n = len(reference_tokens)
+    input_weights = [
+        weights.weight(t, column) * column_weight for t in input_tokens
+    ]
+    reference_weights = [
+        weights.weight(t, column) * column_weight for t in reference_tokens
+    ]
+    c_ins = config.token_insertion_factor
+
+    # DP over (i input tokens consumed, j reference tokens produced).
+    previous = [0.0] * (n + 1)
+    for j in range(1, n + 1):
+        previous[j] = previous[j - 1] + c_ins * reference_weights[j - 1]
+    older: list[float] | None = None  # row i-2, for transpositions
+    for i in range(1, m + 1):
+        current = [previous[0] + input_weights[i - 1]]
+        token_u = input_tokens[i - 1]
+        weight_u = input_weights[i - 1]
+        for j in range(1, n + 1):
+            token_v = reference_tokens[j - 1]
+            best = previous[j - 1] + cached_edit_distance(token_u, token_v) * weight_u
+            delete = previous[j] + weight_u
+            if delete < best:
+                best = delete
+            insert = current[j - 1] + c_ins * reference_weights[j - 1]
+            if insert < best:
+                best = insert
+            if config.allow_transpositions and older is not None and i >= 2 and j >= 2:
+                # Transpose (u[i-2], u[i-1]) then replace each against its
+                # crossed counterpart — a transposition followed by token
+                # replacements is a legal transformation sequence, so the
+                # DP may take it whenever it is the cheapest option (exact
+                # swaps degenerate to the bare transposition cost).
+                swap = (
+                    older[j - 2]
+                    + _transposition_cost(input_weights[i - 2], weight_u, config)
+                    + cached_edit_distance(token_u, reference_tokens[j - 2]) * weight_u
+                    + cached_edit_distance(input_tokens[i - 2], token_v)
+                    * input_weights[i - 2]
+                )
+                if swap < best:
+                    best = swap
+            current.append(best)
+        older = previous
+        previous = current
+    return previous[n]
+
+
+def tuple_transformation_cost(
+    u: TupleTokens,
+    v: TupleTokens,
+    weights: WeightFunction,
+    config: MatchConfig,
+) -> float:
+    """``tc(u, v)``: sum of per-column transformation costs."""
+    if u.num_columns != v.num_columns:
+        raise ValueError("tuples must have the same number of columns")
+    column_weights = config.normalized_column_weights(u.num_columns)
+    total = 0.0
+    for col in range(u.num_columns):
+        u_tokens = u.sequences[col]
+        v_tokens = v.sequences[col]
+        if u_tokens == v_tokens:
+            # Identical token sequences transform for free; skipping the
+            # DP here is the hot-path win (candidates usually agree on
+            # most columns).
+            continue
+        total += transformation_cost(
+            u_tokens,
+            v_tokens,
+            col,
+            weights,
+            config,
+            column_weight=column_weights[col],
+        )
+    return total
+
+
+def input_tuple_weight(
+    u: TupleTokens, weights: WeightFunction, config: MatchConfig
+) -> float:
+    """``w(u)``: total (column-weighted) weight of the token set tok(u)."""
+    column_weights = config.normalized_column_weights(u.num_columns)
+    return sum(
+        weights.weight(token, col) * column_weights[col]
+        for token, col in u.all_tokens()
+    )
+
+
+def fms(
+    u: TupleTokens | Sequence[str | None],
+    v: TupleTokens | Sequence[str | None],
+    weights: WeightFunction,
+    config: MatchConfig | None = None,
+) -> float:
+    """Fuzzy match similarity between input ``u`` and reference ``v``.
+
+    Accepts raw attribute-value sequences or pre-tokenized
+    :class:`TupleTokens`.  Returns a similarity in [0, 1].  An input with
+    no tokens at all matches an empty reference perfectly and anything
+    else not at all (``w(u) = 0`` leaves nothing to normalize by).
+    """
+    if config is None:
+        config = MatchConfig()
+    if not isinstance(u, TupleTokens):
+        u = TupleTokens.from_values(u)
+    if not isinstance(v, TupleTokens):
+        v = TupleTokens.from_values(v)
+    total_weight = input_tuple_weight(u, weights, config)
+    if total_weight <= 0.0:
+        return 1.0 if v.token_count() == 0 else 0.0
+    cost = tuple_transformation_cost(u, v, weights, config)
+    return 1.0 - min(cost / total_weight, 1.0)

@@ -1,0 +1,150 @@
+"""The indexable approximations *fmsapx* and *fmst_apx* (§4.1, §5.1).
+
+``fmsapx`` upper-bounds fms (with high probability) by (i) ignoring token
+order, (ii) letting every input token match its best same-column reference
+token, and (iii) estimating ``1 − ed(t, r)`` via min-hash similarity of
+q-gram sets plus the adjustment term ``d_q = 1 − 1/q`` (Lemma 4.2):
+
+    fmsapx(u, v) = (1/w(u)) · Σ_col Σ_{t ∈ tok(u[col])} w(t) ·
+                   max_{r ∈ tok(v[col])} min(2/q · simmh(QG(t), QG(r)) + d_q, 1)
+
+The per-token contribution is capped at w(t) — matching the paper's worked
+example (a perfect q-gram match contributes exactly w(t), not (2/q + d_q) ·
+w(t)) — and the cap preserves the upper-bound property because
+``1 − ed(t, r) ≤ 1`` always.
+
+``fmst_apx`` (§5.1) splits each token's importance between the token itself
+and its q-gram signature: ``sim'mh(t, r) = ½ (I[t = r] + simmh(t, r))``.
+Under the paper's error model it is a rank-preserving transformation of
+fmsapx, which is why Q+T indexing gains speed without losing accuracy.
+
+These functions are reference implementations used by tests (to validate
+that the ETI-based scoring really upper-bounds fms) and by the naive
+matcher variants; query processing itself accumulates the same quantity
+incrementally from ETI tid-lists.
+
+Reproduction note on Lemma 4.2.  The paper prints the adjustment as
+``d = (1 − 1/q)(1 − 1/m)`` and relaxes it to ``d_q = 1 − 1/q``.  Deriving
+the bound from the Jokinen–Ukkonen q-gram count inequality
+(``|QG(t) ∩ QG(r)| ≥ m − q + 1 − ed_raw · q``) actually gives
+``1 − ed ≤ |∩|/(mq) + (1 − 1/q)(1 + 1/m)`` — the boundary term enters with
+a *plus* sign (counterexample: 'bofing' vs 'boeing', m=6, q=3: 1 − ed =
+5/6 ≈ 0.833, while the paper's d yields only 0.611).  Consequently fmsapx
+as defined can fall below fms by an O(1/m)-order slack per token.  We keep
+the paper's definition (their probabilistic guarantee absorbs the slack
+alongside the min-hash estimation error) and the test suite checks the
+upper-bound property with a matching tolerance instead of exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import MatchConfig
+from repro.core.minhash import MinHasher
+from repro.core.strings import jaccard, qgram_set
+from repro.core.tokens import TupleTokens
+from repro.core.weights import WeightFunction
+
+
+def minhash_similarity(
+    token1: str, token2: str, hasher: MinHasher
+) -> float:
+    """``simmh(t1, t2)``: fraction of agreeing min-hash coordinates.
+
+    Signatures of unequal length (a short token versus a long one) are
+    compared coordinate-wise up to the shorter signature and normalized by
+    the longer, so two short tokens degrade to exact-match comparison.
+    """
+    sig1 = hasher.signature(token1)
+    sig2 = hasher.signature(token2)
+    if not sig1 or not sig2:
+        return 0.0
+    agree = sum(1 for a, b in zip(sig1, sig2) if a == b)
+    return agree / max(len(sig1), len(sig2))
+
+
+def _token_score(
+    token: str,
+    reference_tokens: Sequence[str],
+    config: MatchConfig,
+    hasher: MinHasher | None,
+    include_token_coordinate: bool,
+) -> float:
+    """max over reference tokens of the (capped) approximate similarity."""
+    adjustment = 1.0 - 1.0 / config.q
+    best = 0.0
+    for reference in reference_tokens:
+        if hasher is not None:
+            sim = minhash_similarity(token, reference, hasher)
+        else:
+            sim = jaccard(qgram_set(token, config.q), qgram_set(reference, config.q))
+        if include_token_coordinate:
+            sim = 0.5 * (float(token == reference) + sim)
+        score = min(2.0 / config.q * sim + adjustment, 1.0)
+        if score > best:
+            best = score
+    return best
+
+
+def _apx(
+    u: TupleTokens | Sequence[str | None],
+    v: TupleTokens | Sequence[str | None],
+    weights: WeightFunction,
+    config: MatchConfig,
+    hasher: MinHasher | None,
+    include_token_coordinate: bool,
+) -> float:
+    if not isinstance(u, TupleTokens):
+        u = TupleTokens.from_values(u)
+    if not isinstance(v, TupleTokens):
+        v = TupleTokens.from_values(v)
+    if u.num_columns != v.num_columns:
+        raise ValueError("tuples must have the same number of columns")
+    column_weights = config.normalized_column_weights(u.num_columns)
+    total_weight = 0.0
+    total_score = 0.0
+    for column in range(u.num_columns):
+        reference_tokens = tuple(v.column_tokens(column))
+        for token in u.column_tokens(column):
+            weight = weights.weight(token, column) * column_weights[column]
+            total_weight += weight
+            if reference_tokens:
+                total_score += weight * _token_score(
+                    token, reference_tokens, config, hasher, include_token_coordinate
+                )
+    if total_weight <= 0.0:
+        return 1.0 if v.token_count() == 0 else 0.0
+    return total_score / total_weight
+
+
+def fms_apx(
+    u: TupleTokens | Sequence[str | None],
+    v: TupleTokens | Sequence[str | None],
+    weights: WeightFunction,
+    config: MatchConfig | None = None,
+    hasher: MinHasher | None = None,
+) -> float:
+    """``fmsapx(u, v)`` (§4.1).
+
+    With ``hasher`` given, token similarity is the min-hash estimate the
+    index actually uses; with ``hasher=None`` the exact Jaccard coefficient
+    is used instead, which equals the *expectation* of the min-hash variant
+    (the ``f2`` function in the proof sketch of Lemma 4.1).
+    """
+    if config is None:
+        config = MatchConfig()
+    return _apx(u, v, weights, config, hasher, include_token_coordinate=False)
+
+
+def fms_t_apx(
+    u: TupleTokens | Sequence[str | None],
+    v: TupleTokens | Sequence[str | None],
+    weights: WeightFunction,
+    config: MatchConfig | None = None,
+    hasher: MinHasher | None = None,
+) -> float:
+    """``fmst_apx(u, v)`` (§5.1): token-plus-q-gram similarity."""
+    if config is None:
+        config = MatchConfig()
+    return _apx(u, v, weights, config, hasher, include_token_coordinate=True)

@@ -1,0 +1,416 @@
+"""The K-fuzzy-match algorithms (§4.3).
+
+:class:`FuzzyMatcher` answers fuzzy match queries against a reference
+relation three ways:
+
+- ``naive``: scan the whole reference relation computing exact fms — the
+  baseline both accuracy and "normalized elapsed time" are defined against.
+- ``basic``: Figure 3.  Tokenize, weight, compute min-hash signatures, look
+  up every signature q-gram in the ETI, accumulate tid scores, then fetch
+  and verify candidates with exact fms.
+- ``osc``: the basic algorithm plus optimistic short circuiting (Figure 4):
+  q-grams are processed in decreasing weight order and the algorithm stops
+  early as soon as the current top-K provably cannot be displaced.
+
+Candidate verification (both indexed strategies) fetches candidates in
+decreasing score order and stops as soon as the score-space upper bound of
+the next candidate cannot displace the current K-th verified match — with
+the paper's default threshold c = 0 every scored tid is formally a
+"candidate", so ordered early-terminated verification is what keeps fetch
+counts at the few-per-query level Figure 8 reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.candidates import ScoreTable
+from repro.core.config import MatchConfig
+from repro.core.fms import fms
+from repro.core.minhash import MinHasher
+from repro.core.osc import fetching_test, similarity_upper_bound, stopping_test
+from repro.core.reference import ReferenceTable
+from repro.core.tokens import TupleTokens
+from repro.core.weights import WeightFunction
+from repro.db.errors import RecordNotFoundError
+from repro.eti.index import EtiIndex
+from repro.eti.signature import signature_entries
+
+
+@dataclass(frozen=True)
+class Match:
+    """One fuzzy match: the reference tuple and its fms similarity."""
+
+    tid: int
+    similarity: float
+    values: tuple[str | None, ...]
+
+
+@dataclass
+class MatchStats:
+    """Per-query counters behind the paper's efficiency figures."""
+
+    strategy: str = ""
+    eti_lookups: int = 0
+    tids_processed: int = 0
+    tids_admitted: int = 0
+    candidates_fetched: int = 0
+    fms_evaluations: int = 0
+    osc_fetch_attempts: int = 0
+    osc_succeeded: bool = False
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class MatchResult:
+    """Matches (best first) plus the query's statistics."""
+
+    matches: list[Match] = field(default_factory=list)
+    stats: MatchStats = field(default_factory=MatchStats)
+    trace: list[str] | None = None
+    """Human-readable event log of the query, when requested."""
+
+    @property
+    def best(self) -> Match | None:
+        return self.matches[0] if self.matches else None
+
+
+@dataclass(frozen=True)
+class _TokenInfo:
+    token: str
+    column: int
+    weight: float
+
+
+class FuzzyMatcher:
+    """Fuzzy match queries against one reference relation.
+
+    Parameters
+    ----------
+    reference:
+        The clean reference relation.
+    weights:
+        Token weight provider (normally an IDF frequency cache built from
+        the reference relation).
+    config:
+        Algorithm parameters.
+    eti:
+        A built :class:`EtiIndex`; required for the indexed strategies,
+        optional if only ``naive`` matching is used.
+    hasher:
+        The min-hash family.  Must be the one the ETI was built with; when
+        omitted, a hasher with the config's (q, H, seed) is created, which
+        matches an ETI built from the same config.
+    """
+
+    def __init__(
+        self,
+        reference: ReferenceTable,
+        weights: WeightFunction,
+        config: MatchConfig | None = None,
+        eti: EtiIndex | None = None,
+        hasher: MinHasher | None = None,
+    ):
+        self.reference = reference
+        self.weights = weights
+        self.config = config if config is not None else MatchConfig()
+        self.eti = eti
+        self.hasher = (
+            hasher
+            if hasher is not None
+            else MinHasher(self.config.q, self.config.signature_size, self.config.seed)
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        values,
+        k: int | None = None,
+        min_similarity: float | None = None,
+        strategy: str | None = None,
+        trace: bool = False,
+    ) -> MatchResult:
+        """Find the K fuzzy matches of one input tuple.
+
+        ``strategy`` is ``"naive"``, ``"basic"``, or ``"osc"``; the default
+        follows ``config.use_osc``.  ``k`` and ``min_similarity`` default to
+        the config's values.  With ``trace=True`` the result carries a
+        human-readable event log of every lookup and decision (indexed
+        strategies only) — useful for debugging and teaching.
+        """
+        if len(values) != self.reference.num_columns:
+            raise ValueError(
+                f"input tuple has {len(values)} columns, reference has "
+                f"{self.reference.num_columns}"
+            )
+        k = k if k is not None else self.config.k
+        c = min_similarity if min_similarity is not None else self.config.min_similarity
+        if strategy is None:
+            strategy = "osc" if self.config.use_osc else "basic"
+        if strategy not in ("naive", "basic", "osc"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if strategy != "naive" and self.eti is None:
+            raise ValueError(f"strategy {strategy!r} requires a built ETI")
+
+        started = time.perf_counter()
+        if strategy == "naive":
+            result = self._match_naive(values, k, c)
+        else:
+            result = self._match_indexed(
+                values, k, c, use_osc=(strategy == "osc"), trace=trace
+            )
+        result.stats.strategy = strategy
+        result.stats.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def match_many(
+        self,
+        batch,
+        k: int | None = None,
+        min_similarity: float | None = None,
+        strategy: str | None = None,
+    ) -> list[MatchResult]:
+        """Match a batch of input tuples; results in input order.
+
+        A convenience wrapper over :meth:`match` for the ETL-style usage
+        of Figure 1, where input tuples arrive in batches.
+        """
+        return [
+            self.match(values, k=k, min_similarity=min_similarity, strategy=strategy)
+            for values in batch
+        ]
+
+    # ------------------------------------------------------------------
+    # Naive scan
+    # ------------------------------------------------------------------
+
+    def _match_naive(self, values, k: int, c: float) -> MatchResult:
+        result = MatchResult()
+        input_tokens = TupleTokens.from_values(values)
+        best: list[tuple[float, int, tuple]] = []
+        for tid, reference_values in self.reference.scan():
+            similarity = fms(
+                input_tokens,
+                TupleTokens.from_values(reference_values),
+                self.weights,
+                self.config,
+            )
+            result.stats.fms_evaluations += 1
+            if similarity >= c:
+                best.append((similarity, tid, reference_values))
+        best.sort(key=lambda item: (-item[0], item[1]))
+        result.matches = [
+            Match(tid, similarity, values_)
+            for similarity, tid, values_ in best[:k]
+        ]
+        return result
+
+    # ------------------------------------------------------------------
+    # Indexed strategies (basic + OSC)
+    # ------------------------------------------------------------------
+
+    def _match_indexed(
+        self, values, k: int, c: float, use_osc: bool, trace: bool = False
+    ) -> MatchResult:
+        result = MatchResult()
+        stats = result.stats
+        config = self.config
+        eti = self.eti
+        log = None
+        if trace:
+            result.trace = []
+            log = result.trace.append
+        input_tokens = TupleTokens.from_values(values)
+        column_weights = config.normalized_column_weights(input_tokens.num_columns)
+
+        token_infos = [
+            _TokenInfo(token, column, self.weights.weight(token, column) * column_weights[column])
+            for token, column in input_tokens.all_tokens()
+        ]
+        input_weight = sum(info.weight for info in token_infos)
+        if log:
+            for info in token_infos:
+                log(f"token {info.token!r} (col {info.column}) w={info.weight:.3f}")
+            log(f"w(u) = {input_weight:.3f}, threshold = {c * input_weight:.3f}")
+        if input_weight <= 0.0:
+            if log:
+                log("all token weights are zero: no match possible")
+            return result
+
+        # Expand tokens into weighted signature entries.
+        entries: list[tuple[float, int, int, str, int]] = []
+        # (qgram_weight, token_index, coordinate, gram, column)
+        for token_index, info in enumerate(token_infos):
+            for entry in signature_entries(info.token, self.hasher, config):
+                entries.append(
+                    (
+                        info.weight * entry.weight_fraction,
+                        token_index,
+                        entry.coordinate,
+                        entry.gram,
+                        info.column,
+                    )
+                )
+        if use_osc:
+            # Decreasing weight; ties resolve in original (token) order for
+            # determinism.
+            entries.sort(key=lambda e: -e[0])
+
+        total_entry_weight = sum(e[0] for e in entries)
+        adjustment_unit = 1.0 - 1.0 / config.q
+        full_adjustment = sum(info.weight for info in token_infos) * adjustment_unit
+        threshold = c * input_weight
+        # Admission bar for new tids.  The paper's Figure 3 step 9b uses
+        # w(u)·c outright, but its step 11 retains tids down to w(u)·c −
+        # AdjustmentTerm; admitting against the unadjusted bar would starve
+        # candidates the retention floor means to keep (visible for c > 0:
+        # a tid first seen after (1−c) of the signature weight can still
+        # clear c once the adjustment is credited).  We admit against the
+        # adjusted floor, which is consistent and still bounds table size.
+        score_table = ScoreTable(max(threshold - full_adjustment, 0.0))
+        fms_cache: dict[int, tuple[float, tuple]] = {}
+        lookups_before = eti.lookups
+
+        processed_weight = 0.0
+        for qgram_weight, token_index, coordinate, gram, column in entries:
+            remaining = total_entry_weight - processed_weight
+            eti_entry = eti.lookup(gram, coordinate, column)
+            if log:
+                if eti_entry is None:
+                    outcome = "miss"
+                elif eti_entry.is_stop_qgram:
+                    outcome = f"stop q-gram (freq {eti_entry.frequency})"
+                else:
+                    outcome = f"{len(eti_entry.tid_list)} tids"
+                log(
+                    f"lookup ({gram!r}, coord {coordinate}, col {column}) "
+                    f"w={qgram_weight:.3f} -> {outcome}"
+                )
+            if eti_entry is not None and eti_entry.tid_list:
+                score_table.add_tid_list(eti_entry.tid_list, qgram_weight, remaining)
+            processed_weight += qgram_weight
+
+            if not use_osc or not score_table.scores:
+                continue
+            decision = fetching_test(
+                score_table, k, processed_weight, total_entry_weight
+            )
+            if not decision.should_fetch:
+                continue
+            stats.osc_fetch_attempts += 1
+            if log:
+                log(
+                    f"OSC fetching test passed: top-{k} {decision.top_tids}, "
+                    f"outside cap {decision.outside_score_cap:.3f}"
+                )
+            similarities = [
+                self._verify(tid, input_tokens, fms_cache, stats)[0]
+                for tid in decision.top_tids
+            ]
+            if stopping_test(
+                similarities,
+                decision.outside_score_cap,
+                input_weight,
+                config.q,
+                conservative=config.osc_conservative,
+            ):
+                stats.osc_succeeded = True
+                if log:
+                    log(
+                        "OSC stopping test passed: fms "
+                        + ", ".join(f"{s:.3f}" for s in similarities)
+                        + f" >= bound {decision.outside_score_cap / input_weight:.3f}"
+                    )
+                matches = [
+                    Match(tid, similarity, fms_cache[tid][1])
+                    for tid, similarity in zip(decision.top_tids, similarities)
+                    if similarity >= c
+                ]
+                matches.sort(key=lambda m: (-m.similarity, m.tid))
+                result.matches = matches
+                self._finalize(stats, score_table, lookups_before)
+                return result
+            if log:
+                log(
+                    "OSC stopping test failed (fms "
+                    + ", ".join(f"{s:.3f}" for s in similarities)
+                    + "); continuing lookups"
+                )
+
+        # Basic finish: fetch candidates in decreasing score order, stopping
+        # once the next upper bound cannot displace the K-th verified match.
+        floor = threshold - full_adjustment
+        candidates = score_table.candidates(floor)
+        if log:
+            log(
+                f"verification phase: {len(candidates)} candidates "
+                f"above floor {floor:.3f}"
+            )
+        verified: list[tuple[float, int]] = []
+        for tid, score in candidates:
+            upper_bound = similarity_upper_bound(score, input_weight, config.q)
+            if upper_bound < c:
+                break
+            if len(verified) >= k and upper_bound <= verified[k - 1][0]:
+                if log:
+                    log(
+                        f"stop: next upper bound {upper_bound:.3f} cannot "
+                        f"displace K-th fms {verified[k - 1][0]:.3f}"
+                    )
+                break
+            similarity, _ = self._verify(tid, input_tokens, fms_cache, stats)
+            if log:
+                log(f"verify tid {tid}: score {score:.3f} -> fms {similarity:.3f}")
+            if similarity >= c:
+                verified.append((similarity, tid))
+                verified.sort(key=lambda item: (-item[0], item[1]))
+                del verified[k:]
+        result.matches = [
+            Match(tid, similarity, fms_cache[tid][1]) for similarity, tid in verified
+        ]
+        self._finalize(stats, score_table, lookups_before)
+        return result
+
+    def _verify(
+        self,
+        tid: int,
+        input_tokens: TupleTokens,
+        fms_cache: dict[int, tuple[float, tuple]],
+        stats: MatchStats,
+    ) -> tuple[float, tuple]:
+        """Fetch ``tid`` (once) and compute its exact fms (once).
+
+        A tid the ETI names but the reference relation no longer holds
+        (possible when index maintenance lags deletes) verifies to
+        similarity −1, which no threshold admits and no stopping test
+        accepts — dangling index entries degrade, they don't crash.
+        """
+        cached = fms_cache.get(tid)
+        if cached is not None:
+            return cached
+        try:
+            reference_values = self.reference.fetch(tid)
+        except RecordNotFoundError:
+            fms_cache[tid] = (-1.0, ())
+            return fms_cache[tid]
+        stats.candidates_fetched += 1
+        similarity = fms(
+            input_tokens,
+            TupleTokens.from_values(reference_values),
+            self.weights,
+            self.config,
+        )
+        stats.fms_evaluations += 1
+        fms_cache[tid] = (similarity, reference_values)
+        return fms_cache[tid]
+
+    def _finalize(
+        self, stats: MatchStats, score_table: ScoreTable, lookups_before: int
+    ) -> None:
+        stats.eti_lookups = self.eti.lookups - lookups_before
+        stats.tids_processed = score_table.stats.tids_processed
+        stats.tids_admitted = score_table.stats.tids_admitted

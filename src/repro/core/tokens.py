@@ -1,0 +1,89 @@
+"""Tokenization with per-column token identity.
+
+Section 3 of the paper: ``tok`` splits a string into tokens on a set of
+delimiters (whitespace by default), lower-casing everything.  Tokens carry a
+*column property* — 'madison' in a name column is a different token from
+'madison' in a city column.  ``tok(v)`` for a whole tuple is the multiset
+union of the per-column token *sets*: duplicates within one column collapse,
+but one copy per column is retained.
+
+For the transformation-cost DP (fms) the *ordered* token sequence per column
+matters too, so :class:`TupleTokens` exposes both views.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+DEFAULT_DELIMITERS = " \t\n\r.,;:/()[]{}'\"!?&#"
+
+_SPLITTER_CACHE: dict[str, re.Pattern] = {}
+
+
+def _splitter(delimiters: str) -> re.Pattern:
+    pattern = _SPLITTER_CACHE.get(delimiters)
+    if pattern is None:
+        pattern = re.compile("[" + re.escape(delimiters) + "]+")
+        _SPLITTER_CACHE[delimiters] = pattern
+    return pattern
+
+
+def tokenize(value: str | None, delimiters: str = DEFAULT_DELIMITERS) -> list[str]:
+    """Split ``value`` into an ordered list of lower-cased tokens.
+
+    ``None`` (a missing attribute value) tokenizes to the empty list, which
+    is how the paper treats NULL columns: nothing to transform, and absent
+    tokens are charged as insertions when comparing to a reference tuple.
+    """
+    if value is None:
+        return []
+    parts = _splitter(delimiters).split(value.lower())
+    return [p for p in parts if p]
+
+
+@dataclass(frozen=True)
+class TupleTokens:
+    """Tokenized view of one tuple.
+
+    ``sequences[i]`` is the ordered token list of column ``i`` (duplicates
+    preserved, for the DP); ``sets[i]`` is the de-duplicated token set of
+    column ``i`` (for weights, signatures, and ``tok(v)`` semantics).
+    """
+
+    sequences: tuple[tuple[str, ...], ...]
+    sets: tuple[frozenset[str], ...]
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Sequence[str | None],
+        delimiters: str = DEFAULT_DELIMITERS,
+    ) -> "TupleTokens":
+        sequences = tuple(tuple(tokenize(v, delimiters)) for v in values)
+        sets = tuple(frozenset(seq) for seq in sequences)
+        return cls(sequences=sequences, sets=sets)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.sequences)
+
+    def column_tokens(self, column: int) -> frozenset[str]:
+        """The token set ``tok(v[column])``."""
+        return self.sets[column]
+
+    def all_tokens(self) -> Iterator[tuple[str, int]]:
+        """Yield ``(token, column)`` pairs — the multiset union ``tok(v)``.
+
+        One copy per (token, column): the paper's rule that a token occurring
+        in multiple columns is retained once per column, distinguished by its
+        column property.
+        """
+        for column, token_set in enumerate(self.sets):
+            for token in sorted(token_set):
+                yield token, column
+
+    def token_count(self) -> int:
+        """``|tok(v)|``: number of distinct (token, column) pairs."""
+        return sum(len(s) for s in self.sets)

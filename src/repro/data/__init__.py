@@ -1,0 +1,37 @@
+"""Workload generation: reference data and error injection.
+
+The paper evaluates on a proprietary 1.7M-tuple ``Customer[name, city,
+state, zipcode]`` relation, creating dirty inputs by injecting errors into
+randomly selected clean tuples (§6.1).  We cannot ship that relation, so
+:mod:`repro.data.generator` synthesizes a Customer relation with the
+distributional properties the experiments depend on (Zipfian token
+frequencies, multi-token names, city/state/zip correlation), and
+:mod:`repro.data.errors` re-implements the paper's Type I / Type II error
+injection with the Table 4 error taxonomy and Table 5 dataset presets.
+"""
+
+from repro.data.datasets import (
+    DATASET_PRESETS,
+    Dataset,
+    DatasetSpec,
+    ED_VS_FMS_PROBABILITIES,
+    make_dataset,
+)
+from repro.data.errors import ErrorModel, ErrorType, InjectionReport
+from repro.data.generator import CustomerGenerator, generate_customers
+from repro.data.products import ProductGenerator, generate_products
+
+__all__ = [
+    "CustomerGenerator",
+    "Dataset",
+    "DATASET_PRESETS",
+    "DatasetSpec",
+    "ED_VS_FMS_PROBABILITIES",
+    "ErrorModel",
+    "ErrorType",
+    "generate_customers",
+    "generate_products",
+    "InjectionReport",
+    "make_dataset",
+    "ProductGenerator",
+]

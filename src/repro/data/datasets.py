@@ -1,0 +1,110 @@
+"""Dataset presets (Table 5) and dirty-dataset construction.
+
+The paper's evaluation datasets are created by sampling clean reference
+tuples and pushing them through an error model; every dirty input remembers
+its *seed tuple* (the reference tuple it was generated from), which is what
+accuracy is measured against: "the percentage of input tuples for which a
+fuzzy match algorithm identifies the seed tuple ... as the closest
+reference tuple".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import random
+
+from repro.data.errors import ErrorModel, FrequencyLookup, InjectionReport
+
+# Table 5: per-column error probabilities [name, city, state, zipcode].
+DATASET_PRESETS: dict[str, tuple[float, float, float, float]] = {
+    "D1": (0.90, 0.90, 0.90, 0.90),
+    "D2": (0.80, 0.50, 0.50, 0.60),
+    "D3": (0.70, 0.50, 0.50, 0.25),
+}
+
+# §6.2.1.1: probabilities used for the ed-vs-fms quality comparison.
+ED_VS_FMS_PROBABILITIES: tuple[float, float, float, float] = (0.90, 0.50, 0.50, 0.60)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named error-injection configuration."""
+
+    name: str
+    column_error_probabilities: tuple[float, ...]
+    method: str = "type1"
+
+    @classmethod
+    def preset(cls, name: str, method: str = "type1") -> "DatasetSpec":
+        """One of the paper's D1/D2/D3 presets."""
+        try:
+            probabilities = DATASET_PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown preset {name!r}; choose from {sorted(DATASET_PRESETS)}"
+            ) from None
+        return cls(name, probabilities, method)
+
+
+@dataclass(frozen=True)
+class DirtyTuple:
+    """One erroneous input plus the tid of the clean tuple it came from."""
+
+    values: tuple[str | None, ...]
+    target_tid: int
+    report: InjectionReport
+
+
+@dataclass
+class Dataset:
+    """A dirty input dataset generated from a reference relation."""
+
+    spec: DatasetSpec
+    inputs: list[DirtyTuple] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def error_counts(self) -> dict[str, int]:
+        """How many injected errors of each type the dataset contains."""
+        counts: dict[str, int] = {}
+        for dirty in self.inputs:
+            for _, error in dirty.report.errors:
+                counts[error.value] = counts.get(error.value, 0) + 1
+        return counts
+
+
+def make_dataset(
+    reference_tuples: Sequence[tuple[int, Sequence[str | None]]],
+    spec: DatasetSpec,
+    count: int,
+    seed: int = 7,
+    frequency_lookup: FrequencyLookup | None = None,
+) -> Dataset:
+    """Sample ``count`` seed tuples (without replacement) and corrupt them.
+
+    ``reference_tuples`` is a materialized sequence of ``(tid, values)``.
+    Sampling and corruption are deterministic in ``seed``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count > len(reference_tuples):
+        raise ValueError(
+            f"cannot sample {count} tuples from {len(reference_tuples)} reference tuples"
+        )
+    rng = random.Random(seed)
+    seeds = rng.sample(range(len(reference_tuples)), count)
+    model = ErrorModel(
+        spec.column_error_probabilities,
+        method=spec.method,
+        frequency_lookup=frequency_lookup,
+        seed=rng.randrange(2**31),
+    )
+    dataset = Dataset(spec=spec)
+    for index in seeds:
+        tid, values = reference_tuples[index]
+        corrupted, report = model.corrupt(values)
+        dataset.inputs.append(DirtyTuple(corrupted, tid, report))
+    return dataset

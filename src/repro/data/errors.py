@@ -1,0 +1,276 @@
+"""Error injection — the paper's Table 4 taxonomy, Type I and Type II.
+
+Per column ``i`` an error is introduced with probability ``p_i`` (errors
+across columns are independent).  An erroneous column receives one error
+drawn from the conditional distribution of Table 4, which differs between
+the name column and the rest (no missing values in the name column: "input
+tuples with a missing name cannot possibly be matched with their target").
+
+Token selection within a column distinguishes the two injection methods:
+
+- *Type I*: every token of the column is equally likely to be corrupted.
+- *Type II*: a token is corrupted with probability proportional to its
+  frequency in the reference relation — frequent tokens like 'corporation'
+  accumulate more erroneous variants ('corp', 'co.', 'corpn', 'inc.') in
+  real data.  Type II needs a frequency oracle (the token-frequency cache).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.data.pools import ABBREVIATIONS
+
+
+class ErrorType(enum.Enum):
+    """Table 4's six error classes."""
+
+    SPELLING = "spelling"
+    ABBREVIATION = "abbreviation"
+    MISSING = "missing"
+    TRUNCATION = "truncation"
+    TOKEN_MERGE = "token_merge"
+    TOKEN_TRANSPOSITION = "token_transposition"
+
+
+_ERROR_ORDER = (
+    ErrorType.SPELLING,
+    ErrorType.ABBREVIATION,
+    ErrorType.MISSING,
+    ErrorType.TRUNCATION,
+    ErrorType.TOKEN_MERGE,
+    ErrorType.TOKEN_TRANSPOSITION,
+)
+
+# Table 4 conditional probabilities P(e_j | column i has an error).  The
+# name-column row of the printed table sums to 1.05; we keep the printed
+# values and normalize, which preserves all ratios.
+_NAME_COLUMN_PROBABILITIES = (0.5, 0.25, 0.0, 0.1, 0.1, 0.1)
+_OTHER_COLUMN_PROBABILITIES = (0.4, 0.25, 0.1, 0.1, 0.1, 0.05)
+
+
+def _normalize(probabilities: Sequence[float]) -> tuple[float, ...]:
+    total = sum(probabilities)
+    return tuple(p / total for p in probabilities)
+
+
+@dataclass
+class InjectionReport:
+    """What was done to one input tuple: ``(column, error)`` pairs."""
+
+    errors: list[tuple[int, ErrorType]] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.errors
+
+
+FrequencyLookup = Callable[[str, int], int]
+
+
+class ErrorModel:
+    """Seeded error injector over clean attribute-value tuples.
+
+    Parameters
+    ----------
+    column_error_probabilities:
+        ``p_i`` per column.
+    method:
+        ``"type1"`` (uniform token selection) or ``"type2"``
+        (frequency-proportional; requires ``frequency_lookup``).
+    frequency_lookup:
+        ``freq(token, column)`` oracle for Type II — typically
+        ``TokenFrequencyCache.frequency``.
+    name_column:
+        Index of the name column (different conditional error mix, never
+        made missing).
+    seed:
+        Randomness seed; the model is deterministic given the seed and the
+        sequence of ``corrupt`` calls.
+    """
+
+    def __init__(
+        self,
+        column_error_probabilities: Sequence[float],
+        method: str = "type1",
+        frequency_lookup: FrequencyLookup | None = None,
+        name_column: int = 0,
+        seed: int = 7,
+    ):
+        if method not in ("type1", "type2"):
+            raise ValueError(f"unknown injection method {method!r}")
+        if method == "type2" and frequency_lookup is None:
+            raise ValueError("type2 injection requires a frequency_lookup")
+        for p in column_error_probabilities:
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("column error probabilities must be in [0, 1]")
+        self.column_error_probabilities = tuple(column_error_probabilities)
+        self.method = method
+        self.frequency_lookup = frequency_lookup
+        self.name_column = name_column
+        self._rng = random.Random(seed)
+        self._name_probs = _normalize(_NAME_COLUMN_PROBABILITIES)
+        self._other_probs = _normalize(_OTHER_COLUMN_PROBABILITIES)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def corrupt(
+        self, values: Sequence[str | None]
+    ) -> tuple[tuple[str | None, ...], InjectionReport]:
+        """Return a corrupted copy of ``values`` plus the injection report."""
+        if len(values) != len(self.column_error_probabilities):
+            raise ValueError(
+                f"{len(values)} values for "
+                f"{len(self.column_error_probabilities)} column probabilities"
+            )
+        report = InjectionReport()
+        corrupted: list[str | None] = list(values)
+        for column, probability in enumerate(self.column_error_probabilities):
+            if corrupted[column] is None:
+                continue
+            if self._rng.random() >= probability:
+                continue
+            error = self._choose_error(column)
+            corrupted[column] = self._apply(error, corrupted[column], column)
+            report.errors.append((column, error))
+        return tuple(corrupted), report
+
+    # ------------------------------------------------------------------
+    # Error selection and application
+    # ------------------------------------------------------------------
+
+    def _choose_error(self, column: int) -> ErrorType:
+        probs = self._name_probs if column == self.name_column else self._other_probs
+        return self._rng.choices(_ERROR_ORDER, weights=probs)[0]
+
+    def _apply(self, error: ErrorType, value: str, column: int) -> str | None:
+        tokens = value.split()
+        if error is ErrorType.MISSING:
+            return None
+        if error is ErrorType.TRUNCATION:
+            return self._truncate(value)
+        if error is ErrorType.TOKEN_MERGE:
+            if len(tokens) < 2:
+                return self._spell(value, column)
+            return self._merge(tokens)
+        if error is ErrorType.TOKEN_TRANSPOSITION:
+            if len(tokens) < 2:
+                return self._spell(value, column)
+            return self._transpose(tokens)
+        if error is ErrorType.ABBREVIATION:
+            return self._abbreviate(value, tokens, column)
+        return self._spell(value, column)
+
+    def _pick_token_index(self, tokens: list[str], column: int) -> int:
+        """Uniform (Type I) or frequency-proportional (Type II) selection."""
+        if len(tokens) == 1:
+            return 0
+        if self.method == "type1":
+            return self._rng.randrange(len(tokens))
+        frequencies = [
+            max(self.frequency_lookup(token.lower(), column), 1) for token in tokens
+        ]
+        return self._rng.choices(range(len(tokens)), weights=frequencies)[0]
+
+    def _spell(self, value: str, column: int) -> str:
+        """Spelling error: 1–2 character edits inside one token.
+
+        Guaranteed to change the token — a substitution may draw the same
+        character or a swap may exchange equal characters, so edits retry
+        until the token actually differs.
+        """
+        tokens = value.split()
+        if not tokens:
+            return value
+        index = self._pick_token_index(tokens, column)
+        original = tokens[index]
+        token = original
+        for _ in range(self._rng.choice((1, 1, 2))):
+            token = self._char_edit(token)
+        attempts = 0
+        while token == original and attempts < 10:
+            token = self._char_edit(token)
+            attempts += 1
+        tokens[index] = token
+        return " ".join(tokens)
+
+    def _char_edit(self, token: str) -> str:
+        rng = self._rng
+        alphabet = string.digits if token.isdigit() else string.ascii_lowercase
+        operations = ["substitute", "insert"]
+        if len(token) >= 2:
+            operations.extend(("delete", "swap"))
+        operation = rng.choice(operations)
+        position = rng.randrange(len(token)) if token else 0
+        if operation == "substitute" and token:
+            replacement = rng.choice(alphabet)
+            return token[:position] + replacement + token[position + 1 :]
+        if operation == "insert":
+            insert_at = rng.randrange(len(token) + 1)
+            return token[:insert_at] + rng.choice(alphabet) + token[insert_at:]
+        if operation == "delete":
+            return token[:position] + token[position + 1 :]
+        # swap adjacent characters
+        if position == len(token) - 1:
+            position -= 1
+        return (
+            token[:position]
+            + token[position + 1]
+            + token[position]
+            + token[position + 2 :]
+        )
+
+    def _abbreviate(self, value: str, tokens: list[str], column: int) -> str:
+        """Replace a commonly-abbreviated token with one of its short forms.
+
+        Under Type II the choice among abbreviatable tokens is frequency
+        weighted, mirroring reality: the more often 'corporation' occurs,
+        the more of its shortened variants circulate.
+        """
+        candidates = [
+            i for i, token in enumerate(tokens) if token.lower() in ABBREVIATIONS
+        ]
+        if not candidates:
+            # Nothing abbreviatable: degrade to a spelling error (keeps the
+            # per-column error probability honest).
+            return self._spell(value, column)
+        if self.method == "type2" and len(candidates) > 1:
+            frequencies = [
+                max(self.frequency_lookup(tokens[i].lower(), column), 1)
+                for i in candidates
+            ]
+            index = self._rng.choices(candidates, weights=frequencies)[0]
+        else:
+            index = self._rng.choice(candidates)
+        short_forms = ABBREVIATIONS[tokens[index].lower()]
+        tokens[index] = self._rng.choice(short_forms)
+        return " ".join(tokens)
+
+    def _truncate(self, value: str) -> str:
+        """Truncate the value by up to 5 characters (keep at least one)."""
+        removable = min(5, len(value) - 1)
+        if removable < 1:
+            return value
+        drop = self._rng.randint(1, removable)
+        return value[:-drop].rstrip()
+
+    def _merge(self, tokens: list[str]) -> str:
+        """Remove the delimiter between two adjacent tokens."""
+        position = self._rng.randrange(len(tokens) - 1)
+        merged = tokens[position] + tokens[position + 1]
+        return " ".join(tokens[:position] + [merged] + tokens[position + 2 :])
+
+    def _transpose(self, tokens: list[str]) -> str:
+        """Reorder two adjacent tokens."""
+        position = self._rng.randrange(len(tokens) - 1)
+        tokens[position], tokens[position + 1] = (
+            tokens[position + 1],
+            tokens[position],
+        )
+        return " ".join(tokens)

@@ -1,0 +1,208 @@
+"""Token pools for the synthetic Customer relation.
+
+The evaluation only depends on distributional properties of the reference
+data — token frequency variance (which drives IDF weights and OSC), token
+lengths, and multi-token attribute values — so the pools below aim for
+realistic shape, not demographic fidelity.  Sampling order is fixed:
+generators index into these tuples, so the pools must stay append-only for
+seeds to remain reproducible.
+"""
+
+from __future__ import annotations
+
+GIVEN_NAMES: tuple[str, ...] = (
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "christopher",
+    "lisa", "daniel", "nancy", "matthew", "betty", "anthony", "sandra",
+    "mark", "margaret", "donald", "ashley", "steven", "kimberly", "andrew",
+    "emily", "paul", "donna", "joshua", "michelle", "kenneth", "carol",
+    "kevin", "amanda", "brian", "melissa", "george", "deborah", "timothy",
+    "stephanie", "ronald", "rebecca", "jason", "sharon", "edward", "laura",
+    "jeffrey", "cynthia", "ryan", "dorothy", "jacob", "amy", "gary",
+    "kathleen", "nicholas", "angela", "eric", "shirley", "jonathan", "emma",
+    "stephen", "brenda", "larry", "pamela", "justin", "nicole", "scott",
+    "anna", "brandon", "samantha", "benjamin", "katherine", "samuel",
+    "christine", "gregory", "debra", "alexander", "rachel", "patrick",
+    "carolyn", "frank", "janet", "raymond", "maria", "jack", "olivia",
+    "dennis", "heather", "jerry", "helen", "tyler", "catherine", "aaron",
+    "diane", "jose", "julie", "adam", "victoria", "nathan", "joyce",
+    "henry", "lauren", "zachary", "kelly", "douglas", "christina", "peter",
+    "ruth", "kyle", "joan", "noah", "virginia", "ethan", "judith",
+)
+
+SURNAMES: tuple[str, ...] = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+    "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+    "cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+    "kim", "cox", "ward", "richardson", "watson", "brooks", "chavez",
+    "wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes",
+    "price", "alvarez", "castillo", "sanders", "patel", "myers", "long",
+    "ross", "foster", "jimenez", "powell", "jenkins", "perry", "russell",
+    "sullivan", "bell", "coleman", "butler", "henderson", "barnes",
+    "gonzales", "fisher", "vasquez", "simmons", "romero", "jordan",
+    "patterson", "alexander", "hamilton", "graham", "reynolds", "griffin",
+    "wallace", "moreno", "west", "cole", "hayes", "bryant", "herrera",
+    "gibson", "ellis", "tran", "medina", "aguilar", "stevens", "murray",
+    "ford", "castro", "marshall", "owens", "harrison", "fernandez",
+    "mcdonald", "woods", "washington", "kennedy", "wells", "vargas",
+)
+
+MIDDLE_INITIALS: tuple[str, ...] = tuple("abcdefghijklmnoprstw")
+
+BUSINESS_WORDS: tuple[str, ...] = (
+    "united", "pacific", "national", "global", "summit", "cascade",
+    "evergreen", "northwest", "premier", "pioneer", "liberty", "sterling",
+    "apex", "atlas", "horizon", "beacon", "crown", "diamond", "eagle",
+    "falcon", "granite", "harbor", "imperial", "keystone", "lakeside",
+    "meridian", "olympic", "paramount", "quantum", "rainier", "sierra",
+    "titan", "vanguard", "westwood", "zenith", "allied", "central",
+    "consolidated", "continental", "coastal", "frontier", "general",
+    "integrated", "metro", "midland", "precision", "regional", "standard",
+    "superior", "universal",
+)
+
+BUSINESS_SUFFIXES: tuple[str, ...] = (
+    "corporation", "company", "incorporated", "limited", "enterprises",
+    "industries", "associates", "partners", "holdings", "group",
+    "services", "systems", "solutions", "technologies", "consulting",
+    "manufacturing", "distributors", "logistics", "properties", "ventures",
+)
+
+# City/state pairs: realistic multi-token cities included so the city
+# column exercises token merges and transpositions.
+CITIES: tuple[tuple[str, str], ...] = (
+    ("seattle", "wa"), ("portland", "or"), ("san francisco", "ca"),
+    ("los angeles", "ca"), ("san diego", "ca"), ("san jose", "ca"),
+    ("new york", "ny"), ("brooklyn", "ny"), ("buffalo", "ny"),
+    ("chicago", "il"), ("houston", "tx"), ("dallas", "tx"),
+    ("san antonio", "tx"), ("austin", "tx"), ("el paso", "tx"),
+    ("phoenix", "az"), ("tucson", "az"), ("philadelphia", "pa"),
+    ("pittsburgh", "pa"), ("columbus", "oh"), ("cleveland", "oh"),
+    ("cincinnati", "oh"), ("indianapolis", "in"), ("jacksonville", "fl"),
+    ("miami", "fl"), ("tampa", "fl"), ("orlando", "fl"),
+    ("charlotte", "nc"), ("raleigh", "nc"), ("detroit", "mi"),
+    ("grand rapids", "mi"), ("memphis", "tn"), ("nashville", "tn"),
+    ("boston", "ma"), ("worcester", "ma"), ("baltimore", "md"),
+    ("milwaukee", "wi"), ("madison", "wi"), ("albuquerque", "nm"),
+    ("kansas city", "mo"), ("saint louis", "mo"), ("omaha", "ne"),
+    ("denver", "co"), ("colorado springs", "co"), ("minneapolis", "mn"),
+    ("saint paul", "mn"), ("las vegas", "nv"), ("reno", "nv"),
+    ("oklahoma city", "ok"), ("tulsa", "ok"), ("new orleans", "la"),
+    ("baton rouge", "la"), ("louisville", "ky"), ("lexington", "ky"),
+    ("richmond", "va"), ("virginia beach", "va"), ("salt lake city", "ut"),
+    ("provo", "ut"), ("birmingham", "al"), ("montgomery", "al"),
+    ("des moines", "ia"), ("cedar rapids", "ia"), ("little rock", "ar"),
+    ("jackson", "ms"), ("boise", "id"), ("spokane", "wa"),
+    ("tacoma", "wa"), ("bellevue", "wa"), ("everett", "wa"),
+    ("anchorage", "ak"), ("honolulu", "hi"), ("hartford", "ct"),
+    ("providence", "ri"), ("newark", "nj"), ("jersey city", "nj"),
+    ("atlanta", "ga"), ("savannah", "ga"), ("charleston", "sc"),
+    ("columbia", "sc"), ("wichita", "ks"), ("topeka", "ks"),
+    ("fargo", "nd"), ("sioux falls", "sd"), ("billings", "mt"),
+    ("cheyenne", "wy"), ("burlington", "vt"), ("manchester", "nh"),
+    ("portland", "me"), ("wilmington", "de"), ("fresno", "ca"),
+    ("sacramento", "ca"), ("oakland", "ca"), ("long beach", "ca"),
+    ("bakersfield", "ca"), ("fort worth", "tx"), ("arlington", "tx"),
+    ("corpus christi", "tx"), ("mesa", "az"), ("scottsdale", "az"),
+    ("chandler", "az"),
+)
+
+_ONSETS: tuple[str, ...] = (
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j",
+    "k", "kr", "l", "m", "mc", "n", "p", "pr", "r", "s", "sch", "sh", "sl",
+    "st", "t", "th", "tr", "v", "w", "wh", "z",
+)
+_NUCLEI: tuple[str, ...] = ("a", "e", "i", "o", "u", "ai", "ea", "ee", "ie", "oo", "ou")
+_CODAS: tuple[str, ...] = (
+    "", "ck", "ll", "m", "n", "nd", "ng", "ns", "r", "rd", "rn", "rson",
+    "rt", "s", "sen", "son", "ss", "t", "th", "tt", "tz", "witz",
+)
+
+
+def synthesize_tokens(count: int, seed: int, min_syllables: int = 1, max_syllables: int = 2) -> tuple[str, ...]:
+    """Generate ``count`` distinct pronounceable tokens, deterministically.
+
+    The curated pools above top out at a few hundred tokens; a realistic
+    reference relation needs a long tail of rare tokens (the paper's 1.7M
+    Customer relation has ~367 500 distinct tokens) because IDF variance is
+    what both fms and OSC exploit.  Syllable composition gives an unbounded
+    supply of surname-shaped strings without shipping a dictionary.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    seen: set[str] = set()
+    result: list[str] = []
+    while len(result) < count:
+        syllables = rng.randint(min_syllables, max_syllables)
+        parts = []
+        for _ in range(syllables):
+            parts.append(rng.choice(_ONSETS) + rng.choice(_NUCLEI))
+        token = "".join(parts) + rng.choice(_CODAS)
+        if len(token) < 3 or token in seen:
+            continue
+        seen.add(token)
+        result.append(token)
+    return tuple(result)
+
+
+# Extended pools: curated heads (frequent, familiar) + synthesized tails
+# (rare, high-IDF).  Zipf sampling over the concatenation mimics real name
+# distributions: a heavy head and a very long tail.
+EXTENDED_SURNAMES: tuple[str, ...] = SURNAMES + synthesize_tokens(2000, seed=1847)
+EXTENDED_GIVEN_NAMES: tuple[str, ...] = GIVEN_NAMES + synthesize_tokens(
+    400, seed=1848
+)
+EXTENDED_BUSINESS_WORDS: tuple[str, ...] = BUSINESS_WORDS + synthesize_tokens(
+    600, seed=1849, min_syllables=2, max_syllables=3
+)
+
+# Common abbreviations used by error type 2 ("replace commonly abbreviated
+# tokens with abbreviations") and — in reverse — by real-world data entry.
+ABBREVIATIONS: dict[str, tuple[str, ...]] = {
+    "corporation": ("corp", "co", "corpn", "inc"),
+    "company": ("co", "comp", "cmpy"),
+    "incorporated": ("inc", "incorp"),
+    "limited": ("ltd", "lmtd"),
+    "enterprises": ("ent", "entps"),
+    "industries": ("ind", "inds"),
+    "associates": ("assoc", "assocs"),
+    "manufacturing": ("mfg", "manuf"),
+    "distributors": ("dist", "distr"),
+    "technologies": ("tech", "techs"),
+    "services": ("svcs", "svc"),
+    "systems": ("sys",),
+    "solutions": ("soln", "solns"),
+    "consulting": ("cnslt", "consltg"),
+    "holdings": ("hldgs",),
+    "partners": ("ptnrs", "prtnrs"),
+    "international": ("intl", "int"),
+    "national": ("natl", "nat"),
+    "saint": ("st",),
+    "fort": ("ft",),
+    "north": ("n",),
+    "south": ("s",),
+    "east": ("e",),
+    "west": ("w",),
+    "street": ("st",),
+    "avenue": ("ave",),
+    "william": ("wm", "bill"),
+    "robert": ("rob", "bob"),
+    "richard": ("rich", "dick"),
+    "james": ("jim",),
+    "michael": ("mike",),
+    "christopher": ("chris",),
+    "jennifer": ("jen",),
+    "elizabeth": ("liz", "beth"),
+    "katherine": ("kate", "kathy"),
+    "margaret": ("meg", "peggy"),
+}

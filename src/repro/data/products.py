@@ -1,0 +1,127 @@
+"""Synthetic Product reference relation — the paper's other domain.
+
+The introduction's motivating scenario: "An enterprise maintaining a
+relation consisting of all its products may ascertain whether or not a
+sales record from a distributor describes a valid product by matching the
+product attributes (e.g., Part Number and Description) of the sales record
+with the Product relation."
+
+Schema: ``Product[part_number, product_name, category]``.  Part numbers
+are short, structured, near-unique tokens (very high IDF — exactly the
+kind of token the paper argues must not be ignored when erroneous);
+product names are multi-token with shared vocabulary; categories are few
+and low-weight.  The fuzzy match machinery is domain independent, so the
+same ``ErrorModel`` applies (``name_column=1`` — part numbers *can* go
+missing on a sales record, unlike customer names).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+PRODUCT_COLUMNS = ("part_number", "product_name", "category")
+
+_ADJECTIVES = (
+    "heavy", "compact", "industrial", "precision", "standard", "premium",
+    "reinforced", "galvanized", "insulated", "adjustable", "portable",
+    "stainless", "flexible", "digital", "hydraulic", "pneumatic", "magnetic",
+    "thermal", "modular", "sealed",
+)
+_NOUNS = (
+    "bearing", "valve", "gasket", "coupling", "flange", "bracket", "spindle",
+    "manifold", "actuator", "compressor", "regulator", "housing", "rotor",
+    "impeller", "bushing", "fastener", "washer", "spring", "sensor", "relay",
+    "solenoid", "piston", "cylinder", "sprocket", "pulley", "damper",
+    "filter", "nozzle", "clamp", "hinge",
+)
+_VARIANTS = (
+    "assembly", "kit", "unit", "set", "pack", "module", "cartridge",
+    "element", "insert", "adapter",
+)
+_CATEGORIES = (
+    "hydraulics", "pneumatics", "fasteners", "electrical", "bearings",
+    "seals", "power transmission", "filtration", "instrumentation",
+    "hardware",
+)
+_SERIES = ("A", "B", "C", "D", "E", "H", "K", "M", "R", "T", "X", "Z")
+
+
+def _zipf_weights(n: int, exponent: float = 1.05) -> list[float]:
+    return [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+
+
+@dataclass(frozen=True)
+class ProductTuple:
+    """One clean product reference tuple."""
+
+    tid: int
+    part_number: str
+    product_name: str
+    category: str
+
+    @property
+    def values(self) -> tuple[str, str, str]:
+        return (self.part_number, self.product_name, self.category)
+
+
+class ProductGenerator:
+    """Seeded generator of product tuples with near-unique part numbers."""
+
+    def __init__(self, seed: int = 77):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._adjective_weights = _zipf_weights(len(_ADJECTIVES))
+        self._noun_weights = _zipf_weights(len(_NOUNS))
+        self._category_weights = _zipf_weights(len(_CATEGORIES))
+
+    def _part_number(self) -> str:
+        rng = self._rng
+        series = rng.choice(_SERIES) + rng.choice(_SERIES)
+        return f"{series}-{rng.randrange(1000, 9999)}-{rng.choice(_SERIES)}"
+
+    def _name(self) -> str:
+        rng = self._rng
+        parts = [
+            rng.choices(_ADJECTIVES, weights=self._adjective_weights)[0],
+            rng.choices(_NOUNS, weights=self._noun_weights)[0],
+        ]
+        if rng.random() < 0.5:
+            parts.append(rng.choice(_VARIANTS))
+        return " ".join(parts)
+
+    def generate(self, count: int, start_tid: int = 0) -> Iterator[ProductTuple]:
+        """Yield ``count`` product tuples with sequential tids."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for offset in range(count):
+            category = self._rng.choices(
+                _CATEGORIES, weights=self._category_weights
+            )[0]
+            yield ProductTuple(
+                start_tid + offset, self._part_number(), self._name(), category
+            )
+
+
+def generate_products(
+    count: int, seed: int = 77, unique: bool = True
+) -> list[ProductTuple]:
+    """Generate ``count`` products; with ``unique`` (default) no two share
+    all three attribute values."""
+    generator = ProductGenerator(seed=seed)
+    if not unique:
+        return list(generator.generate(count))
+    seen: set[tuple[str, str, str]] = set()
+    result: list[ProductTuple] = []
+    rounds = 0
+    while len(result) < count:
+        rounds += 1
+        if rounds > 200:
+            raise ValueError(f"could not generate {count} unique products")
+        for candidate in generator.generate(count - len(result)):
+            if candidate.values in seen:
+                continue
+            seen.add(candidate.values)
+            result.append(ProductTuple(len(result), *candidate.values))
+    return result

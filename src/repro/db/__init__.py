@@ -1,0 +1,64 @@
+"""Embedded relational storage engine.
+
+This subpackage is the substrate the fuzzy-match system runs on.  The paper
+implements its algorithms "over standard database systems without assuming
+the persistence of complex data structures": the ETI is a plain relation with
+a clustered B+-tree index, built through a sort-based SQL query.  This engine
+provides exactly those primitives in pure Python:
+
+- :mod:`repro.db.page` / :mod:`repro.db.pager`: slotted pages and a buffer
+  pool with LRU eviction and I/O accounting.
+- :mod:`repro.db.heap`: heap files of encoded rows addressed by record ids.
+- :mod:`repro.db.btree`: a B+-tree supporting point and range lookups and
+  sorted bulk-loading (used for the ETI clustered index and the reference
+  relation's Tid index).
+- :mod:`repro.db.exsort`: external merge sort (run generation + k-way merge),
+  the workhorse behind the paper's ETI-query (``ORDER BY QGram, Coordinate,
+  Column, Tid``).
+- :mod:`repro.db.query`: minimal iterator-style relational operators
+  (sequential scan, sort, group-aggregate, index lookup).
+- :mod:`repro.db.relation` / :mod:`repro.db.database`: schema-carrying
+  relations and a tiny catalog, the "data warehouse" of the paper.
+"""
+
+from repro.db.btree import BPlusTree
+from repro.db.database import Database
+from repro.db.errors import (
+    BufferPoolError,
+    DatabaseError,
+    DuplicateKeyError,
+    PageFullError,
+    RecordNotFoundError,
+    RelationError,
+    SchemaError,
+)
+from repro.db.exsort import external_sort
+from repro.db.heap import HeapFile, RecordId
+from repro.db.page import Page, PAGE_SIZE
+from repro.db.pager import BufferPool, InMemoryStorage, FileStorage
+from repro.db.relation import Relation
+from repro.db.types import Column, ColumnType, Schema
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "BufferPoolError",
+    "Column",
+    "ColumnType",
+    "Database",
+    "DatabaseError",
+    "DuplicateKeyError",
+    "external_sort",
+    "FileStorage",
+    "HeapFile",
+    "InMemoryStorage",
+    "Page",
+    "PAGE_SIZE",
+    "PageFullError",
+    "RecordId",
+    "RecordNotFoundError",
+    "Relation",
+    "RelationError",
+    "Schema",
+    "SchemaError",
+]

@@ -1,0 +1,367 @@
+"""A B+-tree index.
+
+Keys are arbitrary comparable Python values (the engine uses tuples of
+column values); values are opaque (record ids).  The tree supports point
+lookups, ordered range scans, sorted bulk-loading (used to build the ETI's
+clustered index after the sort phase), and deletion.
+
+Duplicate keys (``unique=False``) are stored internally as unique composite
+keys ``(key, seqno)`` with a monotonically increasing sequence number.  This
+keeps every node's separator invariant exact — left subtree strictly below
+the separator, right subtree at or above — so duplicate runs can never
+straddle a separator ambiguously.
+
+Deletes are *lazy*: the entry is removed from its leaf but underfull leaves
+are not rebalanced.  This matches the usage pattern of the paper — the ETI
+is rebuilt, not incrementally shrunk — and mirrors how several production
+engines defer index compaction.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator
+
+from repro.db.errors import DuplicateKeyError, RecordNotFoundError
+
+DEFAULT_ORDER = 64
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.next: _Leaf | None = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        # children[i] holds keys < keys[i]; children[i+1] holds keys >= keys[i].
+        self.keys: list[Any] = []
+        self.children: list[Any] = []
+
+
+class BPlusTree:
+    """B+-tree mapping comparable keys to values.
+
+    With ``unique=True`` (the default) inserting an existing key raises
+    :class:`DuplicateKeyError`; with ``unique=False`` duplicate keys are kept
+    in insertion order and all surface in lookups and scans.
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER, unique: bool = True):
+        if order < 4:
+            raise ValueError("B+-tree order must be at least 4")
+        self.order = order
+        self.unique = unique
+        self._root: _Leaf | _Internal = _Leaf()
+        self._size = 0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a lone leaf has height 1)."""
+        height = 1
+        node = self._root
+        while isinstance(node, _Internal):
+            height += 1
+            node = node.children[0]
+        return height
+
+    # ------------------------------------------------------------------
+    # Key wrapping: non-unique trees store (key, seqno) composites.
+    # ------------------------------------------------------------------
+
+    def _wrap_new(self, key: Any) -> Any:
+        if self.unique:
+            return key
+        self._seq += 1
+        return (key, self._seq)
+
+    def _unwrap(self, internal_key: Any) -> Any:
+        return internal_key if self.unique else internal_key[0]
+
+    def _low_probe(self, key: Any) -> Any:
+        """An internal key that sorts before every entry stored for ``key``."""
+        # (key,) < (key, seqno) for any seqno, by tuple prefix ordering.
+        return key if self.unique else (key,)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert one ``key -> value`` entry."""
+        if self.unique and self.search(key):
+            raise DuplicateKeyError(f"duplicate key {key!r}")
+        internal_key = self._wrap_new(key)
+        split = self._insert(self._root, internal_key, value)
+        if split is not None:
+            sep_key, right = split
+            new_root = _Internal()
+            new_root.keys = [sep_key]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def delete(self, key: Any, value: Any | None = None) -> int:
+        """Remove entries with ``key``.
+
+        With ``value`` given, remove only matching ``(key, value)`` pairs.
+        Returns the number of removed entries; raises
+        :class:`RecordNotFoundError` if nothing matched.
+        """
+        probe = self._low_probe(key)
+        leaf = self._find_leaf(probe)
+        removed = 0
+        while leaf is not None:
+            index = bisect_left(leaf.keys, probe)
+            if index == len(leaf.keys):
+                leaf = leaf.next
+                continue
+            if self._unwrap(leaf.keys[index]) != key:
+                break
+            while index < len(leaf.keys) and self._unwrap(leaf.keys[index]) == key:
+                if value is None or leaf.values[index] == value:
+                    del leaf.keys[index]
+                    del leaf.values[index]
+                    removed += 1
+                else:
+                    index += 1
+            if index < len(leaf.keys):
+                # A larger key (or a skipped entry) follows: run is over.
+                if self._unwrap(leaf.keys[index]) != key or value is None:
+                    break
+            leaf = leaf.next
+        if not removed:
+            raise RecordNotFoundError(f"key {key!r} not in index")
+        self._size -= removed
+        return removed
+
+    def _insert(self, node, internal_key, value):
+        """Recursive insert; returns ``(separator, new_right)`` on split."""
+        if isinstance(node, _Leaf):
+            index = bisect_left(node.keys, internal_key)
+            node.keys.insert(index, internal_key)
+            node.values.insert(index, value)
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        index = bisect_right(node.keys, internal_key)
+        split = self._insert(node.children[index], internal_key, value)
+        if split is not None:
+            sep_key, right = split
+            node.keys.insert(index, sep_key)
+            node.children.insert(index + 1, right)
+            if len(node.children) > self.order:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def search(self, key: Any) -> list[Any]:
+        """Return all values stored under ``key`` (empty list if absent)."""
+        probe = self._low_probe(key)
+        results: list[Any] = []
+        leaf = self._find_leaf(probe)
+        while leaf is not None:
+            index = bisect_left(leaf.keys, probe)
+            if index == len(leaf.keys):
+                leaf = leaf.next
+                continue
+            if self._unwrap(leaf.keys[index]) != key:
+                break
+            while index < len(leaf.keys) and self._unwrap(leaf.keys[index]) == key:
+                results.append(leaf.values[index])
+                index += 1
+            if index < len(leaf.keys):
+                break
+            leaf = leaf.next
+        return results
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the first value under ``key`` or ``default``."""
+        values = self.search(key)
+        return values[0] if values else default
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.search(key))
+
+    def range(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        include_lo: bool = True,
+        include_hi: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with ``lo <= key < hi`` (by default).
+
+        ``None`` bounds are open-ended.
+        """
+        if lo is None:
+            leaf = self._leftmost_leaf()
+            index = 0
+        else:
+            probe = self._low_probe(lo)
+            leaf = self._find_leaf(probe)
+            index = bisect_left(leaf.keys, probe)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = self._unwrap(leaf.keys[index])
+                if lo is not None and not include_lo and key == lo:
+                    index += 1
+                    continue
+                if hi is not None:
+                    if include_hi:
+                        if key > hi:
+                            return
+                    elif key >= hi:
+                        return
+                yield key, leaf.values[index]
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Yield every ``(key, value)`` pair in key order."""
+        return self.range()
+
+    def keys(self) -> Iterator[Any]:
+        """Yield every key in order (duplicates repeated)."""
+        for key, _ in self.items():
+            yield key
+
+    # ------------------------------------------------------------------
+    # Bulk load
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        items: list[tuple[Any, Any]],
+        order: int = DEFAULT_ORDER,
+        unique: bool = True,
+    ) -> "BPlusTree":
+        """Build a tree from ``items`` sorted by key.
+
+        This is the fast path used after the ETI sort phase: leaves are
+        packed left to right and internal levels are built bottom-up, so the
+        build is linear in the number of entries.
+        """
+        tree = cls(order=order, unique=unique)
+        if not items:
+            return tree
+        for (a, _), (b, _) in zip(items, items[1:]):
+            if a > b:
+                raise ValueError("bulk_load requires key-sorted items")
+            if unique and a == b:
+                raise DuplicateKeyError(f"duplicate key {a!r} in bulk load")
+        if unique:
+            internal_items = list(items)
+        else:
+            internal_items = []
+            for key, value in items:
+                tree._seq += 1
+                internal_items.append(((key, tree._seq), value))
+        fill = max(2, (order * 3) // 4)
+        leaves: list[_Leaf] = []
+        for start in range(0, len(internal_items), fill):
+            leaf = _Leaf()
+            chunk = internal_items[start : start + fill]
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        tree._size = len(items)
+        level: list[Any] = leaves
+        first_keys = [leaf.keys[0] for leaf in leaves]
+        while len(level) > 1:
+            parents: list[_Internal] = []
+            parent_first_keys: list[Any] = []
+            for start in range(0, len(level), fill):
+                children = level[start : start + fill]
+                node = _Internal()
+                node.children = children
+                node.keys = first_keys[start + 1 : start + len(children)]
+                parents.append(node)
+                parent_first_keys.append(first_keys[start])
+            level = parents
+            first_keys = parent_first_keys
+        tree._root = level[0]
+        return tree
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, probe: Any) -> _Leaf:
+        """Descend to the leftmost leaf that may contain keys >= ``probe``."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect_right(node.keys, probe)]
+        return node
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raise AssertionError on violation.
+
+        Used by property-based tests: keys sorted within nodes, leaf chain
+        sorted globally, entry count consistent.
+        """
+        seen = 0
+        prev_key = None
+        for key, _ in self.items():
+            if prev_key is not None:
+                assert not key < prev_key, "leaf chain out of order"
+                if self.unique:
+                    assert key != prev_key, "duplicate key in unique tree"
+            prev_key = key
+            seen += 1
+        assert seen == self._size, f"size mismatch: scanned {seen}, size {self._size}"
+        self._check_node(self._root)
+
+    def _check_node(self, node) -> None:
+        if isinstance(node, _Leaf):
+            assert node.keys == sorted(node.keys), "unsorted leaf keys"
+            assert len(node.keys) == len(node.values), "leaf key/value mismatch"
+            return
+        assert node.keys == sorted(node.keys), "unsorted internal keys"
+        assert len(node.children) == len(node.keys) + 1, "fanout mismatch"
+        for child in node.children:
+            self._check_node(child)

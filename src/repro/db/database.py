@@ -1,0 +1,71 @@
+"""The database facade: a catalog of relations over one buffer pool.
+
+Plays the role of the operational data warehouse in the paper: the reference
+relation, the pre-ETI, and the ETI all live here as standard relations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.db.errors import RelationError
+from repro.db.pager import BufferPool, FileStorage, InMemoryStorage
+from repro.db.relation import Relation
+from repro.db.types import Column, Schema
+
+
+class Database:
+    """A named collection of relations sharing a buffer pool."""
+
+    def __init__(self, pool: BufferPool | None = None, pool_capacity: int = 4096):
+        self.pool = pool if pool is not None else BufferPool(capacity=pool_capacity)
+        self._relations: dict[str, Relation] = {}
+
+    @classmethod
+    def on_disk(cls, path: str, pool_capacity: int = 4096) -> "Database":
+        """Open a database whose pages live in a file at ``path``."""
+        return cls(BufferPool(FileStorage(path), capacity=pool_capacity))
+
+    @classmethod
+    def in_memory(cls, pool_capacity: int = 4096) -> "Database":
+        """Open a database whose pages live in RAM."""
+        return cls(BufferPool(InMemoryStorage(), capacity=pool_capacity))
+
+    def create_relation(self, name: str, columns: Iterable[Column]) -> Relation:
+        """Create a relation; raises if the name is taken."""
+        if name in self._relations:
+            raise RelationError(f"relation {name!r} already exists")
+        relation = Relation(name, Schema(columns), self.pool)
+        self._relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name; raises RelationError if absent."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise RelationError(f"no relation named {name!r}") from None
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation from the catalog (pages are not reclaimed)."""
+        if name not in self._relations:
+            raise RelationError(f"no relation named {name!r}")
+        del self._relations[name]
+
+    def relation_names(self) -> tuple[str, ...]:
+        """Names of all catalogued relations, in creation order."""
+        return tuple(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def close(self) -> None:
+        """Flush and release the buffer pool; drop the catalog."""
+        self.pool.close()
+        self._relations.clear()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the embedded storage engine."""
+
+
+class DatabaseError(Exception):
+    """Base class for all storage-engine errors."""
+
+
+class SchemaError(DatabaseError):
+    """A row or value does not conform to a relation's schema."""
+
+
+class PageFullError(DatabaseError):
+    """A record does not fit into the target page."""
+
+
+class RecordNotFoundError(DatabaseError):
+    """A record id or key does not resolve to a stored record."""
+
+
+class DuplicateKeyError(DatabaseError):
+    """A unique index rejected an insert with an existing key."""
+
+
+class RelationError(DatabaseError):
+    """Catalog-level problem: unknown or duplicate relation, bad index."""
+
+
+class BufferPoolError(DatabaseError):
+    """The buffer pool could not satisfy a pin request."""

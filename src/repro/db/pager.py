@@ -1,0 +1,184 @@
+"""Storage backends and the buffer pool.
+
+The buffer pool caches :class:`~repro.db.page.Page` objects over a storage
+backend and evicts with LRU, flushing dirty pages on the way out.  It keeps
+I/O counters so benchmarks can report logical vs. physical page accesses —
+the currency the paper uses when arguing the ETI makes few lookups.
+
+Callers must re-fetch pages through :meth:`BufferPool.get_page` for every
+operation instead of holding ``Page`` references across calls; a page object
+becomes stale once evicted.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.db.errors import BufferPoolError
+from repro.db.page import Page, PAGE_SIZE
+
+
+class InMemoryStorage:
+    """Page storage backed by a list of byte buffers."""
+
+    def __init__(self):
+        self._pages: list[bytes] = []
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def allocate(self) -> int:
+        """Add a zeroed page and return its page number."""
+        self._pages.append(bytes(PAGE_SIZE))
+        return len(self._pages) - 1
+
+    def read(self, page_no: int) -> bytes:
+        """Return the raw bytes of page ``page_no``."""
+        return self._pages[page_no]
+
+    def write(self, page_no: int, data: bytes) -> None:
+        """Overwrite page ``page_no`` with ``data``."""
+        if len(data) != PAGE_SIZE:
+            raise BufferPoolError("page write with wrong size")
+        self._pages[page_no] = bytes(data)
+
+    def close(self) -> None:
+        """Release all pages."""
+        self._pages.clear()
+
+
+class FileStorage:
+    """Page storage backed by a single file on disk."""
+
+    def __init__(self, path: str):
+        self.path = path
+        flags = os.O_RDWR | os.O_CREAT
+        self._fd = os.open(path, flags, 0o644)
+        size = os.fstat(self._fd).st_size
+        if size % PAGE_SIZE:
+            raise BufferPoolError(f"{path} is not page aligned ({size} bytes)")
+        self._num_pages = size // PAGE_SIZE
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def allocate(self) -> int:
+        """Extend the file by one zeroed page; return its page number."""
+        page_no = self._num_pages
+        os.pwrite(self._fd, bytes(PAGE_SIZE), page_no * PAGE_SIZE)
+        self._num_pages += 1
+        return page_no
+
+    def read(self, page_no: int) -> bytes:
+        """Read one page from the file."""
+        data = os.pread(self._fd, PAGE_SIZE, page_no * PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise BufferPoolError(f"short read on page {page_no}")
+        return data
+
+    def write(self, page_no: int, data: bytes) -> None:
+        """Write one page to the file."""
+        if len(data) != PAGE_SIZE:
+            raise BufferPoolError("page write with wrong size")
+        os.pwrite(self._fd, data, page_no * PAGE_SIZE)
+
+    def close(self) -> None:
+        """Close the backing file descriptor."""
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+
+@dataclass
+class PoolStats:
+    """Buffer pool access counters."""
+
+    hits: int = 0
+    misses: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+    evictions: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.evictions = 0
+
+    @property
+    def logical_accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.logical_accesses
+        return self.hits / total if total else 0.0
+
+
+class BufferPool:
+    """LRU page cache over a storage backend."""
+
+    def __init__(self, storage=None, capacity: int = 1024):
+        if capacity < 1:
+            raise BufferPoolError("buffer pool needs capacity >= 1")
+        self.storage = storage if storage is not None else InMemoryStorage()
+        self.capacity = capacity
+        self.stats = PoolStats()
+        self._cache: OrderedDict[int, Page] = OrderedDict()
+
+    @property
+    def num_pages(self) -> int:
+        return self.storage.num_pages
+
+    def allocate_page(self) -> int:
+        """Allocate a fresh page in storage, cache it, return its number."""
+        page_no = self.storage.allocate()
+        page = Page()
+        page.dirty = True
+        self._install(page_no, page)
+        return page_no
+
+    def get_page(self, page_no: int) -> Page:
+        """Return the page, reading it from storage on a miss."""
+        page = self._cache.get(page_no)
+        if page is not None:
+            self.stats.hits += 1
+            self._cache.move_to_end(page_no)
+            return page
+        self.stats.misses += 1
+        if not 0 <= page_no < self.storage.num_pages:
+            raise BufferPoolError(f"page {page_no} does not exist")
+        self.stats.physical_reads += 1
+        page = Page(self.storage.read(page_no))
+        self._install(page_no, page)
+        return page
+
+    def flush(self) -> None:
+        """Write all dirty cached pages back to storage."""
+        for page_no, page in self._cache.items():
+            if page.dirty:
+                self.storage.write(page_no, bytes(page.data))
+                page.dirty = False
+                self.stats.physical_writes += 1
+
+    def close(self) -> None:
+        """Flush dirty pages and release the cache and storage."""
+        self.flush()
+        self._cache.clear()
+        self.storage.close()
+
+    def _install(self, page_no: int, page: Page) -> None:
+        while len(self._cache) >= self.capacity:
+            evict_no, evicted = self._cache.popitem(last=False)
+            self.stats.evictions += 1
+            if evicted.dirty:
+                self.storage.write(evict_no, bytes(evicted.data))
+                self.stats.physical_writes += 1
+        self._cache[page_no] = page
+        self._cache.move_to_end(page_no)

@@ -1,0 +1,219 @@
+"""Iterator-style relational operators.
+
+Just enough of a query engine to express the paper's ETI-query —
+``SELECT ... FROM pre_eti ORDER BY QGram, Coordinate, Column, Tid`` followed
+by grouping — plus the scans and lookups the match algorithms issue.
+
+Operators compose as plain Python iterators, mirroring the Volcano model:
+
+    >>> plan = GroupAggregate(
+    ...     Sort(SeqScan(pre_eti), key_columns=("qgram", "coord", "column", "tid")),
+    ...     group_columns=("qgram", "coord", "column"),
+    ... )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.db.exsort import SortStats, external_sort
+from repro.db.relation import Relation
+from repro.db.types import Row
+
+
+class Operator:
+    """Base class; subclasses implement ``__iter__`` and ``columns``."""
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+
+class SeqScan(Operator):
+    """Full scan of a relation in heap order."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.relation.schema.names
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.relation.scan()
+
+
+class IndexScan(Operator):
+    """Key-ordered scan of an index range ``[lo, hi)``.
+
+    The ETI's clustered index makes this the access path for prefix
+    queries like "all coordinates of one q-gram".
+    """
+
+    def __init__(self, relation: Relation, index_name: str, lo=None, hi=None):
+        self.relation = relation
+        self.index_name = index_name
+        self.lo = lo
+        self.hi = hi
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.relation.schema.names
+
+    def __iter__(self) -> Iterator[Row]:
+        for _, row in self.relation.index_range(self.index_name, self.lo, self.hi):
+            yield row
+
+
+class Filter(Operator):
+    """Rows of ``child`` satisfying ``predicate``."""
+
+    def __init__(self, child: Operator, predicate: Callable[[Row], bool]):
+        self.child = child
+        self.predicate = predicate
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns
+
+    def __iter__(self) -> Iterator[Row]:
+        return (row for row in self.child if self.predicate(row))
+
+
+class Project(Operator):
+    """Column projection (by name)."""
+
+    def __init__(self, child: Operator, output_columns: Sequence[str]):
+        self.child = child
+        self._output = tuple(output_columns)
+        child_cols = child.columns
+        self._positions = tuple(child_cols.index(c) for c in self._output)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._output
+
+    def __iter__(self) -> Iterator[Row]:
+        positions = self._positions
+        for row in self.child:
+            yield tuple(row[p] for p in positions)
+
+
+class Sort(Operator):
+    """External sort of ``child`` on ``key_columns`` (ascending)."""
+
+    def __init__(
+        self,
+        child: Operator,
+        key_columns: Sequence[str],
+        memory_limit: int = 100_000,
+        stats: SortStats | None = None,
+    ):
+        self.child = child
+        self.key_columns = tuple(key_columns)
+        self.memory_limit = memory_limit
+        self.stats = stats if stats is not None else SortStats()
+        child_cols = child.columns
+        self._positions = tuple(child_cols.index(c) for c in self.key_columns)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns
+
+    def __iter__(self) -> Iterator[Row]:
+        positions = self._positions
+        return external_sort(
+            iter(self.child),
+            key=lambda row: tuple(row[p] for p in positions),
+            memory_limit=self.memory_limit,
+            stats=self.stats,
+        )
+
+
+class GroupAggregate(Operator):
+    """Group *sorted* input on ``group_columns``.
+
+    Emits one row per group: the group key values followed by the result of
+    each aggregate.  An aggregate is ``(name, fn)`` where ``fn`` receives the
+    list of rows in the group.  Input must already be sorted on the group
+    columns (as the ETI-query guarantees); an out-of-order group raises.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_columns: Sequence[str],
+        aggregates: Sequence[tuple[str, Callable[[list[Row]], Any]]],
+    ):
+        self.child = child
+        self.group_columns = tuple(group_columns)
+        self.aggregates = tuple(aggregates)
+        child_cols = child.columns
+        self._positions = tuple(child_cols.index(c) for c in self.group_columns)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.group_columns + tuple(name for name, _ in self.aggregates)
+
+    def __iter__(self) -> Iterator[Row]:
+        positions = self._positions
+        current_key: Any = None
+        group: list[Row] = []
+        last_emitted: Any = None
+        for row in self.child:
+            key = tuple(row[p] for p in positions)
+            if group and key != current_key:
+                if last_emitted is not None and current_key < last_emitted:
+                    raise ValueError("GroupAggregate input is not sorted")
+                yield self._emit(current_key, group)
+                last_emitted = current_key
+                group = []
+            if last_emitted is not None and key < last_emitted:
+                raise ValueError("GroupAggregate input is not sorted")
+            current_key = key
+            group.append(row)
+        if group:
+            yield self._emit(current_key, group)
+
+    def _emit(self, key: tuple, group: list[Row]) -> Row:
+        return key + tuple(fn(group) for _, fn in self.aggregates)
+
+
+class Limit(Operator):
+    """First ``n`` rows of ``child``."""
+
+    def __init__(self, child: Operator, n: int):
+        if n < 0:
+            raise ValueError("limit must be non-negative")
+        self.child = child
+        self.n = n
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns
+
+    def __iter__(self) -> Iterator[Row]:
+        count = 0
+        for row in self.child:
+            if count >= self.n:
+                return
+            yield row
+            count += 1
+
+
+class MemorySource(Operator):
+    """Adapter exposing an in-memory row list as an operator (for tests)."""
+
+    def __init__(self, column_names: Sequence[str], rows: Iterable[Row]):
+        self._columns = tuple(column_names)
+        self._rows = list(rows)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)

@@ -1,0 +1,196 @@
+"""Relations: schema + heap storage + secondary indexes.
+
+A :class:`Relation` stores encoded rows in a heap file and maintains any
+number of named B+-tree indexes over column subsets.  This is the shape the
+paper requires: the reference relation indexed on ``Tid`` and the ETI
+relation with its clustered index on ``[QGram, Coordinate, Column]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.db.btree import BPlusTree
+from repro.db.errors import DuplicateKeyError, RecordNotFoundError, RelationError
+from repro.db.heap import HeapFile, RecordId
+from repro.db.pager import BufferPool
+from repro.db.types import Row, Schema
+
+
+class _IndexSpec:
+    __slots__ = ("name", "positions", "tree", "unique")
+
+    def __init__(self, name: str, positions: tuple[int, ...], unique: bool):
+        self.name = name
+        self.positions = positions
+        self.unique = unique
+        self.tree = BPlusTree(unique=unique)
+
+    def key_of(self, row: Row) -> Any:
+        if len(self.positions) == 1:
+            return row[self.positions[0]]
+        return tuple(row[p] for p in self.positions)
+
+
+class Relation:
+    """A named, schema-checked collection of rows with optional indexes."""
+
+    def __init__(self, name: str, schema: Schema, pool: BufferPool):
+        self.name = name
+        self.schema = schema
+        self.heap = HeapFile(pool)
+        self._indexes: dict[str, _IndexSpec] = {}
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    @property
+    def num_pages(self) -> int:
+        return self.heap.num_pages
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+
+    def create_index(
+        self, index_name: str, columns: Sequence[str], unique: bool = False
+    ) -> None:
+        """Create a B+-tree index on ``columns``, indexing existing rows."""
+        if index_name in self._indexes:
+            raise RelationError(f"index {index_name!r} already exists on {self.name}")
+        positions = tuple(self.schema.position(c) for c in columns)
+        spec = _IndexSpec(index_name, positions, unique)
+        self._indexes[index_name] = spec
+        for rid, row in self._scan_decoded():
+            spec.tree.insert(spec.key_of(row), rid)
+
+    def index_names(self) -> tuple[str, ...]:
+        """Names of the relation's indexes."""
+        return tuple(self._indexes)
+
+    def _index(self, index_name: str) -> _IndexSpec:
+        try:
+            return self._indexes[index_name]
+        except KeyError:
+            raise RelationError(
+                f"no index {index_name!r} on relation {self.name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Row operations
+    # ------------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> RecordId:
+        """Validate, store, and index ``row``; return its record id.
+
+        Unique constraints are checked before anything is written, so a
+        rejected insert leaves no orphan heap row behind.
+        """
+        validated = self.schema.validate(row)
+        for spec in self._indexes.values():
+            if spec.unique and spec.key_of(validated) in spec.tree:
+                raise DuplicateKeyError(
+                    f"duplicate key {spec.key_of(validated)!r} for index "
+                    f"{spec.name!r} on {self.name!r}"
+                )
+        rid = self.heap.insert(self.schema.encode(validated))
+        for spec in self._indexes.values():
+            spec.tree.insert(spec.key_of(validated), rid)
+        return rid
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk insert; returns the number of rows stored."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def fetch(self, rid: RecordId) -> Row:
+        """Fetch the row stored at ``rid``."""
+        return self.schema.decode(self.heap.read(rid))
+
+    def delete(self, rid: RecordId) -> None:
+        """Delete the row at ``rid`` from the heap and all indexes."""
+        row = self.fetch(rid)
+        self.heap.delete(rid)
+        for spec in self._indexes.values():
+            spec.tree.delete(spec.key_of(row), rid)
+
+    def update(self, rid: RecordId, row: Sequence[Any]) -> RecordId:
+        """Replace the row at ``rid``; returns the row's new record id.
+
+        Implemented as delete + insert (the new version may not fit in the
+        old slot), with all indexes kept consistent.  Callers holding the
+        old rid must switch to the returned one.
+        """
+        validated = self.schema.validate(row)
+        old_row = self.fetch(rid)
+        for spec in self._indexes.values():
+            new_key = spec.key_of(validated)
+            if spec.unique and new_key != spec.key_of(old_row) and new_key in spec.tree:
+                raise DuplicateKeyError(
+                    f"duplicate key {new_key!r} for index {spec.name!r} "
+                    f"on {self.name!r}"
+                )
+        self.heap.delete(rid)
+        new_rid = self.heap.insert(self.schema.encode(validated))
+        for spec in self._indexes.values():
+            spec.tree.delete(spec.key_of(old_row), rid)
+            spec.tree.insert(spec.key_of(validated), new_rid)
+        return new_rid
+
+    def find_rid(self, index_name: str, key: Any) -> RecordId:
+        """Record id of the single row whose index key equals ``key``."""
+        spec = self._index(index_name)
+        rid = spec.tree.get(key)
+        if rid is None:
+            raise RecordNotFoundError(
+                f"key {key!r} not found in index {index_name!r} of {self.name!r}"
+            )
+        return rid
+
+    def scan(self) -> Iterator[Row]:
+        """Yield every row in heap order."""
+        for _, row in self._scan_decoded():
+            yield row
+
+    def scan_with_rids(self) -> Iterator[tuple[RecordId, Row]]:
+        """Yield ``(rid, row)`` pairs in heap order."""
+        return self._scan_decoded()
+
+    def _scan_decoded(self) -> Iterator[tuple[RecordId, Row]]:
+        for rid, record in self.heap.scan():
+            yield rid, self.schema.decode(record)
+
+    # ------------------------------------------------------------------
+    # Index access paths
+    # ------------------------------------------------------------------
+
+    def index_lookup(self, index_name: str, key: Any) -> list[Row]:
+        """Exact-match lookup: all rows whose index key equals ``key``."""
+        spec = self._index(index_name)
+        return [self.fetch(rid) for rid in spec.tree.search(key)]
+
+    def index_get(self, index_name: str, key: Any) -> Row:
+        """Exact-match lookup expecting one row; raises if absent."""
+        spec = self._index(index_name)
+        rid = spec.tree.get(key)
+        if rid is None:
+            raise RecordNotFoundError(
+                f"key {key!r} not found in index {index_name!r} of {self.name!r}"
+            )
+        return self.fetch(rid)
+
+    def index_range(
+        self, index_name: str, lo: Any = None, hi: Any = None
+    ) -> Iterator[tuple[Any, Row]]:
+        """Yield ``(key, row)`` for keys in ``[lo, hi)`` in key order."""
+        spec = self._index(index_name)
+        for key, rid in spec.tree.range(lo, hi):
+            yield key, self.fetch(rid)
+
+    def index_stats(self, index_name: str) -> dict[str, int]:
+        """Entry count and height of one index."""
+        spec = self._index(index_name)
+        return {"entries": len(spec.tree), "height": spec.tree.height}

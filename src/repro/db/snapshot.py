@@ -1,0 +1,105 @@
+"""Saving and reopening a database across processes.
+
+§6.2.2.1: "Because we persist the ETI as a standard indexed relation, we
+can use it for subsequent batches of input tuples if the reference table
+does not change."  Page data already lives in the
+:class:`~repro.db.pager.FileStorage` file; this module persists the missing
+piece — the catalog metadata (schemas, heap page lists, index definitions)
+— so a built reference relation + ETI can be reopened without rebuilding.
+
+Indexes are re-created from heap scans on load.  That is a deliberate
+trade: B+-tree node serialization would roughly double the engine for a
+one-time linear cost at open (the ETI's clustered index bulk-rebuilds from
+already-sorted heap order).
+
+The metadata file is JSON, next to the page file by default.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.db.database import Database
+from repro.db.errors import DatabaseError
+from repro.db.pager import BufferPool, FileStorage
+from repro.db.types import Column, ColumnType
+
+_FORMAT_VERSION = 1
+
+
+def _meta_path(page_path: str) -> str:
+    return page_path + ".meta.json"
+
+
+def save_database(db: Database, page_path: str | None = None) -> str:
+    """Flush pages and write catalog metadata; returns the metadata path.
+
+    ``page_path`` defaults to the path of the database's file storage; an
+    in-memory database cannot be snapshotted (there is no page file to
+    reopen).
+    """
+    storage = db.pool.storage
+    if page_path is None:
+        if not isinstance(storage, FileStorage):
+            raise DatabaseError(
+                "cannot snapshot an in-memory database; open it with "
+                "Database.on_disk() first"
+            )
+        page_path = storage.path
+    db.pool.flush()
+    meta = {
+        "version": _FORMAT_VERSION,
+        "relations": [
+            {
+                "name": relation.name,
+                "columns": [
+                    [c.name, c.type.value, c.nullable]
+                    for c in relation.schema.columns
+                ],
+                "page_numbers": list(relation.heap._page_numbers),
+                "record_count": len(relation),
+                "indexes": [
+                    {
+                        "name": spec.name,
+                        "columns": [
+                            relation.schema.columns[p].name for p in spec.positions
+                        ],
+                        "unique": spec.unique,
+                    }
+                    for spec in relation._indexes.values()
+                ],
+            }
+            for relation in (db.relation(name) for name in db.relation_names())
+        ],
+    }
+    path = _meta_path(page_path)
+    with open(path, "w") as handle:
+        json.dump(meta, handle)
+    return path
+
+
+def load_database(page_path: str, pool_capacity: int = 4096) -> Database:
+    """Reopen a snapshotted database from its page file + metadata."""
+    meta_file = _meta_path(page_path)
+    if not os.path.exists(meta_file):
+        raise DatabaseError(f"no snapshot metadata at {meta_file}")
+    with open(meta_file) as handle:
+        meta = json.load(handle)
+    if meta.get("version") != _FORMAT_VERSION:
+        raise DatabaseError(f"unsupported snapshot version {meta.get('version')!r}")
+
+    db = Database(BufferPool(FileStorage(page_path), capacity=pool_capacity))
+    for relation_meta in meta["relations"]:
+        columns = [
+            Column(name, ColumnType(type_value), nullable)
+            for name, type_value, nullable in relation_meta["columns"]
+        ]
+        relation = db.create_relation(relation_meta["name"], columns)
+        relation.heap._page_numbers = list(relation_meta["page_numbers"])
+        relation.heap._record_count = relation_meta["record_count"]
+        for index_meta in relation_meta["indexes"]:
+            relation.create_index(
+                index_meta["name"], index_meta["columns"], unique=index_meta["unique"]
+            )
+    return db

@@ -1,0 +1,215 @@
+"""Schemas, column types, and the binary row codec.
+
+Rows are plain Python tuples in memory.  When a row is stored in a heap page
+it is encoded to bytes with a compact, self-describing format so that pages
+hold real serialized records (and page-level space accounting is honest).
+
+Supported column types:
+
+- ``STR``: UTF-8 string with a varint length prefix.  ``None`` is encoded as
+  a distinct marker so nullable text columns round-trip exactly.
+- ``INT``: signed 64-bit integer (zig-zag varint).
+- ``INT_LIST``: a list of non-negative integers — used for the ETI's
+  ``Tid-list`` column.  ``None`` (the paper's stop-q-gram marker) is encoded
+  distinctly from the empty list.
+- ``FLOAT``: IEEE-754 double.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.db.errors import SchemaError
+
+Row = tuple
+
+_NULL_MARKER = 0xFFFFFFFF
+
+
+class ColumnType(enum.Enum):
+    """Storage type of a relation column."""
+
+    STR = "str"
+    INT = "int"
+    INT_LIST = "int_list"
+    FLOAT = "float"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    ``nullable`` columns accept ``None``; the ETI's Tid-list column is
+    nullable because stop q-grams store NULL tid-lists (Section 4.2).
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of columns; validates and encodes rows."""
+
+    columns: tuple[Column, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __init__(self, columns: Iterable[Column]):
+        object.__setattr__(self, "columns", tuple(columns))
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        object.__setattr__(
+            self, "_index", {c.name: i for i, c in enumerate(self.columns)}
+        )
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of column ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def validate(self, row: Sequence[Any]) -> Row:
+        """Check ``row`` against the schema and return it as a tuple."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self.columns)} columns"
+            )
+        for value, column in zip(row, self.columns):
+            if value is None:
+                if not column.nullable:
+                    raise SchemaError(f"column {column.name!r} is not nullable")
+                continue
+            if column.type is ColumnType.STR and not isinstance(value, str):
+                raise SchemaError(f"column {column.name!r} expects str, got {value!r}")
+            if column.type is ColumnType.INT and not isinstance(value, int):
+                raise SchemaError(f"column {column.name!r} expects int, got {value!r}")
+            if column.type is ColumnType.FLOAT and not isinstance(value, (int, float)):
+                raise SchemaError(
+                    f"column {column.name!r} expects float, got {value!r}"
+                )
+            if column.type is ColumnType.INT_LIST:
+                if not isinstance(value, (list, tuple)) or not all(
+                    isinstance(v, int) and v >= 0 for v in value
+                ):
+                    raise SchemaError(
+                        f"column {column.name!r} expects a list of non-negative "
+                        f"ints, got {value!r}"
+                    )
+        return tuple(row)
+
+    def encode(self, row: Sequence[Any]) -> bytes:
+        """Serialize a validated row to bytes."""
+        row = self.validate(row)
+        parts: list[bytes] = []
+        for value, column in zip(row, self.columns):
+            parts.append(_encode_value(value, column.type))
+        return b"".join(parts)
+
+    def decode(self, data: bytes) -> Row:
+        """Deserialize bytes produced by :meth:`encode` back to a row."""
+        values: list[Any] = []
+        offset = 0
+        for column in self.columns:
+            value, offset = _decode_value(data, offset, column.type)
+            values.append(value)
+        if offset != len(data):
+            raise SchemaError(
+                f"trailing bytes while decoding row ({len(data) - offset} left)"
+            )
+        return tuple(values)
+
+
+def _encode_varint(value: int) -> bytes:
+    """Unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError("varint encodes non-negative integers only")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise SchemaError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _encode_value(value: Any, ctype: ColumnType) -> bytes:
+    if value is None:
+        # A length prefix of _NULL_MARKER flags NULL for every type.
+        return _encode_varint(_NULL_MARKER)
+    if ctype is ColumnType.STR:
+        raw = value.encode("utf-8")
+        return _encode_varint(len(raw)) + raw
+    if ctype is ColumnType.INT:
+        return _encode_varint(0) + _encode_varint(_zigzag(value))
+    if ctype is ColumnType.FLOAT:
+        return _encode_varint(0) + struct.pack("<d", float(value))
+    if ctype is ColumnType.INT_LIST:
+        if len(value) >= _NULL_MARKER:
+            raise SchemaError("int list too long to encode")
+        parts = [_encode_varint(len(value))]
+        parts.extend(_encode_varint(v) for v in value)
+        return b"".join(parts)
+    raise SchemaError(f"unknown column type {ctype}")
+
+
+def _decode_value(data: bytes, offset: int, ctype: ColumnType) -> tuple[Any, int]:
+    prefix, offset = _decode_varint(data, offset)
+    if prefix == _NULL_MARKER:
+        return None, offset
+    if ctype is ColumnType.STR:
+        end = offset + prefix
+        if end > len(data):
+            raise SchemaError("truncated string value")
+        return data[offset:end].decode("utf-8"), end
+    if ctype is ColumnType.INT:
+        raw, offset = _decode_varint(data, offset)
+        return _unzigzag(raw), offset
+    if ctype is ColumnType.FLOAT:
+        end = offset + 8
+        if end > len(data):
+            raise SchemaError("truncated float value")
+        return struct.unpack("<d", data[offset:end])[0], end
+    if ctype is ColumnType.INT_LIST:
+        values = []
+        for _ in range(prefix):
+            v, offset = _decode_varint(data, offset)
+            values.append(v)
+        return values, offset
+    raise SchemaError(f"unknown column type {ctype}")

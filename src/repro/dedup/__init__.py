@@ -1,0 +1,29 @@
+"""Offline fuzzy-duplicate elimination.
+
+The paper's §2 positions the fuzzy match operation as the *online*
+complement to offline duplicate elimination: "A complementary use of
+solutions to both problems is to first clean a relation by eliminating
+fuzzy duplicates and then piping further additions through the fuzzy match
+operation to prevent introduction of new fuzzy duplicates."
+
+This subpackage supplies that offline half, built from the same machinery:
+
+- blocking: each tuple's candidate duplicates are retrieved through the
+  ETI (the same probabilistically-safe candidate generation the online
+  operation uses), so the pairwise stage is near-linear instead of
+  quadratic;
+- pairwise scoring with fms;
+- transitive clustering with a union-find structure;
+- canonical-tuple selection per cluster (highest total token weight, i.e.
+  the most information-rich variant survives).
+"""
+
+from repro.dedup.cluster import DedupReport, DuplicateCluster, FuzzyDeduplicator
+from repro.dedup.unionfind import UnionFind
+
+__all__ = [
+    "DedupReport",
+    "DuplicateCluster",
+    "FuzzyDeduplicator",
+    "UnionFind",
+]

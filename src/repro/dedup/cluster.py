@@ -1,0 +1,187 @@
+"""Offline fuzzy-duplicate detection over a relation.
+
+For every tuple, candidate duplicates are retrieved with the ETI-backed
+fuzzy match (K nearest above the duplicate threshold); pairs passing the
+fms threshold are merged in a union-find, and each resulting cluster
+elects a canonical tuple.  Because fms is asymmetric, a pair is accepted
+when *either* direction clears the threshold — a tuple missing a token
+should still merge with its complete version, which is exactly the
+asymmetry §3.1's insertion discount encodes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import MatchConfig
+from repro.core.fms import fms
+from repro.core.matcher import FuzzyMatcher
+from repro.core.minhash import MinHasher
+from repro.core.reference import ReferenceTable
+from repro.core.tokens import TupleTokens
+from repro.core.weights import WeightFunction, build_frequency_cache
+from repro.db.database import Database
+from repro.eti.builder import build_eti
+from repro.dedup.unionfind import UnionFind
+
+
+@dataclass(frozen=True)
+class DuplicateCluster:
+    """One group of mutually-fuzzy-duplicate tuples."""
+
+    canonical_tid: int
+    member_tids: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.member_tids)
+
+    @property
+    def duplicate_tids(self) -> tuple[int, ...]:
+        """Members other than the canonical tuple (the ones to drop)."""
+        return tuple(t for t in self.member_tids if t != self.canonical_tid)
+
+
+@dataclass
+class DedupReport:
+    """Outcome of one deduplication pass."""
+
+    clusters: list[DuplicateCluster] = field(default_factory=list)
+    tuples_scanned: int = 0
+    pairs_scored: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def duplicate_count(self) -> int:
+        return sum(cluster.size - 1 for cluster in self.clusters)
+
+    def duplicates_of(self) -> dict[int, int]:
+        """Map every non-canonical member to its canonical tid."""
+        mapping: dict[int, int] = {}
+        for cluster in self.clusters:
+            for tid in cluster.duplicate_tids:
+                mapping[tid] = cluster.canonical_tid
+        return mapping
+
+
+class FuzzyDeduplicator:
+    """Finds fuzzy-duplicate clusters inside one relation.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum fms (in either direction) for a pair to count as
+        duplicates.
+    neighbors:
+        How many nearest candidates to examine per tuple (K of the
+        underlying fuzzy match queries).  Duplicate groups larger than
+        ``neighbors + 1`` are still found — transitivity through the
+        union-find chains overlapping neighborhoods together.
+    config:
+        Match configuration for the internally-built ETI; defaults to the
+        paper's parameters.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.85,
+        neighbors: int = 5,
+        config: MatchConfig | None = None,
+    ):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if neighbors < 1:
+            raise ValueError("neighbors must be at least 1")
+        self.threshold = threshold
+        self.neighbors = neighbors
+        self.config = config if config is not None else MatchConfig()
+
+    def deduplicate(self, reference: ReferenceTable, db: Database) -> DedupReport:
+        """Cluster fuzzy duplicates in ``reference``.
+
+        ``db`` is the database that owns the relation; a temporary ETI
+        (named ``<relation>_dedup_eti``) is built in it and dropped
+        afterwards.
+        """
+        started = time.perf_counter()
+        report = DedupReport()
+        weights = build_frequency_cache(
+            reference.scan_values(), reference.num_columns
+        )
+        hasher = MinHasher(self.config.q, self.config.signature_size, self.config.seed)
+        eti_name = f"{reference.name}_dedup_eti"
+        eti, _ = build_eti(db, reference, self.config, hasher=hasher, eti_name=eti_name)
+        matcher = FuzzyMatcher(reference, weights, self.config, eti, hasher)
+
+        union = UnionFind()
+        tokenized: dict[int, TupleTokens] = {}
+        try:
+            for tid, values in reference.scan():
+                report.tuples_scanned += 1
+                union.add(tid)
+                tokenized[tid] = TupleTokens.from_values(values)
+                result = matcher.match(
+                    values,
+                    k=self.neighbors + 1,  # self comes back at similarity 1.0
+                    min_similarity=0.0,
+                )
+                for match in result.matches:
+                    if match.tid == tid or union.connected(tid, match.tid):
+                        continue
+                    report.pairs_scored += 1
+                    if self._is_duplicate_pair(
+                        tid, values, match.tid, match.values, match.similarity,
+                        weights, tokenized,
+                    ):
+                        union.union(tid, match.tid)
+        finally:
+            db.drop_relation(eti_name)
+
+        report.clusters = self._build_clusters(union, weights, tokenized)
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _is_duplicate_pair(
+        self,
+        tid_u: int,
+        values_u,
+        tid_v: int,
+        values_v,
+        similarity_uv: float,
+        weights: WeightFunction,
+        tokenized: dict[int, TupleTokens],
+    ) -> bool:
+        if similarity_uv >= self.threshold:
+            return True
+        # fms is asymmetric: check the reverse direction too.
+        tokens_v = tokenized.get(tid_v)
+        if tokens_v is None:
+            tokens_v = TupleTokens.from_values(values_v)
+            tokenized[tid_v] = tokens_v
+        reverse = fms(tokens_v, tokenized[tid_u], weights, self.config)
+        return reverse >= self.threshold
+
+    def _build_clusters(
+        self,
+        union: UnionFind,
+        weights: WeightFunction,
+        tokenized: dict[int, TupleTokens],
+    ) -> list[DuplicateCluster]:
+        clusters = []
+        for members in union.groups().values():
+            if len(members) < 2:
+                continue
+            canonical = max(
+                members,
+                key=lambda tid: (weights.tuple_weight(tokenized[tid]), -tid),
+            )
+            clusters.append(
+                DuplicateCluster(canonical_tid=canonical, member_tids=tuple(members))
+            )
+        clusters.sort(key=lambda c: c.member_tids[0])
+        return clusters

@@ -1,0 +1,70 @@
+"""Disjoint-set (union-find) with path compression and union by size."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+class UnionFind:
+    """Classic disjoint-set forest over hashable items.
+
+    Items are added implicitly on first touch.  ``find`` uses path
+    compression and ``union`` merges by size, giving effectively
+    amortized-constant operations.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()):
+        self._parent: dict = {}
+        self._size: dict = {}
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as its own singleton set (no-op if present)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable):
+        """Return the canonical representative of ``item``'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable):
+        """Merge the sets of ``a`` and ``b``; returns the merged root."""
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return root_a
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True iff ``a`` and ``b`` are in the same set."""
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> dict:
+        """Map each root to the sorted list of its members."""
+        result: dict = {}
+        for item in self._parent:
+            result.setdefault(self.find(item), []).append(item)
+        for members in result.values():
+            members.sort()
+        return result

@@ -1,0 +1,70 @@
+"""Query-side access to a built ETI relation.
+
+All lookups go through the clustered index on ``[QGram, Coordinate,
+Column]`` and are counted — the number of ETI lookups per input tuple is
+one of the paper's efficiency metrics (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.errors import RecordNotFoundError
+from repro.db.relation import Relation
+from repro.eti.schema import ETI_INDEX
+
+
+@dataclass(frozen=True)
+class EtiEntry:
+    """One ETI tuple: frequency plus tid-list (None for stop q-grams)."""
+
+    qgram: str
+    coordinate: int
+    column: int
+    frequency: int
+    tid_list: tuple[int, ...] | None
+
+    @property
+    def is_stop_qgram(self) -> bool:
+        return self.tid_list is None
+
+
+class EtiIndex:
+    """Exact-match lookups against the ETI's clustered index."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.lookups = 0
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def lookup(self, qgram: str, coordinate: int, column: int) -> EtiEntry | None:
+        """Fetch the ETI tuple for ``(qgram, coordinate, column)`` or None."""
+        self.lookups += 1
+        try:
+            row = self.relation.index_get(ETI_INDEX, (qgram, coordinate, column))
+        except RecordNotFoundError:
+            return None
+        tid_list = row[4]
+        return EtiEntry(
+            qgram=row[0],
+            coordinate=row[1],
+            column=row[2],
+            frequency=row[3],
+            tid_list=None if tid_list is None else tuple(tid_list),
+        )
+
+    def reset_lookup_counter(self) -> None:
+        """Zero the lookup counter (per-experiment accounting)."""
+        self.lookups = 0
+
+    def stats(self) -> dict[str, int]:
+        """Index-level statistics for reporting."""
+        index_stats = self.relation.index_stats(ETI_INDEX)
+        return {
+            "rows": len(self.relation),
+            "pages": self.relation.num_pages,
+            "index_entries": index_stats["entries"],
+            "index_height": index_stats["height"],
+        }

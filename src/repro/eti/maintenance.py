@@ -1,0 +1,150 @@
+"""Incremental ETI maintenance when the reference relation changes.
+
+The paper defers this ("Due to space constraints, we do not discuss ETI
+maintenance when the reference table changes"); this module supplies the
+natural design.  Because the ETI is a standard relation keyed on ``[QGram,
+Coordinate, Column]``, inserting or deleting one reference tuple touches
+exactly the rows named by that tuple's signature entries:
+
+- *insert*: for every signature coordinate of every token, append the tid
+  to the row's tid-list and bump the frequency, creating the row if absent;
+  a tid-list crossing the stop-q-gram threshold collapses to NULL.
+- *delete*: remove the tid and decrement the frequency; a row whose list
+  empties is removed.  Stop q-grams stay stopped even if their frequency
+  sinks back below the threshold — their tid-list was discarded and cannot
+  be reconstructed without a rebuild.  This is conservative: a stopped
+  q-gram only costs recall that the remaining coordinates supply.
+
+Token *weights* can be maintained in lock-step: pass the plain
+:class:`~repro.core.weights.TokenFrequencyCache` as ``weights`` and the
+maintainer calls its ``add_tuple`` / ``remove_tuple`` on every mutation,
+keeping IDF weights exact.  Without it, the cache drifts benignly (unseen
+tokens already fall back to column-average weights); heavy churn then
+warrants a periodic rebuild, and the maintainer counts mutations to make
+that decision easy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import MatchConfig
+from repro.core.minhash import MinHasher
+from repro.core.reference import ReferenceTable
+from repro.core.tokens import TupleTokens
+from repro.db.errors import RecordNotFoundError
+from repro.eti.index import EtiIndex
+from repro.eti.schema import ETI_INDEX
+from repro.eti.signature import signature_entries
+
+
+class EtiMaintainer:
+    """Keeps an ETI consistent with single-tuple reference mutations."""
+
+    def __init__(
+        self,
+        reference: ReferenceTable,
+        eti: EtiIndex,
+        config: MatchConfig,
+        hasher: MinHasher | None = None,
+        weights=None,
+    ):
+        self.reference = reference
+        self.eti = eti
+        self.config = config
+        self.hasher = (
+            hasher
+            if hasher is not None
+            else MinHasher(config.q, config.signature_size, config.seed)
+        )
+        self.weights = weights
+        if weights is not None and not (
+            hasattr(weights, "add_tuple") and hasattr(weights, "remove_tuple")
+        ):
+            raise TypeError(
+                "weights must support add_tuple/remove_tuple (use the plain "
+                "TokenFrequencyCache) or be None"
+            )
+        self.mutations = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def insert_tuple(self, tid: int, values: Sequence[str | None]) -> None:
+        """Add a reference tuple and index all its signature entries."""
+        self.reference.insert(tid, values)
+        for gram, coordinate, column in self._entries(values):
+            self._index_add(gram, coordinate, column, tid)
+        if self.weights is not None:
+            self.weights.add_tuple(values)
+        self.mutations += 1
+
+    def delete_tuple(self, tid: int) -> tuple[str | None, ...]:
+        """Remove a reference tuple and unindex its signature entries."""
+        values = self.reference.delete(tid)
+        for gram, coordinate, column in self._entries(values):
+            self._index_remove(gram, coordinate, column, tid)
+        if self.weights is not None:
+            self.weights.remove_tuple(values)
+        self.mutations += 1
+        return values
+
+    def update_tuple(self, tid: int, values: Sequence[str | None]) -> None:
+        """Replace a reference tuple's attribute values."""
+        self.delete_tuple(tid)
+        self.insert_tuple(tid, values)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _entries(self, values: Sequence[str | None]):
+        tokens = TupleTokens.from_values(values)
+        for column in range(tokens.num_columns):
+            for token in tokens.column_tokens(column):
+                for entry in signature_entries(token, self.hasher, self.config):
+                    yield entry.gram, entry.coordinate, column
+
+    def _index_add(self, gram: str, coordinate: int, column: int, tid: int) -> None:
+        relation = self.eti.relation
+        key = (gram, coordinate, column)
+        try:
+            rid = relation.find_rid(ETI_INDEX, key)
+        except RecordNotFoundError:
+            relation.insert((gram, coordinate, column, 1, [tid]))
+            return
+        row = relation.fetch(rid)
+        frequency = row[3] + 1
+        tid_list = row[4]
+        if tid_list is None or frequency > self.config.stop_qgram_threshold:
+            tid_list = None  # already (or newly) a stop q-gram
+        else:
+            tid_list = list(tid_list)
+            if tid not in tid_list:
+                tid_list.append(tid)
+                tid_list.sort()
+        relation.update(rid, (gram, coordinate, column, frequency, tid_list))
+
+    def _index_remove(self, gram: str, coordinate: int, column: int, tid: int) -> None:
+        relation = self.eti.relation
+        key = (gram, coordinate, column)
+        try:
+            rid = relation.find_rid(ETI_INDEX, key)
+        except RecordNotFoundError:
+            return  # never indexed (e.g. inserted while already a stop gram)
+        row = relation.fetch(rid)
+        frequency = max(row[3] - 1, 0)
+        tid_list = row[4]
+        if tid_list is None:
+            # Stop q-grams keep a NULL list; only the frequency decays.
+            if frequency == 0:
+                relation.delete(rid)
+            else:
+                relation.update(rid, (gram, coordinate, column, frequency, None))
+            return
+        tid_list = [t for t in tid_list if t != tid]
+        if not tid_list:
+            relation.delete(rid)
+        else:
+            relation.update(rid, (gram, coordinate, column, frequency, tid_list))

@@ -1,0 +1,22 @@
+"""Evaluation harness: metrics, experiment runners, figure drivers.
+
+Reproduces every table and figure of the paper's Section 6 (see DESIGN.md
+for the per-experiment index).  The heavy lifting lives in
+:class:`repro.eval.harness.Workbench` (build reference + caches + ETIs,
+run query batches, aggregate statistics); :mod:`repro.eval.figures` slices
+those aggregates into the exact series each paper figure reports.
+"""
+
+from repro.eval.harness import RunStats, Workbench
+from repro.eval.metrics import accuracy, normalized_time
+from repro.eval.naive import naive_best_match
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "accuracy",
+    "format_table",
+    "naive_best_match",
+    "normalized_time",
+    "RunStats",
+    "Workbench",
+]

@@ -1,0 +1,238 @@
+"""Experiment drivers: one function per paper table/figure (§6.2).
+
+Each driver returns a :class:`FigureResult` — the same rows/series the
+paper reports, ready to print.  Heavy state (reference relation, ETIs,
+query batches) lives in a :class:`~repro.eval.harness.Workbench`; the
+strategy grid (every signature strategy run over every dataset) is computed
+once with :func:`run_strategy_grid` and sliced by the per-figure functions,
+exactly how figures 5, 6, 8, 9, 10 share one set of runs in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.fms import fms
+from repro.core.strings import tuple_edit_similarity
+from repro.data.datasets import DatasetSpec, ED_VS_FMS_PROBABILITIES
+from repro.eval.harness import PAPER_STRATEGIES, RunStats, Workbench
+from repro.eval.metrics import accuracy, normalized_time
+from repro.eval.naive import naive_best_match
+from repro.eval.reporting import format_table
+
+
+@dataclass
+class FigureResult:
+    """Rows of one reproduced table/figure."""
+
+    experiment: str
+    headers: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        return format_table(self.headers, self.rows, title=self.experiment)
+
+
+def strategy_labels(
+    strategies: Sequence[tuple] = PAPER_STRATEGIES,
+) -> list[str]:
+    """Display labels (Q_H / Q+T_H) for a list of strategy tuples."""
+    return [f"{scheme.value}_{size}" for scheme, size in strategies]
+
+
+# ---------------------------------------------------------------------------
+# §6.2.1.1 — ed vs fms accuracy (the un-numbered quality table)
+# ---------------------------------------------------------------------------
+
+
+def run_ed_vs_fms(workbench: Workbench, num_inputs: int = 100) -> FigureResult:
+    """Accuracy of fms vs ed under Type I and Type II errors.
+
+    Both similarity functions are evaluated with the naive full-scan
+    matcher so only quality (not retrieval) is compared, per the paper.
+    """
+    config = workbench.base_config
+    weights = workbench.weights
+
+    def fms_similarity(u, v):
+        return fms(u, v, weights, config)
+
+    result = FigureResult(
+        experiment="§6.2.1.1 accuracy: fms vs ed (naive matcher)",
+        headers=("error_model", "fms", "ed"),
+    )
+    for method in ("type1", "type2"):
+        spec = DatasetSpec(
+            f"edfms-{method}", ED_VS_FMS_PROBABILITIES, method=method
+        )
+        dataset = workbench.custom_dataset(spec, count=num_inputs)
+        fms_predictions = []
+        ed_predictions = []
+        for dirty in dataset.inputs:
+            tid_fms, _ = naive_best_match(
+                workbench.reference, dirty.values, fms_similarity
+            )
+            tid_ed, _ = naive_best_match(
+                workbench.reference, dirty.values, tuple_edit_similarity
+            )
+            fms_predictions.append((tid_fms, dirty.target_tid))
+            ed_predictions.append((tid_ed, dirty.target_tid))
+        result.rows.append(
+            (
+                "Type I" if method == "type1" else "Type II",
+                accuracy(fms_predictions),
+                accuracy(ed_predictions),
+            )
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The strategy grid shared by figures 5, 6, 8, 9, 10
+# ---------------------------------------------------------------------------
+
+
+def run_strategy_grid(
+    workbench: Workbench,
+    datasets: Sequence[str] = ("D1", "D2", "D3"),
+    strategies: Sequence[tuple] = PAPER_STRATEGIES,
+) -> dict[tuple[str, str], RunStats]:
+    """Run every (dataset, strategy) pair once; keyed by (dataset, label)."""
+    grid: dict[tuple[str, str], RunStats] = {}
+    for scheme, size in strategies:
+        config = workbench.config_for(scheme, size)
+        for dataset_name in datasets:
+            stats = workbench.run_batch(config, dataset_name)
+            grid[(dataset_name, config.strategy_label)] = stats
+    return grid
+
+
+def fig5_accuracy(
+    grid: dict[tuple[str, str], RunStats],
+    datasets: Sequence[str] = ("D1", "D2", "D3"),
+    strategies: Sequence[tuple] = PAPER_STRATEGIES,
+) -> FigureResult:
+    """Figure 5: accuracy per strategy per dataset."""
+    labels = strategy_labels(strategies)
+    result = FigureResult(
+        experiment="Figure 5: accuracy on D1, D2, D3 (%)",
+        headers=("strategy",) + tuple(datasets),
+    )
+    for label in labels:
+        row: list[Any] = [label]
+        for dataset in datasets:
+            row.append(100.0 * grid[(dataset, label)].accuracy)
+        result.rows.append(tuple(row))
+    return result
+
+
+def fig6_times(
+    grid: dict[tuple[str, str], RunStats],
+    naive_unit_seconds: float,
+    datasets: Sequence[str] = ("D1", "D2", "D3"),
+    strategies: Sequence[tuple] = PAPER_STRATEGIES,
+) -> FigureResult:
+    """Figure 6: normalized elapsed time per strategy per dataset.
+
+    Values below the number of input tuples mean the strategy beats the
+    naive algorithm; the paper reports < 2.5 for 1655 tuples.
+    """
+    labels = strategy_labels(strategies)
+    result = FigureResult(
+        experiment="Figure 6: normalized elapsed time (naive-tuple units)",
+        headers=("strategy",) + tuple(datasets),
+    )
+    for label in labels:
+        row: list[Any] = [label]
+        for dataset in datasets:
+            stats = grid[(dataset, label)]
+            row.append(normalized_time(stats.elapsed_seconds, naive_unit_seconds))
+        result.rows.append(tuple(row))
+    return result
+
+
+def fig7_build_times(
+    workbench: Workbench,
+    naive_unit_seconds: float,
+    strategies: Sequence[tuple] = PAPER_STRATEGIES,
+) -> FigureResult:
+    """Figure 7: normalized ETI building time per strategy.
+
+    The paper's reading: every build lands under ~7 naive-tuple units, so
+    the ETI pays for itself after ~10 fuzzy match queries.
+    """
+    result = FigureResult(
+        experiment="Figure 7: ETI build time (naive-tuple units)",
+        headers=("strategy", "normalized_time", "eti_rows", "pre_eti_rows"),
+    )
+    for scheme, size in strategies:
+        config = workbench.config_for(scheme, size)
+        handle = workbench.eti_for(config)
+        result.rows.append(
+            (
+                config.strategy_label,
+                normalized_time(handle.build_stats.elapsed_seconds, naive_unit_seconds),
+                handle.build_stats.eti_rows,
+                handle.build_stats.pre_eti_rows,
+            )
+        )
+    return result
+
+
+def fig8_candidates(
+    grid: dict[tuple[str, str], RunStats],
+    dataset: str = "D2",
+    strategies: Sequence[tuple] = PAPER_STRATEGIES,
+) -> FigureResult:
+    """Figure 8: reference tuples fetched per input tuple (OSC split)."""
+    result = FigureResult(
+        experiment=f"Figure 8: reference tuples fetched per input tuple ({dataset})",
+        headers=("strategy", "overall", "osc_success", "osc_failure"),
+    )
+    for label in strategy_labels(strategies):
+        stats = grid[(dataset, label)]
+        result.rows.append(
+            (
+                label,
+                stats.avg_candidates_fetched,
+                stats.avg_fetched_osc_success,
+                stats.avg_fetched_osc_failure,
+            )
+        )
+    return result
+
+
+def fig9_tids(
+    grid: dict[tuple[str, str], RunStats],
+    dataset: str = "D2",
+    strategies: Sequence[tuple] = PAPER_STRATEGIES,
+) -> FigureResult:
+    """Figure 9: tids processed per input tuple."""
+    result = FigureResult(
+        experiment=f"Figure 9: tids processed per input tuple ({dataset})",
+        headers=("strategy", "avg_tids_processed", "avg_eti_lookups"),
+    )
+    for label in strategy_labels(strategies):
+        stats = grid[(dataset, label)]
+        result.rows.append((label, stats.avg_tids_processed, stats.avg_eti_lookups))
+    return result
+
+
+def fig10_osc(
+    grid: dict[tuple[str, str], RunStats],
+    dataset: str = "D2",
+    strategies: Sequence[tuple] = PAPER_STRATEGIES,
+) -> FigureResult:
+    """Figure 10: OSC success/failure fractions per strategy."""
+    result = FigureResult(
+        experiment=f"Figure 10: OSC success and failure fractions ({dataset})",
+        headers=("strategy", "success_fraction", "failure_fraction"),
+    )
+    for label in strategy_labels(strategies):
+        stats = grid[(dataset, label)]
+        result.rows.append(
+            (label, stats.osc_success_fraction, 1.0 - stats.osc_success_fraction)
+        )
+    return result

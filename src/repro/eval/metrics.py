@@ -1,0 +1,40 @@
+"""Evaluation metrics (§6.1 "Metrics").
+
+- *Accuracy*: fraction of input tuples whose seed tuple is returned as the
+  closest reference tuple.
+- *Normalized elapsed time*: elapsed time divided by the time the naive
+  algorithm needs for ONE input tuple.  An indexed strategy processing a
+  whole 1655-tuple batch in under 2.5 units is the paper's headline
+  efficiency result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def accuracy(predictions: Iterable[tuple[int | None, int]]) -> float:
+    """Fraction of ``(predicted_tid, target_tid)`` pairs that agree.
+
+    ``None`` predictions (no match returned) count as misses.  An empty
+    input yields 0.0 rather than dividing by zero.
+    """
+    hits = 0
+    total = 0
+    for predicted, target in predictions:
+        total += 1
+        if predicted is not None and predicted == target:
+            hits += 1
+    return hits / total if total else 0.0
+
+
+def normalized_time(elapsed_seconds: float, naive_unit_seconds: float) -> float:
+    """Elapsed time in units of one naive-algorithm input tuple."""
+    if naive_unit_seconds <= 0:
+        raise ValueError("naive unit time must be positive")
+    return elapsed_seconds / naive_unit_seconds
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0

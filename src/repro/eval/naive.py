@@ -1,0 +1,38 @@
+"""Naive full-scan matching with a pluggable similarity function.
+
+Used by the ed-vs-fms quality comparison (§6.2.1.1): "Because we want to
+compare the quality of similarity functions and not the efficiency of
+algorithms ... we use the naive algorithm to identify the best fuzzy match
+for each input tuple."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.reference import ReferenceTable
+
+SimilarityFn = Callable[
+    [Sequence[str | None], Sequence[str | None]], float
+]
+
+
+def naive_best_match(
+    reference: ReferenceTable,
+    input_values: Sequence[str | None],
+    similarity: SimilarityFn,
+) -> tuple[int | None, float]:
+    """Scan the reference relation; return ``(best_tid, best_similarity)``.
+
+    Ties break toward the smaller tid for determinism.
+    """
+    best_tid: int | None = None
+    best_similarity = -1.0
+    for tid, values in reference.scan():
+        score = similarity(input_values, values)
+        if score > best_similarity or (
+            score == best_similarity and best_tid is not None and tid < best_tid
+        ):
+            best_similarity = score
+            best_tid = tid
+    return best_tid, best_similarity

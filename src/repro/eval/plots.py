@@ -1,0 +1,94 @@
+"""ASCII bar charts for figure output.
+
+The paper's Figures 5–10 are bar charts; these helpers render the same
+series as terminal bar charts so a bench run visually resembles the
+figures it reproduces (and EXPERIMENTS.md can embed them).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+DEFAULT_WIDTH = 50
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = DEFAULT_WIDTH,
+    max_value: float | None = None,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render one horizontal bar chart.
+
+    Bars scale to ``max_value`` (default: the series maximum), so charts
+    of the same metric are comparable when given a shared ceiling.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if width < 1:
+        raise ValueError("width must be positive")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    ceiling = max_value if max_value is not None else max(values)
+    if ceiling <= 0:
+        ceiling = 1.0
+    label_width = max(len(label) for label in labels)
+    for label, value in zip(labels, values):
+        filled = int(round(min(max(value, 0.0), ceiling) / ceiling * width))
+        bar = "█" * filled + "·" * (width - filled)
+        rendered = value_format.format(value)
+        lines.append(f"{label.ljust(label_width)} |{bar}| {rendered}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    width: int = DEFAULT_WIDTH,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render several series per label (e.g. one bar per dataset).
+
+    All series share one scale so the groups are visually comparable —
+    the layout of the paper's multi-dataset figures.
+    """
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(f"series {name!r} length does not match labels")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    all_values = [v for values in series.values() for v in values]
+    ceiling = max(all_values) if all_values else 1.0
+    if ceiling <= 0:
+        ceiling = 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    series_width = max((len(name) for name in series), default=0)
+    for index, label in enumerate(labels):
+        for name, values in series.items():
+            value = values[index]
+            filled = int(round(min(max(value, 0.0), ceiling) / ceiling * width))
+            bar = "█" * filled + "·" * (width - filled)
+            rendered = value_format.format(value)
+            lines.append(
+                f"{label.ljust(label_width)} {name.ljust(series_width)} |{bar}| {rendered}"
+            )
+        lines.append("")
+    if lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)
+
+
+def figure_chart(figure_result, value_column: int = 1, width: int = DEFAULT_WIDTH) -> str:
+    """Bar-chart one column of a :class:`~repro.eval.figures.FigureResult`."""
+    labels = [str(row[0]) for row in figure_result.rows]
+    values = [float(row[value_column]) for row in figure_result.rows]
+    title = f"{figure_result.experiment} — {figure_result.headers[value_column]}"
+    return bar_chart(labels, values, title=title, width=width)

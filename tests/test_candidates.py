@@ -1,0 +1,83 @@
+"""Score table: accumulation, admission optimization, top-k."""
+
+from repro.core.candidates import ScoreTable
+
+
+class TestScoreAccumulation:
+    def test_single_list(self):
+        table = ScoreTable(threshold=0.0)
+        table.add_tid_list([1, 2, 3], weight=0.5, remaining_weight=10.0)
+        assert table.score(1) == 0.5
+        assert table.score(99) == 0.0
+
+    def test_scores_accumulate(self):
+        table = ScoreTable(threshold=0.0)
+        table.add_tid_list([1, 2], weight=0.5, remaining_weight=10.0)
+        table.add_tid_list([1], weight=0.25, remaining_weight=9.5)
+        assert table.score(1) == 0.75
+        assert table.score(2) == 0.5
+
+    def test_len_counts_tids(self):
+        table = ScoreTable(threshold=0.0)
+        table.add_tid_list([1, 2, 3], weight=1.0, remaining_weight=5.0)
+        assert len(table) == 3
+
+    def test_stats_processed(self):
+        table = ScoreTable(threshold=0.0)
+        table.add_tid_list([1, 2], weight=1.0, remaining_weight=5.0)
+        table.add_tid_list([1, 3], weight=1.0, remaining_weight=4.0)
+        assert table.stats.tids_processed == 4
+        assert table.stats.tids_admitted == 3
+
+
+class TestAdmissionOptimization:
+    def test_new_tids_rejected_below_threshold(self):
+        """Figure 3 step 9b: new tids only while RemWt >= threshold."""
+        table = ScoreTable(threshold=2.0)
+        table.add_tid_list([1], weight=1.0, remaining_weight=3.0)  # admitted
+        table.add_tid_list([2], weight=1.0, remaining_weight=1.0)  # rejected
+        assert table.score(1) == 1.0
+        assert table.score(2) == 0.0
+        assert table.stats.tids_rejected == 1
+
+    def test_existing_tids_always_updated(self):
+        table = ScoreTable(threshold=2.0)
+        table.add_tid_list([1], weight=1.0, remaining_weight=3.0)
+        # Below the admission bar, but tid 1 is already tracked.
+        table.add_tid_list([1], weight=1.0, remaining_weight=1.0)
+        assert table.score(1) == 2.0
+
+    def test_zero_threshold_admits_everything(self):
+        table = ScoreTable(threshold=0.0)
+        table.add_tid_list([1], weight=0.1, remaining_weight=0.0)
+        assert table.score(1) == 0.1
+
+
+class TestTopAndCandidates:
+    def make_table(self):
+        table = ScoreTable(threshold=0.0)
+        table.add_tid_list([1], weight=3.0, remaining_weight=10.0)
+        table.add_tid_list([2], weight=2.0, remaining_weight=7.0)
+        table.add_tid_list([3], weight=1.0, remaining_weight=5.0)
+        return table
+
+    def test_top_orders_by_score(self):
+        assert self.make_table().top(2) == [(1, 3.0), (2, 2.0)]
+
+    def test_top_more_than_present(self):
+        assert len(self.make_table().top(10)) == 3
+
+    def test_top_tie_breaks_on_tid(self):
+        table = ScoreTable(threshold=0.0)
+        table.add_tid_list([7, 3], weight=1.0, remaining_weight=5.0)
+        assert table.top(1) == [(3, 1.0)]
+
+    def test_candidates_filtered_by_floor(self):
+        table = self.make_table()
+        assert [tid for tid, _ in table.candidates(2.0)] == [1, 2]
+
+    def test_candidates_sorted_descending(self):
+        assert [tid for tid, _ in self.make_table().candidates(0.0)] == [1, 2, 3]
+
+    def test_negative_floor_returns_all(self):
+        assert len(self.make_table().candidates(-5.0)) == 3

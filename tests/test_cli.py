@@ -1,0 +1,231 @@
+"""The command-line interface: generate → corrupt → match round trips."""
+
+import csv
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    return main(argv)
+
+
+@pytest.fixture()
+def reference_csv(tmp_path):
+    path = tmp_path / "reference.csv"
+    run_cli(["generate", "--count", "150", "--seed", "3", "--out", str(path)])
+    return path
+
+
+@pytest.fixture()
+def dirty_csv(tmp_path, reference_csv):
+    path = tmp_path / "dirty.csv"
+    run_cli(
+        [
+            "corrupt",
+            "--reference", str(reference_csv),
+            "--count", "25",
+            "--preset", "D3",
+            "--seed", "5",
+            "--out", str(path),
+        ]
+    )
+    return path
+
+
+class TestGenerate:
+    def test_writes_header_and_rows(self, reference_csv):
+        with open(reference_csv, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["tid", "name", "city", "state", "zipcode"]
+        assert len(rows) == 151
+        assert rows[1][0] == "0"
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        run_cli(["generate", "--count", "50", "--seed", "9", "--out", str(a)])
+        run_cli(["generate", "--count", "50", "--seed", "9", "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestCorrupt:
+    def test_writes_target_tid(self, dirty_csv):
+        with open(dirty_csv, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "target_tid"
+        assert len(rows) == 26
+        assert all(row[0].isdigit() for row in rows[1:])
+
+    def test_custom_probabilities(self, tmp_path, reference_csv):
+        path = tmp_path / "custom.csv"
+        run_cli(
+            [
+                "corrupt",
+                "--reference", str(reference_csv),
+                "--count", "10",
+                "--probabilities", "1.0,0.0,0.0,0.0",
+                "--out", str(path),
+            ]
+        )
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 11
+
+    def test_type2(self, tmp_path, reference_csv):
+        path = tmp_path / "t2.csv"
+        run_cli(
+            [
+                "corrupt",
+                "--reference", str(reference_csv),
+                "--count", "10",
+                "--preset", "D2",
+                "--method", "type2",
+                "--out", str(path),
+            ]
+        )
+        assert path.exists()
+
+    def test_requires_preset_or_probabilities(self, reference_csv):
+        with pytest.raises(SystemExit):
+            run_cli(["corrupt", "--reference", str(reference_csv), "--count", "5"])
+
+
+class TestMatch:
+    def test_match_output_schema(self, tmp_path, reference_csv, dirty_csv):
+        out = tmp_path / "matches.csv"
+        run_cli(
+            [
+                "match",
+                "--reference", str(reference_csv),
+                "--input", str(dirty_csv),
+                "--q", "3",
+                "--out", str(out),
+            ]
+        )
+        with open(out, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][-2:] == ["matched_tid", "similarity"]
+        assert len(rows) == 26
+        matched = [row for row in rows[1:] if row[-2] != ""]
+        assert matched, "at least some inputs must match"
+        for row in matched:
+            assert 0.0 <= float(row[-1]) <= 1.0
+
+    def test_high_accuracy_on_clean_preset(self, tmp_path, reference_csv, dirty_csv):
+        out = tmp_path / "matches.csv"
+        run_cli(
+            [
+                "match",
+                "--reference", str(reference_csv),
+                "--input", str(dirty_csv),
+                "--out", str(out),
+            ]
+        )
+        with open(out, newline="") as handle:
+            rows = list(csv.reader(handle))[1:]
+        correct = sum(1 for row in rows if row[0] == row[-2])
+        assert correct / len(rows) > 0.75
+
+    def test_strategy_flag(self, tmp_path, reference_csv, dirty_csv):
+        for strategy in ("naive", "basic", "osc"):
+            out = tmp_path / f"m_{strategy}.csv"
+            run_cli(
+                [
+                    "match",
+                    "--reference", str(reference_csv),
+                    "--input", str(dirty_csv),
+                    "--strategy", strategy,
+                    "--out", str(out),
+                ]
+            )
+            assert out.exists()
+
+    def test_column_mismatch_rejected(self, tmp_path, reference_csv):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("name,city\nfoo,bar\n")
+        with pytest.raises(SystemExit, match="attribute columns"):
+            run_cli(
+                [
+                    "match",
+                    "--reference", str(reference_csv),
+                    "--input", str(bad),
+                    "--out", str(tmp_path / "x.csv"),
+                ]
+            )
+
+
+class TestDedup:
+    def test_dedup_output(self, tmp_path, reference_csv):
+        # Duplicate a few reference rows verbatim, then dedup.
+        polluted = tmp_path / "polluted.csv"
+        lines = reference_csv.read_text().splitlines()
+        header, rows = lines[0], lines[1:]
+        extra = [
+            f"{1000 + i},{row.split(',', 1)[1]}" for i, row in enumerate(rows[:5])
+        ]
+        polluted.write_text("\n".join([header] + rows + extra) + "\n")
+        out = tmp_path / "dedup.csv"
+        run_cli(
+            [
+                "dedup",
+                "--reference", str(polluted),
+                "--threshold", "0.99",
+                "--out", str(out),
+            ]
+        )
+        with open(out, newline="") as handle:
+            result_rows = list(csv.reader(handle))
+        assert result_rows[0][-1] == "duplicate_of"
+        flagged = [row for row in result_rows[1:] if row[-1] != ""]
+        # Each planted exact duplicate pairs with its source.
+        assert len(flagged) == 5
+
+
+class TestExplain:
+    def test_explain_traces_and_matches(self, capsys, reference_csv, dirty_csv):
+        with open(dirty_csv, newline="") as handle:
+            rows = list(csv.reader(handle))
+        values = rows[1][1:]  # first dirty tuple's attributes
+        run_cli(
+            ["explain", "--reference", str(reference_csv)]
+            + [v if v else "" for v in values]
+        )
+        output = capsys.readouterr().out
+        assert "w(u) =" in output
+        assert "lookup (" in output
+        assert "match tid=" in output or "no match" in output
+
+    def test_explain_wrong_arity(self, reference_csv):
+        with pytest.raises(SystemExit, match="columns"):
+            run_cli(["explain", "--reference", str(reference_csv), "just-one"])
+
+
+class TestEvaluate:
+    def test_evaluate_fig7_tiny(self, capsys):
+        """The evaluate subcommand renders figure tables end-to-end."""
+        run_cli(
+            [
+                "evaluate",
+                "--reference-size", "120",
+                "--inputs", "6",
+                "--figures", "fig7",
+                "--seed", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "Figure 7" in output
+        assert "Q+T_3" in output
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("generate", "corrupt", "match", "dedup", "evaluate"):
+            assert command in text
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["frobnicate"])

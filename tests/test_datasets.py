@@ -1,0 +1,117 @@
+"""Dataset presets (Table 5) and dirty-dataset construction."""
+
+import pytest
+
+from repro.data.datasets import (
+    DATASET_PRESETS,
+    DatasetSpec,
+    ED_VS_FMS_PROBABILITIES,
+    make_dataset,
+)
+from repro.data.generator import generate_customers
+
+
+@pytest.fixture()
+def reference_tuples():
+    return [(c.tid, c.values) for c in generate_customers(300, seed=4)]
+
+
+class TestPresets:
+    def test_table5_values(self):
+        assert DATASET_PRESETS["D1"] == (0.90, 0.90, 0.90, 0.90)
+        assert DATASET_PRESETS["D2"] == (0.80, 0.50, 0.50, 0.60)
+        assert DATASET_PRESETS["D3"] == (0.70, 0.50, 0.50, 0.25)
+
+    def test_ed_vs_fms_probabilities(self):
+        assert ED_VS_FMS_PROBABILITIES == (0.90, 0.50, 0.50, 0.60)
+
+    def test_preset_lookup(self):
+        spec = DatasetSpec.preset("D2")
+        assert spec.name == "D2"
+        assert spec.column_error_probabilities == DATASET_PRESETS["D2"]
+        assert spec.method == "type1"
+
+    def test_preset_with_method(self):
+        assert DatasetSpec.preset("D1", method="type2").method == "type2"
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            DatasetSpec.preset("D9")
+
+    def test_d1_dirtier_than_d3(self):
+        d1 = DatasetSpec.preset("D1").column_error_probabilities
+        d3 = DatasetSpec.preset("D3").column_error_probabilities
+        assert all(a >= b for a, b in zip(d1, d3))
+
+
+class TestMakeDataset:
+    def test_size(self, reference_tuples):
+        spec = DatasetSpec.preset("D2")
+        dataset = make_dataset(reference_tuples, spec, 100, seed=1)
+        assert len(dataset) == 100
+
+    def test_targets_are_reference_tids(self, reference_tuples):
+        spec = DatasetSpec.preset("D2")
+        dataset = make_dataset(reference_tuples, spec, 50, seed=1)
+        tids = {tid for tid, _ in reference_tuples}
+        assert all(d.target_tid in tids for d in dataset.inputs)
+
+    def test_sampling_without_replacement(self, reference_tuples):
+        spec = DatasetSpec.preset("D2")
+        dataset = make_dataset(reference_tuples, spec, 200, seed=1)
+        targets = [d.target_tid for d in dataset.inputs]
+        assert len(set(targets)) == len(targets)
+
+    def test_deterministic(self, reference_tuples):
+        spec = DatasetSpec.preset("D1")
+        a = make_dataset(reference_tuples, spec, 80, seed=5)
+        b = make_dataset(reference_tuples, spec, 80, seed=5)
+        assert [d.values for d in a.inputs] == [d.values for d in b.inputs]
+        assert [d.target_tid for d in a.inputs] == [d.target_tid for d in b.inputs]
+
+    def test_oversampling_rejected(self, reference_tuples):
+        spec = DatasetSpec.preset("D1")
+        with pytest.raises(ValueError, match="cannot sample"):
+            make_dataset(reference_tuples, spec, 10_000, seed=1)
+
+    def test_negative_count_rejected(self, reference_tuples):
+        with pytest.raises(ValueError):
+            make_dataset(reference_tuples, DatasetSpec.preset("D1"), -1)
+
+    def test_most_inputs_are_dirty(self, reference_tuples):
+        """D1 corrupts every column with p=0.9: nearly all inputs differ."""
+        spec = DatasetSpec.preset("D1")
+        dataset = make_dataset(reference_tuples, spec, 200, seed=2)
+        by_tid = dict(reference_tuples)
+        dirty = sum(
+            1 for d in dataset.inputs if d.values != tuple(by_tid[d.target_tid])
+        )
+        assert dirty > 190
+
+    def test_d3_cleaner_than_d1(self, reference_tuples):
+        d1 = make_dataset(reference_tuples, DatasetSpec.preset("D1"), 200, seed=3)
+        d3 = make_dataset(reference_tuples, DatasetSpec.preset("D3"), 200, seed=3)
+        errors_d1 = sum(len(d.report.errors) for d in d1.inputs)
+        errors_d3 = sum(len(d.report.errors) for d in d3.inputs)
+        assert errors_d1 > errors_d3
+
+    def test_error_counts_summary(self, reference_tuples):
+        dataset = make_dataset(
+            reference_tuples, DatasetSpec.preset("D1"), 150, seed=4
+        )
+        counts = dataset.error_counts()
+        assert counts  # at least one error type occurred
+        assert sum(counts.values()) == sum(
+            len(d.report.errors) for d in dataset.inputs
+        )
+        assert "spelling" in counts
+
+    def test_type2_dataset(self, reference_tuples):
+        from repro.core.weights import build_frequency_cache
+
+        cache = build_frequency_cache((v for _, v in reference_tuples), 4)
+        spec = DatasetSpec("T2", ED_VS_FMS_PROBABILITIES, method="type2")
+        dataset = make_dataset(
+            reference_tuples, spec, 100, seed=5, frequency_lookup=cache.frequency
+        )
+        assert len(dataset) == 100

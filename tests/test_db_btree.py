@@ -1,0 +1,260 @@
+"""B+-tree: point/range lookups, duplicates, bulk load, invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.btree import BPlusTree
+from repro.db.errors import DuplicateKeyError, RecordNotFoundError
+
+
+class TestUniqueTree:
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "five")
+        assert tree.search(5) == ["five"]
+
+    def test_search_missing_returns_empty(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "five")
+        assert tree.search(6) == []
+
+    def test_get_with_default(self):
+        tree = BPlusTree(order=4)
+        assert tree.get(1, "fallback") == "fallback"
+        tree.insert(1, "one")
+        assert tree.get(1) == "one"
+
+    def test_contains(self):
+        tree = BPlusTree(order=4)
+        tree.insert(3, None)
+        assert 3 in tree
+        assert 4 not in tree
+
+    def test_duplicate_insert_rejected(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(1, "b")
+
+    def test_many_inserts_random_order(self):
+        tree = BPlusTree(order=8)
+        keys = list(range(2000))
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 2)
+        assert len(tree) == 2000
+        assert tree.height > 1
+        tree.check_invariants()
+        for key in (0, 999, 1999):
+            assert tree.search(key) == [key * 2]
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        keys = [5, 1, 9, 3, 7]
+        for key in keys:
+            tree.insert(key, None)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_tuple_keys(self):
+        tree = BPlusTree(order=4)
+        tree.insert(("ing", 2, 1), "rid-a")
+        tree.insert(("ing", 1, 1), "rid-b")
+        assert tree.search(("ing", 2, 1)) == ["rid-a"]
+        assert tree.search(("ing", 1, 1)) == ["rid-b"]
+
+    def test_reinsert_after_delete(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.delete(1)
+        tree.insert(1, "b")
+        assert tree.search(1) == ["b"]
+
+
+class TestDuplicateTree:
+    def test_duplicates_kept_in_insert_order(self):
+        tree = BPlusTree(order=4, unique=False)
+        for value in ("a", "b", "c"):
+            tree.insert(7, value)
+        assert tree.search(7) == ["a", "b", "c"]
+
+    def test_duplicates_across_splits(self):
+        tree = BPlusTree(order=4, unique=False)
+        for i in range(100):
+            tree.insert(42, i)
+        for i in range(50):
+            tree.insert(41, -i)
+            tree.insert(43, -i)
+        assert tree.search(42) == list(range(100))
+        tree.check_invariants()
+
+    def test_delete_all_under_key(self):
+        tree = BPlusTree(order=4, unique=False)
+        for i in range(20):
+            tree.insert(1, i)
+        tree.insert(2, "keep")
+        assert tree.delete(1) == 20
+        assert tree.search(1) == []
+        assert tree.search(2) == ["keep"]
+        assert len(tree) == 1
+
+    def test_delete_specific_value(self):
+        tree = BPlusTree(order=4, unique=False)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, value="a") == 1
+        assert tree.search(1) == ["b"]
+
+    def test_delete_missing_raises(self):
+        tree = BPlusTree(order=4, unique=False)
+        tree.insert(1, "a")
+        with pytest.raises(RecordNotFoundError):
+            tree.delete(2)
+
+    def test_delete_missing_value_raises(self):
+        tree = BPlusTree(order=4, unique=False)
+        tree.insert(1, "a")
+        with pytest.raises(RecordNotFoundError):
+            tree.delete(1, value="zzz")
+
+
+class TestRange:
+    @pytest.fixture()
+    def tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 2):  # even keys 0..98
+            tree.insert(key, key)
+        return tree
+
+    def test_half_open_range(self, tree):
+        keys = [k for k, _ in tree.range(10, 20)]
+        assert keys == [10, 12, 14, 16, 18]
+
+    def test_inclusive_hi(self, tree):
+        keys = [k for k, _ in tree.range(10, 20, include_hi=True)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_lo(self, tree):
+        keys = [k for k, _ in tree.range(10, 20, include_lo=False)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_open_ended_low(self, tree):
+        keys = [k for k, _ in tree.range(None, 6)]
+        assert keys == [0, 2, 4]
+
+    def test_open_ended_high(self, tree):
+        keys = [k for k, _ in tree.range(94, None)]
+        assert keys == [94, 96, 98]
+
+    def test_full_range(self, tree):
+        assert len(list(tree.range())) == 50
+
+    def test_bounds_between_keys(self, tree):
+        keys = [k for k, _ in tree.range(9, 15)]
+        assert keys == [10, 12, 14]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(200, 300)) == []
+
+
+class TestBulkLoad:
+    def test_matches_incremental(self):
+        items = [(i, i * 10) for i in range(1000)]
+        bulk = BPlusTree.bulk_load(items, order=16)
+        incremental = BPlusTree(order=16)
+        for key, value in items:
+            incremental.insert(key, value)
+        assert list(bulk.items()) == list(incremental.items())
+        bulk.check_invariants()
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load([(2, None), (1, None)])
+
+    def test_duplicate_rejected_in_unique(self):
+        with pytest.raises(DuplicateKeyError):
+            BPlusTree.bulk_load([(1, "a"), (1, "b")])
+
+    def test_duplicates_allowed_when_not_unique(self):
+        tree = BPlusTree.bulk_load([(1, "a"), (1, "b")], unique=False)
+        assert tree.search(1) == ["a", "b"]
+
+    def test_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_insert_after_bulk_load(self):
+        tree = BPlusTree.bulk_load([(i, i) for i in range(100)], order=8)
+        tree.insert(1000, "new")
+        assert tree.search(1000) == ["new"]
+        tree.check_invariants()
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(-1000, 1000), st.integers()),
+            max_size=300,
+        )
+    )
+    def test_matches_dict_model(self, entries):
+        tree = BPlusTree(order=5)
+        model: dict[int, int] = {}
+        for key, value in entries:
+            if key in model:
+                with pytest.raises(DuplicateKeyError):
+                    tree.insert(key, value)
+            else:
+                tree.insert(key, value)
+                model[key] = value
+        tree.check_invariants()
+        assert list(tree.items()) == sorted(model.items())
+        for key in list(model)[:20]:
+            assert tree.search(key) == [model[key]]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(-50, 50), st.integers(0, 5)), max_size=300)
+    )
+    def test_duplicates_match_multimap_model(self, entries):
+        tree = BPlusTree(order=5, unique=False)
+        model: dict[int, list[int]] = {}
+        for key, value in entries:
+            tree.insert(key, value)
+            model.setdefault(key, []).append(value)
+        tree.check_invariants()
+        for key, values in model.items():
+            assert tree.search(key) == values
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(-100, 100), min_size=1, max_size=200),
+        st.integers(-120, 120),
+        st.integers(-120, 120),
+    )
+    def test_range_matches_sorted_filter(self, keys, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        tree = BPlusTree(order=5, unique=False)
+        for key in keys:
+            tree.insert(key, key)
+        got = [k for k, _ in tree.range(lo, hi)]
+        expected = sorted(k for k in keys if lo <= k < hi)
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(-500, 500), max_size=200))
+    def test_delete_then_absent(self, keys):
+        tree = BPlusTree(order=5)
+        for key in keys:
+            tree.insert(key, key)
+        to_delete = sorted(keys)[::2]
+        for key in to_delete:
+            tree.delete(key)
+        tree.check_invariants()
+        for key in to_delete:
+            assert tree.search(key) == []
+        assert len(tree) == len(keys) - len(to_delete)

@@ -1,0 +1,112 @@
+"""External merge sort."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.exsort import SortStats, external_sort
+
+
+class TestBasicSorting:
+    def test_empty_input(self):
+        assert list(external_sort([])) == []
+
+    def test_single_element(self):
+        assert list(external_sort([5])) == [5]
+
+    def test_already_sorted(self):
+        data = list(range(100))
+        assert list(external_sort(data)) == data
+
+    def test_reverse_sorted(self):
+        data = list(range(100, 0, -1))
+        assert list(external_sort(data)) == sorted(data)
+
+    def test_key_function(self):
+        rows = [("b", 2), ("a", 1), ("c", 0)]
+        assert list(external_sort(rows, key=lambda r: r[1])) == [
+            ("c", 0),
+            ("a", 1),
+            ("b", 2),
+        ]
+
+    def test_memory_limit_validation(self):
+        with pytest.raises(ValueError):
+            list(external_sort([1, 2], memory_limit=1))
+
+
+class TestSpilling:
+    def test_spills_when_over_limit(self):
+        stats = SortStats()
+        data = [random.Random(3).randrange(1000) for _ in range(1000)]
+        rng = random.Random(3)
+        data = [rng.randrange(1000) for _ in range(1000)]
+        result = list(external_sort(data, memory_limit=100, stats=stats))
+        assert result == sorted(data)
+        assert stats.runs > 1
+        assert stats.spilled_rows >= 900
+        assert stats.merge_passes == 1
+
+    def test_no_spill_when_under_limit(self):
+        stats = SortStats()
+        result = list(external_sort([3, 1, 2], memory_limit=100, stats=stats))
+        assert result == [1, 2, 3]
+        assert stats.spilled_rows == 0
+        assert stats.runs == 1
+
+    def test_exact_multiple_of_limit(self):
+        data = list(range(50, 0, -1))
+        assert list(external_sort(data, memory_limit=10)) == sorted(data)
+
+    def test_stability_across_runs(self):
+        # Rows with equal keys must keep input order even when they land in
+        # different spill runs.
+        rows = [(i % 5, i) for i in range(200)]
+        result = list(external_sort(rows, key=lambda r: r[0], memory_limit=20))
+        for key in range(5):
+            sequence = [i for k, i in result if k == key]
+            assert sequence == sorted(sequence)
+
+    def test_temp_files_cleaned_up(self, tmp_path):
+        import os
+
+        data = list(range(500, 0, -1))
+        list(external_sort(data, memory_limit=50, tmp_dir=str(tmp_path)))
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_early_close_cleans_temp_files(self, tmp_path):
+        import os
+
+        data = list(range(500, 0, -1))
+        gen = external_sort(data, memory_limit=50, tmp_dir=str(tmp_path))
+        next(gen)
+        gen.close()
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_rows_in_counted(self):
+        stats = SortStats()
+        list(external_sort(range(123), stats=stats))
+        assert stats.rows_in == 123
+
+
+class TestComplexRows:
+    def test_pre_eti_shaped_rows(self):
+        # The actual use: sort pre-ETI rows on the full 4-column key.
+        rng = random.Random(7)
+        grams = ["ing", "oei", "com", "pan", "sea"]
+        rows = [
+            (rng.choice(grams), rng.randrange(3), rng.randrange(4), rng.randrange(100))
+            for _ in range(500)
+        ]
+        result = list(external_sort(rows, memory_limit=64))
+        assert result == sorted(rows)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(-10_000, 10_000), max_size=400),
+        st.integers(min_value=2, max_value=50),
+    )
+    def test_property_sorted_permutation(self, data, limit):
+        result = list(external_sort(data, memory_limit=limit))
+        assert result == sorted(data)

@@ -1,0 +1,154 @@
+"""Relational operators and the ETI-query plan shape."""
+
+import pytest
+
+from repro.db.query import (
+    Filter,
+    GroupAggregate,
+    IndexScan,
+    Limit,
+    MemorySource,
+    Project,
+    SeqScan,
+    Sort,
+)
+from repro.db.types import Column, ColumnType
+from repro.db.database import Database
+
+
+@pytest.fixture()
+def numbers():
+    return MemorySource(("k", "v"), [(3, "c"), (1, "a"), (2, "b"), (1, "z")])
+
+
+class TestScanFilterProject:
+    def test_seq_scan(self):
+        db = Database.in_memory()
+        rel = db.create_relation(
+            "t", [Column("a", ColumnType.INT), Column("b", ColumnType.STR)]
+        )
+        rel.insert((1, "x"))
+        rel.insert((2, "y"))
+        scan = SeqScan(rel)
+        assert scan.columns == ("a", "b")
+        assert list(scan) == [(1, "x"), (2, "y")]
+
+    def test_filter(self, numbers):
+        result = list(Filter(numbers, lambda row: row[0] == 1))
+        assert result == [(1, "a"), (1, "z")]
+
+    def test_filter_preserves_columns(self, numbers):
+        assert Filter(numbers, lambda r: True).columns == ("k", "v")
+
+    def test_project(self, numbers):
+        projected = Project(numbers, ["v"])
+        assert projected.columns == ("v",)
+        assert list(projected) == [("c",), ("a",), ("b",), ("z",)]
+
+    def test_project_reorders(self, numbers):
+        projected = Project(numbers, ["v", "k"])
+        assert list(projected)[0] == ("c", 3)
+
+    def test_project_unknown_column(self, numbers):
+        with pytest.raises(ValueError):
+            Project(numbers, ["nope"])
+
+    def test_limit(self, numbers):
+        assert list(Limit(numbers, 2)) == [(3, "c"), (1, "a")]
+
+    def test_limit_zero(self, numbers):
+        assert list(Limit(numbers, 0)) == []
+
+    def test_limit_negative_rejected(self, numbers):
+        with pytest.raises(ValueError):
+            Limit(numbers, -1)
+
+
+class TestIndexScan:
+    @pytest.fixture()
+    def indexed_relation(self):
+        db = Database.in_memory()
+        rel = db.create_relation(
+            "t", [Column("k", ColumnType.INT), Column("v", ColumnType.STR)]
+        )
+        for key in (5, 1, 9, 3, 7):
+            rel.insert((key, f"v{key}"))
+        rel.create_index("by_k", ["k"], unique=True)
+        return rel
+
+    def test_full_scan_in_key_order(self, indexed_relation):
+        rows = list(IndexScan(indexed_relation, "by_k"))
+        assert [r[0] for r in rows] == [1, 3, 5, 7, 9]
+
+    def test_range_scan(self, indexed_relation):
+        rows = list(IndexScan(indexed_relation, "by_k", lo=3, hi=8))
+        assert [r[0] for r in rows] == [3, 5, 7]
+
+    def test_columns(self, indexed_relation):
+        assert IndexScan(indexed_relation, "by_k").columns == ("k", "v")
+
+
+class TestSort:
+    def test_sort_by_one_column(self, numbers):
+        result = list(Sort(numbers, key_columns=("k",)))
+        assert [r[0] for r in result] == [1, 1, 2, 3]
+
+    def test_sort_by_two_columns(self):
+        source = MemorySource(("a", "b"), [(1, 2), (0, 9), (1, 1)])
+        result = list(Sort(source, key_columns=("a", "b")))
+        assert result == [(0, 9), (1, 1), (1, 2)]
+
+    def test_sort_records_stats(self, numbers):
+        op = Sort(numbers, key_columns=("k",), memory_limit=2)
+        list(op)
+        assert op.stats.rows_in == 4
+        assert op.stats.runs >= 2
+
+
+class TestGroupAggregate:
+    def test_group_counts(self):
+        source = MemorySource(("g", "x"), [(1, "a"), (1, "b"), (2, "c")])
+        op = GroupAggregate(source, ("g",), [("n", len)])
+        assert op.columns == ("g", "n")
+        assert list(op) == [(1, 2), (2, 1)]
+
+    def test_group_collects_lists(self):
+        source = MemorySource(("g", "tid"), [(1, 10), (1, 11), (2, 12)])
+        op = GroupAggregate(
+            source, ("g",), [("tids", lambda rows: [r[1] for r in rows])]
+        )
+        assert list(op) == [(1, [10, 11]), (2, [12])]
+
+    def test_unsorted_input_rejected(self):
+        source = MemorySource(("g",), [(2,), (1,), (2,)])
+        op = GroupAggregate(source, ("g",), [("n", len)])
+        with pytest.raises(ValueError, match="not sorted"):
+            list(op)
+
+    def test_empty_input(self):
+        source = MemorySource(("g",), [])
+        assert list(GroupAggregate(source, ("g",), [("n", len)])) == []
+
+    def test_eti_query_plan(self):
+        """The paper's ETI-query: sort pre-ETI rows, group by key prefix."""
+        rows = [
+            ("sea", 1, 2, 3),
+            ("com", 1, 1, 1),
+            ("sea", 1, 2, 1),
+            ("com", 2, 1, 3),
+            ("sea", 1, 2, 2),
+        ]
+        source = MemorySource(("qgram", "coordinate", "column", "tid"), rows)
+        plan = GroupAggregate(
+            Sort(source, key_columns=("qgram", "coordinate", "column", "tid")),
+            group_columns=("qgram", "coordinate", "column"),
+            aggregates=(
+                ("frequency", len),
+                ("tid_list", lambda group: [r[3] for r in group]),
+            ),
+        )
+        assert list(plan) == [
+            ("com", 1, 1, 1, [1]),
+            ("com", 2, 1, 1, [3]),
+            ("sea", 1, 2, 3, [1, 2, 3]),
+        ]

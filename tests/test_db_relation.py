@@ -1,0 +1,184 @@
+"""Relations, indexes, and the database catalog."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.errors import (
+    DuplicateKeyError,
+    RecordNotFoundError,
+    RelationError,
+    SchemaError,
+)
+from repro.db.types import Column, ColumnType
+
+
+@pytest.fixture()
+def db():
+    database = Database.in_memory()
+    yield database
+    database.close()
+
+
+@pytest.fixture()
+def people(db):
+    rel = db.create_relation(
+        "people",
+        [
+            Column("tid", ColumnType.INT),
+            Column("name", ColumnType.STR),
+            Column("city", ColumnType.STR, nullable=True),
+        ],
+    )
+    rel.insert((1, "ada", "london"))
+    rel.insert((2, "grace", "new york"))
+    rel.insert((3, "alan", "london"))
+    return rel
+
+
+class TestRelationBasics:
+    def test_insert_and_scan(self, people):
+        assert list(people.scan()) == [
+            (1, "ada", "london"),
+            (2, "grace", "new york"),
+            (3, "alan", "london"),
+        ]
+
+    def test_len(self, people):
+        assert len(people) == 3
+
+    def test_fetch_by_rid(self, people):
+        rid = people.insert((4, "edsger", None))
+        assert people.fetch(rid) == (4, "edsger", None)
+
+    def test_schema_enforced(self, people):
+        with pytest.raises(SchemaError):
+            people.insert(("not-an-int", "x", "y"))
+
+    def test_insert_many(self, db):
+        rel = db.create_relation("bulk", [Column("v", ColumnType.INT)])
+        assert rel.insert_many([(i,) for i in range(100)]) == 100
+        assert len(rel) == 100
+
+    def test_delete_removes_from_scan(self, people):
+        rid = people.insert((4, "gone", None))
+        people.delete(rid)
+        assert (4, "gone", None) not in list(people.scan())
+
+
+class TestIndexes:
+    def test_unique_index_lookup(self, people):
+        people.create_index("by_tid", ["tid"], unique=True)
+        assert people.index_get("by_tid", 2) == (2, "grace", "new york")
+
+    def test_unique_violation(self, people):
+        people.create_index("by_tid", ["tid"], unique=True)
+        with pytest.raises(DuplicateKeyError):
+            people.insert((1, "dup", None))
+
+    def test_non_unique_index(self, people):
+        people.create_index("by_city", ["city"])
+        rows = people.index_lookup("by_city", "london")
+        assert {r[1] for r in rows} == {"ada", "alan"}
+
+    def test_index_on_existing_rows(self, people):
+        # create_index was called after inserts in the fixture's siblings;
+        # here ensure pre-existing rows are indexed.
+        people.create_index("by_name", ["name"], unique=True)
+        assert people.index_get("by_name", "ada")[0] == 1
+
+    def test_composite_index(self, db):
+        rel = db.create_relation(
+            "eti",
+            [
+                Column("qgram", ColumnType.STR),
+                Column("coordinate", ColumnType.INT),
+                Column("column", ColumnType.INT),
+            ],
+        )
+        rel.insert(("ing", 2, 1))
+        rel.insert(("ing", 1, 1))
+        rel.create_index("key", ["qgram", "coordinate", "column"], unique=True)
+        assert rel.index_get("key", ("ing", 2, 1)) == ("ing", 2, 1)
+
+    def test_index_get_missing_raises(self, people):
+        people.create_index("by_tid", ["tid"], unique=True)
+        with pytest.raises(RecordNotFoundError):
+            people.index_get("by_tid", 99)
+
+    def test_index_range(self, people):
+        people.create_index("by_tid", ["tid"], unique=True)
+        rows = list(people.index_range("by_tid", 1, 3))
+        assert [key for key, _ in rows] == [1, 2]
+
+    def test_duplicate_index_name_rejected(self, people):
+        people.create_index("idx", ["tid"])
+        with pytest.raises(RelationError):
+            people.create_index("idx", ["name"])
+
+    def test_unknown_index_rejected(self, people):
+        with pytest.raises(RelationError):
+            people.index_lookup("nope", 1)
+
+    def test_insert_updates_all_indexes(self, people):
+        people.create_index("by_tid", ["tid"], unique=True)
+        people.create_index("by_name", ["name"])
+        people.insert((10, "barbara", "mit"))
+        assert people.index_get("by_tid", 10)[1] == "barbara"
+        assert people.index_lookup("by_name", "barbara")[0][0] == 10
+
+    def test_delete_updates_indexes(self, people):
+        people.create_index("by_tid", ["tid"], unique=True)
+        rid = people.insert((10, "temp", None))
+        people.delete(rid)
+        with pytest.raises(RecordNotFoundError):
+            people.index_get("by_tid", 10)
+
+    def test_index_stats(self, people):
+        people.create_index("by_tid", ["tid"], unique=True)
+        stats = people.index_stats("by_tid")
+        assert stats["entries"] == 3
+        assert stats["height"] >= 1
+
+
+class TestDatabase:
+    def test_create_and_get(self, db):
+        db.create_relation("r", [Column("v", ColumnType.INT)])
+        assert db.relation("r").name == "r"
+        assert "r" in db
+
+    def test_duplicate_name_rejected(self, db):
+        db.create_relation("r", [Column("v", ColumnType.INT)])
+        with pytest.raises(RelationError):
+            db.create_relation("r", [Column("v", ColumnType.INT)])
+
+    def test_unknown_relation_rejected(self, db):
+        with pytest.raises(RelationError):
+            db.relation("missing")
+
+    def test_drop(self, db):
+        db.create_relation("r", [Column("v", ColumnType.INT)])
+        db.drop_relation("r")
+        assert "r" not in db
+        with pytest.raises(RelationError):
+            db.drop_relation("r")
+
+    def test_relation_names(self, db):
+        db.create_relation("a", [Column("v", ColumnType.INT)])
+        db.create_relation("b", [Column("v", ColumnType.INT)])
+        assert db.relation_names() == ("a", "b")
+
+    def test_context_manager(self):
+        with Database.in_memory() as db:
+            db.create_relation("r", [Column("v", ColumnType.INT)])
+        assert db.relation_names() == ()
+
+    def test_on_disk_round_trip(self, tmp_path):
+        path = str(tmp_path / "wh.db")
+        with Database.on_disk(path) as db:
+            rel = db.create_relation("r", [Column("v", ColumnType.STR)])
+            for i in range(200):
+                rel.insert((f"value-{i}",))
+            db.pool.flush()
+            rows = list(rel.scan())
+        assert len(rows) == 200
+        assert rows[57] == ("value-57",)

@@ -1,0 +1,137 @@
+"""Schema validation and the binary row codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.errors import SchemaError
+from repro.db.types import Column, ColumnType, Schema
+
+
+def make_schema():
+    return Schema(
+        [
+            Column("tid", ColumnType.INT),
+            Column("name", ColumnType.STR, nullable=True),
+            Column("score", ColumnType.FLOAT),
+            Column("tids", ColumnType.INT_LIST, nullable=True),
+        ]
+    )
+
+
+class TestSchema:
+    def test_names(self):
+        assert make_schema().names == ("tid", "name", "score", "tids")
+
+    def test_len(self):
+        assert len(make_schema()) == 4
+
+    def test_position(self):
+        schema = make_schema()
+        assert schema.position("tid") == 0
+        assert schema.position("tids") == 3
+
+    def test_position_unknown_column(self):
+        with pytest.raises(SchemaError, match="no column"):
+            make_schema().position("nope")
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Column("a", ColumnType.INT), Column("a", ColumnType.STR)])
+
+    def test_validate_returns_tuple(self):
+        row = make_schema().validate([1, "x", 2.0, [1, 2]])
+        assert isinstance(row, tuple)
+
+    def test_validate_wrong_arity(self):
+        with pytest.raises(SchemaError, match="values"):
+            make_schema().validate((1, "x", 2.0))
+
+    def test_validate_null_in_non_nullable(self):
+        with pytest.raises(SchemaError, match="not nullable"):
+            make_schema().validate((None, "x", 2.0, []))
+
+    def test_validate_null_in_nullable(self):
+        assert make_schema().validate((1, None, 2.0, None)) == (1, None, 2.0, None)
+
+    def test_validate_type_mismatch_str(self):
+        with pytest.raises(SchemaError, match="expects str"):
+            make_schema().validate((1, 5, 2.0, []))
+
+    def test_validate_type_mismatch_int(self):
+        with pytest.raises(SchemaError, match="expects int"):
+            make_schema().validate(("1", "x", 2.0, []))
+
+    def test_validate_int_accepted_for_float(self):
+        assert make_schema().validate((1, "x", 2, []))[2] == 2
+
+    def test_validate_bad_int_list(self):
+        with pytest.raises(SchemaError, match="list of non-negative"):
+            make_schema().validate((1, "x", 2.0, [-1]))
+
+    def test_validate_int_list_not_a_list(self):
+        with pytest.raises(SchemaError, match="list of non-negative"):
+            make_schema().validate((1, "x", 2.0, "nope"))
+
+
+class TestCodec:
+    def test_round_trip_basic(self):
+        schema = make_schema()
+        row = (42, "boeing company", 0.806, [1, 2, 3])
+        assert schema.decode(schema.encode(row)) == row
+
+    def test_round_trip_nulls(self):
+        schema = make_schema()
+        row = (42, None, -1.5, None)
+        assert schema.decode(schema.encode(row)) == row
+
+    def test_round_trip_empty_containers(self):
+        schema = make_schema()
+        row = (0, "", 0.0, [])
+        assert schema.decode(schema.encode(row)) == row
+
+    def test_round_trip_negative_int(self):
+        schema = Schema([Column("v", ColumnType.INT)])
+        for value in (-1, -(2**40), 2**40, 0):
+            assert schema.decode(schema.encode((value,))) == (value,)
+
+    def test_round_trip_unicode(self):
+        schema = Schema([Column("s", ColumnType.STR)])
+        row = ("zürich — 北京",)
+        assert schema.decode(schema.encode(row)) == row
+
+    def test_null_distinct_from_empty_list(self):
+        schema = Schema([Column("l", ColumnType.INT_LIST, nullable=True)])
+        assert schema.decode(schema.encode((None,))) == (None,)
+        assert schema.decode(schema.encode(([],))) == ([],)
+
+    def test_null_distinct_from_empty_string(self):
+        schema = Schema([Column("s", ColumnType.STR, nullable=True)])
+        assert schema.decode(schema.encode((None,))) == (None,)
+        assert schema.decode(schema.encode(("",))) == ("",)
+
+    def test_trailing_bytes_rejected(self):
+        schema = Schema([Column("v", ColumnType.INT)])
+        data = schema.encode((1,)) + b"\x00"
+        with pytest.raises(SchemaError, match="trailing"):
+            schema.decode(data)
+
+    def test_truncated_data_rejected(self):
+        schema = Schema([Column("s", ColumnType.STR)])
+        data = schema.encode(("hello world",))
+        with pytest.raises(SchemaError):
+            schema.decode(data[:3])
+
+    @given(
+        st.tuples(
+            st.integers(min_value=-(2**62), max_value=2**62),
+            st.one_of(st.none(), st.text(max_size=50)),
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+            st.one_of(
+                st.none(),
+                st.lists(st.integers(min_value=0, max_value=2**40), max_size=20),
+            ),
+        )
+    )
+    def test_round_trip_property(self, row):
+        schema = make_schema()
+        assert schema.decode(schema.encode(row)) == row

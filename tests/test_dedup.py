@@ -1,0 +1,249 @@
+"""Offline fuzzy-duplicate elimination."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MatchConfig
+from repro.core.reference import ReferenceTable
+from repro.data.errors import ErrorModel
+from repro.data.generator import generate_customers
+from repro.db.database import Database
+from repro.dedup import FuzzyDeduplicator, UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert len(uf) == 3
+        assert not uf.connected(1, 2)
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert uf.find(1) == uf.find(2)
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+
+    def test_groups(self):
+        uf = UnionFind([0])
+        uf.union(1, 2)
+        uf.union(2, 3)
+        uf.union(4, 5)
+        groups = sorted(uf.groups().values())
+        assert groups == [[0], [1, 2, 3], [4, 5]]
+
+    def test_implicit_add_on_find(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+
+    def test_connected_unknown_items(self):
+        uf = UnionFind()
+        assert not uf.connected("a", "b")
+        assert len(uf) == 0
+
+    def test_union_returns_root(self):
+        uf = UnionFind()
+        root = uf.union("a", "b")
+        assert root in ("a", "b")
+        assert uf.find("a") == root
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_partition(self, pairs):
+        uf = UnionFind()
+        naive: list[set] = []
+        for a, b in pairs:
+            uf.union(a, b)
+            set_a = next((s for s in naive if a in s), None)
+            set_b = next((s for s in naive if b in s), None)
+            if set_a is None and set_b is None:
+                naive.append({a, b})
+            elif set_a is None:
+                set_b.add(a)
+            elif set_b is None:
+                set_a.add(b)
+            elif set_a is not set_b:
+                set_a |= set_b
+                naive.remove(set_b)
+        for group in naive:
+            members = sorted(group)
+            for member in members[1:]:
+                assert uf.connected(members[0], member)
+
+
+def relation_with_filler(name, rows, filler=40, seed=29):
+    """A relation with ``rows`` plus generated filler tuples.
+
+    Tiny relations make IDF degenerate (a token occurring in every tuple
+    weighs zero); the filler gives the interesting rows realistic weights.
+    """
+    customers = generate_customers(filler * 2, seed=seed, unique=True)
+    db = Database.in_memory()
+    num_columns = len(rows[0][1])
+    reference = ReferenceTable(
+        db, name, ["name", "city", "state", "zipcode"][:num_columns]
+    )
+    # Column truncation can re-introduce duplicates; keep distinct prefixes.
+    seen = set()
+    loaded = 0
+    for customer in customers:
+        values = customer.values[:num_columns]
+        if values in seen or loaded >= filler:
+            continue
+        seen.add(values)
+        reference.insert(loaded, values)
+        loaded += 1
+    reference.load(rows)
+    return db, reference
+
+
+def make_relation_with_duplicates(num_clean=120, duplicate_groups=8, seed=11):
+    """A relation where some customers appear 2-3 times with errors."""
+    customers = generate_customers(num_clean, seed=seed, unique=True)
+    error_model = ErrorModel((0.5, 0.3, 0.3, 0.3), seed=seed + 1)
+    rows = [(c.tid, c.values) for c in customers]
+    expected_groups = []
+    next_tid = num_clean
+    for i in range(duplicate_groups):
+        source = customers[i * 7]
+        group = [source.tid]
+        for _ in range(2):
+            dirty, _ = error_model.corrupt(source.values)
+            rows.append((next_tid, dirty))
+            group.append(next_tid)
+            next_tid += 1
+        expected_groups.append(tuple(group))
+    db = Database.in_memory()
+    reference = ReferenceTable(db, "dup_rel", ["name", "city", "state", "zipcode"])
+    reference.load(rows)
+    return db, reference, expected_groups
+
+
+class TestFuzzyDeduplicator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FuzzyDeduplicator(threshold=0.0)
+        with pytest.raises(ValueError):
+            FuzzyDeduplicator(neighbors=0)
+
+    def test_clean_relation_has_no_clusters(self):
+        customers = generate_customers(60, seed=3, unique=True)
+        db = Database.in_memory()
+        reference = ReferenceTable(db, "clean", ["name", "city", "state", "zipcode"])
+        reference.load((c.tid, c.values) for c in customers)
+        report = FuzzyDeduplicator(threshold=0.95).deduplicate(reference, db)
+        assert report.clusters == []
+        assert report.duplicate_count == 0
+        assert report.tuples_scanned == 60
+
+    def test_finds_injected_duplicates(self):
+        db, reference, expected_groups = make_relation_with_duplicates()
+        dedup = FuzzyDeduplicator(threshold=0.60, config=MatchConfig())
+        report = dedup.deduplicate(reference, db)
+        found = {tuple(sorted(c.member_tids)) for c in report.clusters}
+        hits = sum(
+            1
+            for group in expected_groups
+            if any(set(group) <= set(cluster) for cluster in found)
+        )
+        # Most injected groups must be recovered fully.
+        assert hits >= len(expected_groups) * 0.7
+
+    def test_exact_duplicates_always_cluster(self):
+        db, reference = relation_with_filler(
+            "exact",
+            [
+                (100, ("pacific holdings", "seattle")),
+                (101, ("pacific holdings", "seattle")),
+                (102, ("granite partners", "tacoma")),
+            ],
+        )
+        report = FuzzyDeduplicator(threshold=0.99).deduplicate(reference, db)
+        assert len(report.clusters) == 1
+        assert report.clusters[0].member_tids == (100, 101)
+
+    def test_canonical_is_most_informative(self):
+        """The canonical tuple carries the most token weight (no missing
+        fields), so the complete variant survives."""
+        db, reference = relation_with_filler(
+            "canon",
+            [
+                (100, ("sterling manufacturing", None)),
+                (101, ("sterling manufacturing", "spokane")),
+                (102, ("harbor logistics", "portland")),
+            ],
+        )
+        from repro.core.config import MatchConfig as MC
+        from repro.core.fms import fms as fms_fn
+        from repro.core.weights import build_frequency_cache
+
+        weights = build_frequency_cache(reference.scan_values(), 2)
+        forward = fms_fn(reference.fetch(100), reference.fetch(101), weights, MC())
+        report = FuzzyDeduplicator(threshold=forward - 0.02).deduplicate(
+            reference, db
+        )
+        # Filler person-names may form their own clusters at this
+        # threshold; the assertion targets the planted pair's cluster.
+        cluster = next(c for c in report.clusters if 100 in c.member_tids)
+        assert cluster.member_tids == (100, 101)
+        assert cluster.canonical_tid == 101
+        assert cluster.duplicate_tids == (100,)
+
+    def test_duplicates_of_mapping(self):
+        db, reference = relation_with_filler(
+            "map", [(100, ("acme widgets", "yakima")), (101, ("acme widgets", "yakima"))]
+        )
+        report = FuzzyDeduplicator(threshold=0.99).deduplicate(reference, db)
+        mapping = report.duplicates_of()
+        assert len(mapping) == 1
+        (duplicate, canonical), = mapping.items()
+        assert {duplicate, canonical} == {100, 101}
+
+    def test_temporary_eti_dropped(self):
+        db = Database.in_memory()
+        reference = ReferenceTable(db, "tidy", ["name"])
+        reference.load([(0, ("alpha",)), (1, ("beta",))])
+        FuzzyDeduplicator(threshold=0.9).deduplicate(reference, db)
+        assert "tidy_dedup_eti" not in db
+
+    def test_asymmetric_direction_merges_missing_field(self):
+        """A tuple with a dropped token merges with its complete version
+        thanks to the reverse-direction fms check.
+
+        Forward (complete -> incomplete) pays a full deletion of
+        'evergreen'; reverse only pays the discounted insertion, so only
+        the reverse direction clears the threshold.
+        """
+        db, reference = relation_with_filler(
+            "asym",
+            [
+                (100, ("cascade evergreen ventures", "bellingham")),
+                (101, ("cascade ventures", "bellingham")),
+                (102, ("quantum dynamics", "boise")),
+            ],
+        )
+        from repro.core.config import MatchConfig as MC
+        from repro.core.fms import fms as fms_fn
+        from repro.core.weights import build_frequency_cache
+
+        weights = build_frequency_cache(reference.scan_values(), 2)
+        forward = fms_fn(
+            reference.fetch(100), reference.fetch(101), weights, MC()
+        )
+        reverse = fms_fn(
+            reference.fetch(101), reference.fetch(100), weights, MC()
+        )
+        # Pick a threshold separating the two directions, so only the
+        # reverse check can merge the pair.
+        threshold = (forward + reverse) / 2
+        assert forward < threshold < reverse
+        report = FuzzyDeduplicator(threshold=threshold).deduplicate(reference, db)
+        assert any(
+            set(c.member_tids) == {100, 101} for c in report.clusters
+        ), report.clusters

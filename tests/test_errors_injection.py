@@ -1,0 +1,202 @@
+"""Error injection: Table 4 semantics, Type I/II, determinism."""
+
+import pytest
+
+from repro.data.errors import ErrorModel, ErrorType
+
+VALUES = ("boeing company", "new york", "ny", "10001")
+
+
+def make_model(**kwargs):
+    defaults = dict(
+        column_error_probabilities=(1.0, 1.0, 1.0, 1.0), seed=3
+    )
+    defaults.update(kwargs)
+    return ErrorModel(**defaults)
+
+
+class TestModelConstruction:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            make_model(method="type3")
+
+    def test_type2_requires_lookup(self):
+        with pytest.raises(ValueError, match="frequency_lookup"):
+            make_model(method="type2")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorModel(column_error_probabilities=(1.5,))
+
+    def test_type2_with_lookup_accepted(self):
+        model = make_model(method="type2", frequency_lookup=lambda t, c: 1)
+        corrupted, _ = model.corrupt(VALUES)
+        assert len(corrupted) == 4
+
+
+class TestCorruption:
+    def test_zero_probabilities_leave_clean(self):
+        model = make_model(column_error_probabilities=(0.0,) * 4)
+        corrupted, report = model.corrupt(VALUES)
+        assert corrupted == VALUES
+        assert report.is_clean
+
+    def test_probability_one_corrupts_every_column(self):
+        model = make_model()
+        _, report = model.corrupt(VALUES)
+        assert len(report.errors) == 4
+
+    def test_deterministic_given_seed(self):
+        a = make_model(seed=11).corrupt(VALUES)
+        b = make_model(seed=11).corrupt(VALUES)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        results = {make_model(seed=s).corrupt(VALUES)[0] for s in range(10)}
+        assert len(results) > 1
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_model().corrupt(("only", "three", "values"))
+
+    def test_none_columns_left_alone(self):
+        model = make_model()
+        corrupted, report = model.corrupt(("name", None, "wa", "98004"))
+        assert corrupted[1] is None
+        assert all(column != 1 for column, _ in report.errors)
+
+    def test_report_lists_column_error_pairs(self):
+        model = make_model()
+        _, report = model.corrupt(VALUES)
+        for column, error in report.errors:
+            assert 0 <= column < 4
+            assert isinstance(error, ErrorType)
+
+
+class TestErrorTypes:
+    def _collect(self, error_type, column=1, trials=400):
+        """Corrupt many times; return (originals, corrupted) for one type."""
+        model = make_model(seed=5)
+        outputs = []
+        for _ in range(trials):
+            corrupted, report = model.corrupt(VALUES)
+            if (column, error_type) in report.errors:
+                outputs.append(corrupted[column])
+        return outputs
+
+    def test_missing_values_occur_off_name(self):
+        outputs = self._collect(ErrorType.MISSING, column=1)
+        assert outputs and all(v is None for v in outputs)
+
+    def test_missing_never_on_name_column(self):
+        model = make_model(seed=7)
+        for _ in range(500):
+            _, report = model.corrupt(VALUES)
+            assert (0, ErrorType.MISSING) not in report.errors
+
+    def test_truncation_shortens_by_at_most_five(self):
+        outputs = self._collect(ErrorType.TRUNCATION, column=0)
+        original = VALUES[0]
+        assert outputs
+        for value in outputs:
+            assert original.startswith(value[: len(value)])
+            assert 1 <= len(original) - len(value) <= 5 + 1  # +1 for rstrip
+
+    def test_token_merge_removes_delimiter(self):
+        outputs = self._collect(ErrorType.TOKEN_MERGE, column=1)
+        assert outputs
+        for value in outputs:
+            assert value == "newyork"
+
+    def test_token_transposition_reorders(self):
+        outputs = self._collect(ErrorType.TOKEN_TRANSPOSITION, column=1)
+        assert outputs
+        for value in outputs:
+            assert value == "york new"
+
+    def test_spelling_changes_one_token(self):
+        outputs = self._collect(ErrorType.SPELLING, column=0)
+        assert outputs
+        for value in outputs:
+            assert value != VALUES[0]
+            # Still two tokens (spelling errors never merge/split tokens).
+            assert len(value.split()) == 2
+
+    def test_spelling_on_digit_token_stays_digits(self):
+        outputs = self._collect(ErrorType.SPELLING, column=3)
+        assert outputs
+        for value in outputs:
+            assert value.isdigit()
+
+    def test_abbreviation_replaces_known_token(self):
+        outputs = self._collect(ErrorType.ABBREVIATION, column=0)
+        assert outputs
+        from repro.data.pools import ABBREVIATIONS
+
+        short_forms = set(ABBREVIATIONS["company"])
+        replaced = [v for v in outputs if v.split()[-1] in short_forms]
+        # 'company' is the only abbreviatable token in 'boeing company'.
+        assert replaced == outputs
+
+    def test_abbreviation_falls_back_to_spelling(self):
+        # No abbreviatable token in 'zzqqxx': an abbreviation error must
+        # still corrupt the value rather than no-op.
+        model = make_model(seed=9)
+        changed = 0
+        for _ in range(300):
+            corrupted, report = model.corrupt(("zzqqxx aabbcc", "x y", "zz", "11111"))
+            if (0, ErrorType.ABBREVIATION) in report.errors:
+                assert corrupted[0] != "zzqqxx aabbcc"
+                changed += 1
+        assert changed > 0
+
+
+class TestProbabilities:
+    def test_column_probability_honored(self):
+        model = make_model(column_error_probabilities=(0.5, 0.0, 0.0, 0.0), seed=13)
+        errored = sum(
+            0 if model.corrupt(VALUES)[1].is_clean else 1 for _ in range(1000)
+        )
+        assert 400 < errored < 600
+
+    def test_name_column_mix_differs_from_others(self):
+        """Table 4 has distinct conditional distributions for i=1 vs i≠1."""
+        model = make_model(seed=17)
+        name_errors = []
+        other_errors = []
+        for _ in range(2000):
+            _, report = model.corrupt(VALUES)
+            for column, error in report.errors:
+                (name_errors if column == 0 else other_errors).append(error)
+        name_missing = name_errors.count(ErrorType.MISSING)
+        other_missing = other_errors.count(ErrorType.MISSING)
+        assert name_missing == 0
+        assert other_missing > 0
+        # Spelling dominates both (0.5 and 0.4 in Table 4).
+        assert name_errors.count(ErrorType.SPELLING) / len(name_errors) > 0.3
+        assert other_errors.count(ErrorType.SPELLING) / len(other_errors) > 0.25
+
+
+class TestTypeTwo:
+    def test_frequent_tokens_targeted_more(self):
+        """Type II: error probability proportional to token frequency."""
+        frequencies = {"corporation": 1000, "zyxw": 1}
+
+        model = ErrorModel(
+            (1.0,),
+            method="type2",
+            frequency_lookup=lambda token, column: frequencies.get(token, 1),
+            name_column=0,
+            seed=23,
+        )
+        corrupted_counts = {"corporation": 0, "zyxw": 0}
+        for _ in range(600):
+            corrupted, report = model.corrupt(("zyxw corporation",))
+            if not report.errors:
+                continue
+            tokens = (corrupted[0] or "").split()
+            if "zyxw" not in tokens:
+                corrupted_counts["zyxw"] += 1
+            if "corporation" not in tokens:
+                corrupted_counts["corporation"] += 1
+        assert corrupted_counts["corporation"] > corrupted_counts["zyxw"]

@@ -1,0 +1,220 @@
+"""ETI construction and lookup (§4.2, §5.1)."""
+
+import pytest
+
+from repro.core.config import MatchConfig, SignatureScheme
+from repro.core.minhash import MinHasher
+from repro.core.tokens import TupleTokens
+from repro.eti.builder import EtiBuilder, build_eti
+from repro.eti.schema import ETI_INDEX
+from repro.eti.signature import TOKEN_COORDINATE, SignatureEntry, signature_entries
+
+
+class TestSignatureEntries:
+    def setup_method(self):
+        self.hasher = MinHasher(q=3, num_hashes=2, seed=1)
+
+    def test_q_scheme_long_token(self):
+        config = MatchConfig(q=3, signature_size=2, scheme=SignatureScheme.QGRAMS)
+        entries = signature_entries("corporation", self.hasher, config)
+        assert len(entries) == 2
+        assert [e.coordinate for e in entries] == [1, 2]
+        assert all(e.weight_fraction == pytest.approx(0.5) for e in entries)
+
+    def test_q_scheme_short_token(self):
+        config = MatchConfig(q=3, signature_size=2, scheme=SignatureScheme.QGRAMS)
+        entries = signature_entries("wa", self.hasher, config)
+        assert entries == (SignatureEntry(1, "wa", 1.0),)
+
+    def test_qt_scheme_adds_token_coordinate(self):
+        config = MatchConfig(
+            q=3, signature_size=2, scheme=SignatureScheme.QGRAMS_PLUS_TOKEN
+        )
+        entries = signature_entries("corporation", self.hasher, config)
+        assert entries[0].coordinate == TOKEN_COORDINATE
+        assert entries[0].gram == "corporation"
+        assert entries[0].weight_fraction == pytest.approx(0.5)
+        assert [e.coordinate for e in entries[1:]] == [1, 2]
+        assert all(e.weight_fraction == pytest.approx(0.25) for e in entries[1:])
+
+    def test_qt_zero_is_token_only(self):
+        config = MatchConfig(
+            q=3, signature_size=0, scheme=SignatureScheme.QGRAMS_PLUS_TOKEN
+        )
+        entries = signature_entries("corporation", self.hasher, config)
+        assert entries == (SignatureEntry(TOKEN_COORDINATE, "corporation", 1.0),)
+
+    def test_weight_fractions_sum_to_one(self):
+        for scheme in SignatureScheme:
+            for size in (1, 2, 3):
+                config = MatchConfig(q=3, signature_size=size, scheme=scheme)
+                for token in ("corporation", "wa", "boeing"):
+                    entries = signature_entries(token, self.hasher, config)
+                    assert sum(e.weight_fraction for e in entries) == pytest.approx(1.0)
+
+    def test_empty_token(self):
+        config = MatchConfig(q=3, signature_size=2)
+        assert signature_entries("", self.hasher, config) == ()
+
+    def test_grams_come_from_minhash(self):
+        config = MatchConfig(q=3, signature_size=2, scheme=SignatureScheme.QGRAMS)
+        entries = signature_entries("corporation", self.hasher, config)
+        assert tuple(e.gram for e in entries) == self.hasher.signature("corporation")
+
+    def test_full_scheme_indexes_every_qgram(self):
+        config = MatchConfig(q=3, scheme=SignatureScheme.FULL_QGRAMS)
+        entries = signature_entries("boeing", self.hasher, config)
+        assert {e.gram for e in entries} == {"boe", "oei", "ein", "ing"}
+        assert all(e.coordinate == 1 for e in entries)
+        assert sum(e.weight_fraction for e in entries) == pytest.approx(1.0)
+
+    def test_full_scheme_short_token(self):
+        config = MatchConfig(q=3, scheme=SignatureScheme.FULL_QGRAMS)
+        entries = signature_entries("wa", self.hasher, config)
+        assert entries == (SignatureEntry(1, "wa", 1.0),)
+
+    def test_full_scheme_label(self):
+        config = MatchConfig(q=3, scheme=SignatureScheme.FULL_QGRAMS)
+        assert config.strategy_label == "Full"
+
+
+class TestEtiBuild:
+    def test_builds_and_counts(self, org_db, org_reference, paper_config):
+        eti, stats = build_eti(org_db, org_reference, paper_config)
+        assert stats.reference_tuples == 3
+        assert stats.eti_rows == len(eti)
+        assert stats.eti_rows > 0
+        assert stats.pre_eti_rows >= stats.eti_rows
+
+    def test_every_reference_token_is_indexed(
+        self, org_db, org_reference, paper_config
+    ):
+        """Completeness: every signature coordinate of every reference tuple
+        must carry that tuple's tid in its ETI tid-list."""
+        hasher = MinHasher(
+            paper_config.q, paper_config.signature_size, paper_config.seed
+        )
+        eti, _ = build_eti(org_db, org_reference, paper_config, hasher=hasher)
+        for tid, values in org_reference.scan():
+            tokens = TupleTokens.from_values(values)
+            for column in range(tokens.num_columns):
+                for token in tokens.column_tokens(column):
+                    for entry in signature_entries(token, hasher, paper_config):
+                        record = eti.lookup(entry.gram, entry.coordinate, column)
+                        assert record is not None
+                        assert tid in record.tid_list
+
+    def test_frequencies_count_tid_list(self, org_db, org_reference, paper_config):
+        eti, _ = build_eti(org_db, org_reference, paper_config)
+        for row in eti.relation.scan():
+            qgram, coordinate, column, frequency, tid_list = row
+            assert frequency == len(tid_list)
+
+    def test_shared_tokens_share_tid_lists(self, org_db, org_reference, paper_config):
+        """'seattle' appears in all three tuples: its q-grams list all tids."""
+        hasher = MinHasher(
+            paper_config.q, paper_config.signature_size, paper_config.seed
+        )
+        eti, _ = build_eti(org_db, org_reference, paper_config, hasher=hasher)
+        for entry in signature_entries("seattle", hasher, paper_config):
+            record = eti.lookup(entry.gram, entry.coordinate, 1)
+            assert sorted(record.tid_list) == [1, 2, 3]
+
+    def test_stop_qgrams_get_null_tid_lists(self, org_db, org_reference):
+        config = MatchConfig(
+            q=3,
+            signature_size=2,
+            scheme=SignatureScheme.QGRAMS,
+            stop_qgram_threshold=2,
+        )
+        eti, stats = build_eti(org_db, org_reference, config)
+        assert stats.stop_qgrams > 0
+        # 'sea'/'ttl' style grams appear in 3 tuples > threshold 2.
+        null_rows = [
+            row for row in eti.relation.scan() if row[4] is None
+        ]
+        assert len(null_rows) == stats.stop_qgrams
+        for row in null_rows:
+            assert row[3] > 2  # frequency preserved even when list is NULL
+
+    def test_pre_eti_dropped_by_default(self, org_db, org_reference, paper_config):
+        build_eti(org_db, org_reference, paper_config)
+        assert "eti_pre" not in org_db
+
+    def test_pre_eti_kept_on_request(self, org_db, org_reference, paper_config):
+        builder = EtiBuilder(org_db, paper_config)
+        builder.build(org_reference, eti_name="eti2", keep_pre_eti=True)
+        assert "eti2_pre" in org_db
+
+    def test_qt_scheme_indexes_whole_tokens(self, org_db, org_reference):
+        config = MatchConfig(
+            q=3, signature_size=2, scheme=SignatureScheme.QGRAMS_PLUS_TOKEN
+        )
+        eti, _ = build_eti(org_db, org_reference, config)
+        record = eti.lookup("boeing", TOKEN_COORDINATE, 0)
+        assert record is not None
+        assert record.tid_list == (1,)
+
+    def test_tid_entries_accounting(self, org_db, org_reference, paper_config):
+        eti, stats = build_eti(org_db, org_reference, paper_config)
+        postings = sum(
+            len(row[4]) for row in eti.relation.scan() if row[4] is not None
+        )
+        assert stats.tid_entries == postings
+
+    def test_tid_lists_deduplicated(self, org_db):
+        """A tuple whose same-column tokens share an indexed gram appears
+        once in that gram's tid-list."""
+        from repro.core.reference import ReferenceTable
+
+        reference = ReferenceTable(org_db, "sharing", ["name"])
+        # Tokens 'abcd' and 'abcde' both contribute 4-gram 'abcd' at
+        # coordinate 1 under the FULL scheme.
+        reference.load([(1, ("abcd abcde",))])
+        config = MatchConfig(q=4, scheme=SignatureScheme.FULL_QGRAMS)
+        eti, _ = build_eti(org_db, reference, config, eti_name="eti_sharing")
+        record = eti.lookup("abcd", 1, 0)
+        assert record is not None
+        assert record.tid_list == (1,)
+        assert record.frequency == 1
+
+    def test_external_sort_path(self, org_db, org_reference, paper_config):
+        """A tiny sort memory limit forces spill runs; result unchanged."""
+        baseline, _ = build_eti(org_db, org_reference, paper_config, eti_name="eti_a")
+        builder = EtiBuilder(org_db, paper_config, sort_memory_limit=2)
+        spilled, stats = builder.build(org_reference, eti_name="eti_b")
+        assert stats.sort.runs > 1
+        assert list(baseline.relation.scan()) == list(spilled.relation.scan())
+
+
+class TestEtiIndex:
+    def test_lookup_miss_returns_none(self, org_eti):
+        assert org_eti.lookup("zzz", 1, 0) is None
+
+    def test_lookup_counter(self, org_eti):
+        org_eti.reset_lookup_counter()
+        org_eti.lookup("zzz", 1, 0)
+        org_eti.lookup("zzz", 2, 0)
+        assert org_eti.lookups == 2
+
+    def test_entry_fields(self, org_db, org_reference):
+        config = MatchConfig(
+            q=3, signature_size=2, scheme=SignatureScheme.QGRAMS_PLUS_TOKEN
+        )
+        eti, _ = build_eti(org_db, org_reference, config)
+        record = eti.lookup("seattle", TOKEN_COORDINATE, 1)
+        assert record.qgram == "seattle"
+        assert record.coordinate == TOKEN_COORDINATE
+        assert record.column == 1
+        assert record.frequency == 3
+        assert not record.is_stop_qgram
+
+    def test_stats(self, org_eti):
+        stats = org_eti.stats()
+        assert stats["rows"] == len(org_eti)
+        assert stats["index_entries"] == stats["rows"]
+        assert stats["index_height"] >= 1
+        assert stats["pages"] >= 1
+
+    def test_clustered_index_present(self, org_eti):
+        assert ETI_INDEX in org_eti.relation.index_names()

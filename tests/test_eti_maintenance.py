@@ -1,0 +1,231 @@
+"""Incremental ETI maintenance: insert/delete/update reference tuples."""
+
+import pytest
+
+from repro.core.config import MatchConfig, SignatureScheme
+from repro.core.matcher import FuzzyMatcher
+from repro.core.minhash import MinHasher
+from repro.core.reference import ReferenceTable
+from repro.core.tokens import TupleTokens
+from repro.core.weights import build_frequency_cache
+from repro.db.database import Database
+from repro.eti.builder import build_eti
+from repro.eti.maintenance import EtiMaintainer
+from repro.eti.signature import signature_entries
+
+from tests.conftest import ORG_ROWS
+
+
+def eti_as_dict(eti):
+    """Materialize the ETI as {key: (frequency, tid_list)} for comparison."""
+    return {
+        (row[0], row[1], row[2]): (row[3], tuple(row[4]) if row[4] is not None else None)
+        for row in eti.relation.scan()
+    }
+
+
+@pytest.fixture()
+def maintained(org_db, org_reference, paper_config):
+    hasher = MinHasher(paper_config.q, paper_config.signature_size, paper_config.seed)
+    eti, _ = build_eti(org_db, org_reference, paper_config, hasher=hasher)
+    return EtiMaintainer(org_reference, eti, paper_config, hasher)
+
+
+class TestInsert:
+    def test_incremental_equals_rebuild(self, maintained, org_db, paper_config):
+        """Inserting tuples one by one must equal building from scratch."""
+        new_rows = [
+            (10, ("United Airlines", "Chicago", "IL", "60601")),
+            (11, ("Boeing Corporation", "Everett", "WA", "98201")),
+        ]
+        for tid, values in new_rows:
+            maintained.insert_tuple(tid, values)
+
+        fresh_reference = ReferenceTable(
+            org_db, "orgs_fresh", list(maintained.reference.column_names)
+        )
+        fresh_reference.load(list(ORG_ROWS) + new_rows)
+        fresh_eti, _ = build_eti(
+            org_db, fresh_reference, paper_config,
+            hasher=maintained.hasher, eti_name="eti_fresh",
+        )
+        assert eti_as_dict(maintained.eti) == eti_as_dict(fresh_eti)
+
+    def test_inserted_tuple_is_matchable(self, maintained, org_weights, paper_config):
+        maintained.insert_tuple(10, ("Raytheon Systems", "Waltham", "MA", "02451"))
+        matcher = FuzzyMatcher(
+            maintained.reference, org_weights, paper_config,
+            maintained.eti, maintained.hasher,
+        )
+        result = matcher.match(("Raytheno Systems", "Waltham", "MA", "02451"))
+        assert result.best is not None
+        assert result.best.tid == 10
+
+    def test_mutation_counter(self, maintained):
+        maintained.insert_tuple(10, ("A B", "C", "D", "1"))
+        maintained.delete_tuple(10)
+        assert maintained.mutations == 2
+
+    def test_reference_grows(self, maintained):
+        before = len(maintained.reference)
+        maintained.insert_tuple(10, ("X Y", "Z", "W", "2"))
+        assert len(maintained.reference) == before + 1
+        assert 10 in maintained.reference
+
+
+class TestDelete:
+    def test_delete_then_rebuild_equivalence(self, maintained, org_db, paper_config):
+        maintained.delete_tuple(2)
+
+        fresh_reference = ReferenceTable(
+            org_db, "orgs_fresh2", list(maintained.reference.column_names)
+        )
+        fresh_reference.load([row for row in ORG_ROWS if row[0] != 2])
+        fresh_eti, _ = build_eti(
+            org_db, fresh_reference, paper_config,
+            hasher=maintained.hasher, eti_name="eti_fresh2",
+        )
+        assert eti_as_dict(maintained.eti) == eti_as_dict(fresh_eti)
+
+    def test_deleted_tuple_not_returned(self, maintained, org_weights, paper_config):
+        maintained.delete_tuple(1)
+        matcher = FuzzyMatcher(
+            maintained.reference, org_weights, paper_config,
+            maintained.eti, maintained.hasher,
+        )
+        result = matcher.match(("Boeing Company", "Seattle", "WA", "98004"))
+        assert result.best is None or result.best.tid != 1
+
+    def test_delete_returns_values(self, maintained):
+        values = maintained.delete_tuple(3)
+        assert values == ("Companions", "Seattle", "WA", "98024")
+        assert 3 not in maintained.reference
+
+    def test_insert_delete_round_trip(self, maintained):
+        baseline = eti_as_dict(maintained.eti)
+        maintained.insert_tuple(10, ("Vanguard Holdings", "Denver", "CO", "80014"))
+        maintained.delete_tuple(10)
+        assert eti_as_dict(maintained.eti) == baseline
+
+
+class TestUpdate:
+    def test_update_rewrites_index(self, maintained, org_weights, paper_config):
+        maintained.update_tuple(3, ("Compass Airlines", "Tacoma", "WA", "98402"))
+        assert maintained.reference.fetch(3) == (
+            "Compass Airlines", "Tacoma", "WA", "98402",
+        )
+        matcher = FuzzyMatcher(
+            maintained.reference, org_weights, paper_config,
+            maintained.eti, maintained.hasher,
+        )
+        result = matcher.match(("Compass Airlnies", "Tacoma", "WA", "98402"))
+        assert result.best.tid == 3
+
+
+class TestStopQGrams:
+    def test_stop_qgram_stays_stopped(self, org_db, org_reference):
+        config = MatchConfig(
+            q=3, signature_size=2, scheme=SignatureScheme.QGRAMS,
+            stop_qgram_threshold=2,
+        )
+        hasher = MinHasher(config.q, config.signature_size, config.seed)
+        eti, build_stats = build_eti(org_db, org_reference, config, hasher=hasher)
+        assert build_stats.stop_qgrams > 0
+        maintainer = EtiMaintainer(org_reference, eti, config, hasher)
+        # 'seattle' signature grams are stop q-grams (frequency 3 > 2).
+        stop_key = next(
+            (row[0], row[1], row[2])
+            for row in eti.relation.scan()
+            if row[4] is None
+        )
+        maintainer.insert_tuple(10, ("Sonic Systems", "Seattle", "WA", "98101"))
+        row = eti.lookup(*stop_key)
+        assert row.tid_list is None  # still NULL
+        assert row.frequency >= 3
+
+    def test_crossing_threshold_nulls_list(self, org_db, org_reference):
+        config = MatchConfig(
+            q=3, signature_size=2, scheme=SignatureScheme.QGRAMS,
+            stop_qgram_threshold=3,
+        )
+        hasher = MinHasher(config.q, config.signature_size, config.seed)
+        eti, build_stats = build_eti(org_db, org_reference, config, hasher=hasher)
+        assert build_stats.stop_qgrams == 0  # all frequencies <= 3
+        maintainer = EtiMaintainer(org_reference, eti, config, hasher)
+        # A fourth Seattle tuple pushes 'seattle' q-grams past the threshold.
+        maintainer.insert_tuple(10, ("Summit Group", "Seattle", "WA", "98102"))
+        entries = signature_entries("seattle", hasher, config)
+        for entry in entries:
+            row = eti.lookup(entry.gram, entry.coordinate, 1)
+            assert row.frequency == 4
+            assert row.tid_list is None
+
+
+class TestWeightDriftStory:
+    def test_new_tokens_fall_back_to_average_weight(
+        self, maintained, org_weights, paper_config
+    ):
+        """Weights built before an insert treat new tokens as unseen."""
+        maintained.insert_tuple(10, ("Zephyr Dynamics", "Spokane", "WA", "99201"))
+        assert org_weights.frequency("zephyr", 0) == 0
+        assert org_weights.weight("zephyr", 0) == org_weights.average_weight(0)
+        # A rebuilt cache sees them.
+        rebuilt = build_frequency_cache(
+            maintained.reference.scan_values(), maintained.reference.num_columns
+        )
+        assert rebuilt.frequency("zephyr", 0) == 1
+
+
+class TestIncrementalWeights:
+    def test_maintained_cache_equals_rebuild(
+        self, org_db, org_reference, org_weights, paper_config
+    ):
+        """add_tuple/remove_tuple keep the cache bit-equal to a rebuild."""
+        hasher = MinHasher(
+            paper_config.q, paper_config.signature_size, paper_config.seed
+        )
+        eti, _ = build_eti(
+            org_db, org_reference, paper_config, hasher=hasher, eti_name="eti_w"
+        )
+        maintainer = EtiMaintainer(
+            org_reference, eti, paper_config, hasher, weights=org_weights
+        )
+        maintainer.insert_tuple(10, ("Vortex Industries", "Tacoma", "WA", "98402"))
+        maintainer.delete_tuple(2)
+        rebuilt = build_frequency_cache(
+            org_reference.scan_values(), org_reference.num_columns
+        )
+        assert org_weights.num_tuples == rebuilt.num_tuples
+        probes = [
+            ("vortex", 0), ("boeing", 0), ("bon", 0), ("seattle", 1),
+            ("tacoma", 1), ("wa", 2), ("98402", 3), ("unseen-token", 0),
+        ]
+        for token, column in probes:
+            assert org_weights.frequency(token, column) == rebuilt.frequency(
+                token, column
+            ), (token, column)
+            assert org_weights.weight(token, column) == pytest.approx(
+                rebuilt.weight(token, column)
+            ), (token, column)
+
+    def test_deleted_tokens_leave_the_cache(self, org_weights):
+        org_weights.add_tuple(("Quark Labs", "Yakima", "WA", "98901"))
+        assert org_weights.frequency("quark", 0) == 1
+        org_weights.remove_tuple(("Quark Labs", "Yakima", "WA", "98901"))
+        assert org_weights.frequency("quark", 0) == 0
+
+    def test_wrong_arity_rejected(self, org_weights):
+        with pytest.raises(ValueError):
+            org_weights.add_tuple(("only", "three", "cols"))
+
+    def test_maintainer_rejects_non_mutable_weights(
+        self, org_db, org_reference, paper_config
+    ):
+        from repro.core.weights import HashedTokenFrequencyCache
+
+        eti, _ = build_eti(
+            org_db, org_reference, paper_config, eti_name="eti_w2"
+        )
+        hashed = HashedTokenFrequencyCache(3, 4)
+        with pytest.raises(TypeError, match="add_tuple"):
+            EtiMaintainer(org_reference, eti, paper_config, weights=hashed)

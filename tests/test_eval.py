@@ -1,0 +1,201 @@
+"""Metrics, reporting, the workbench, and figure drivers (small scale)."""
+
+import pytest
+
+from repro.core.config import SignatureScheme
+from repro.eval.figures import (
+    fig5_accuracy,
+    fig6_times,
+    fig7_build_times,
+    fig8_candidates,
+    fig9_tids,
+    fig10_osc,
+    run_ed_vs_fms,
+    run_strategy_grid,
+    strategy_labels,
+)
+from repro.eval.harness import PAPER_STRATEGIES, Workbench
+from repro.eval.metrics import accuracy, mean, normalized_time
+from repro.eval.naive import naive_best_match
+from repro.eval.reporting import format_series, format_table
+
+
+class TestMetrics:
+    def test_accuracy_all_correct(self):
+        assert accuracy([(1, 1), (2, 2)]) == 1.0
+
+    def test_accuracy_mixed(self):
+        assert accuracy([(1, 1), (3, 2)]) == 0.5
+
+    def test_accuracy_none_counts_as_miss(self):
+        assert accuracy([(None, 1), (2, 2)]) == 0.5
+
+    def test_accuracy_empty(self):
+        assert accuracy([]) == 0.0
+
+    def test_normalized_time(self):
+        assert normalized_time(10.0, 2.0) == 5.0
+
+    def test_normalized_time_bad_unit(self):
+        with pytest.raises(ValueError):
+            normalized_time(1.0, 0.0)
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2.5), (30, 4.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in text and "30" in text
+
+    def test_format_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a",), [(1, 2)])
+
+    def test_format_series(self):
+        text = format_series("s", [("x", 1.0), ("y", 0.5)])
+        assert text == "s: x=1.000 y=0.500"
+
+    def test_strategy_labels(self):
+        labels = strategy_labels()
+        assert labels[0] == "Q+T_0"
+        assert "Q_2" in labels and "Q+T_3" in labels
+        assert len(labels) == len(PAPER_STRATEGIES)
+
+
+@pytest.fixture(scope="module")
+def workbench():
+    bench = Workbench(num_reference=300, num_inputs=30, seed=12)
+    yield bench
+    bench.close()
+
+
+class TestWorkbench:
+    def test_reference_loaded(self, workbench):
+        assert len(workbench.reference) == 300
+
+    def test_datasets_created(self, workbench):
+        assert set(workbench.datasets) == {"D1", "D2", "D3"}
+        assert all(len(d) == 30 for d in workbench.datasets.values())
+
+    def test_eti_cached_per_strategy(self, workbench):
+        config = workbench.config_for(SignatureScheme.QGRAMS, 2)
+        first = workbench.eti_for(config)
+        second = workbench.eti_for(config)
+        assert first is second
+
+    def test_naive_unit_time_positive_and_cached(self, workbench):
+        unit = workbench.naive_unit_time()
+        assert unit > 0
+        assert workbench.naive_unit_time() == unit
+
+    def test_run_batch_stats(self, workbench):
+        config = workbench.config_for(SignatureScheme.QGRAMS_PLUS_TOKEN, 2)
+        stats = workbench.run_batch(config, "D3")
+        assert stats.queries == 30
+        assert 0.0 <= stats.accuracy <= 1.0
+        assert stats.avg_eti_lookups > 0
+        assert stats.elapsed_seconds > 0
+        assert 0.0 <= stats.osc_success_fraction <= 1.0
+
+    def test_reasonable_accuracy_on_clean_dataset(self, workbench):
+        config = workbench.config_for(SignatureScheme.QGRAMS, 2)
+        stats = workbench.run_batch(config, "D3")
+        assert stats.accuracy > 0.7
+
+    def test_custom_dataset(self, workbench):
+        from repro.data.datasets import DatasetSpec
+
+        spec = DatasetSpec("T2", (0.9, 0.5, 0.5, 0.6), method="type2")
+        dataset = workbench.custom_dataset(spec, count=10)
+        assert len(dataset) == 10
+
+
+@pytest.fixture(scope="module")
+def small_grid(workbench):
+    strategies = ((SignatureScheme.QGRAMS_PLUS_TOKEN, 0), (SignatureScheme.QGRAMS, 2))
+    return run_strategy_grid(workbench, datasets=("D2",), strategies=strategies), (
+        (SignatureScheme.QGRAMS_PLUS_TOKEN, 0),
+        (SignatureScheme.QGRAMS, 2),
+    )
+
+
+class TestFigureDrivers:
+    def test_grid_keys(self, small_grid):
+        grid, strategies = small_grid
+        assert set(grid) == {("D2", "Q+T_0"), ("D2", "Q_2")}
+
+    def test_fig5(self, small_grid):
+        grid, strategies = small_grid
+        result = fig5_accuracy(grid, datasets=("D2",), strategies=strategies)
+        assert result.headers == ("strategy", "D2")
+        assert len(result.rows) == 2
+        assert all(0.0 <= row[1] <= 100.0 for row in result.rows)
+        assert "Figure 5" in result.render()
+
+    def test_fig6(self, small_grid, workbench):
+        grid, strategies = small_grid
+        result = fig6_times(grid, workbench.naive_unit_time(), ("D2",), strategies)
+        assert all(row[1] > 0 for row in result.rows)
+
+    def test_fig7(self, workbench, small_grid):
+        _, strategies = small_grid
+        result = fig7_build_times(workbench, workbench.naive_unit_time(), strategies)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row[1] > 0  # normalized build time
+            assert row[2] > 0  # eti rows
+
+    def test_fig8(self, small_grid):
+        grid, strategies = small_grid
+        result = fig8_candidates(grid, "D2", strategies)
+        assert result.headers[0] == "strategy"
+        assert all(row[1] >= 0 for row in result.rows)
+
+    def test_fig9(self, small_grid):
+        grid, strategies = small_grid
+        result = fig9_tids(grid, "D2", strategies)
+        assert all(row[1] > 0 for row in result.rows)
+
+    def test_fig10(self, small_grid):
+        grid, strategies = small_grid
+        result = fig10_osc(grid, "D2", strategies)
+        for row in result.rows:
+            assert row[1] + row[2] == pytest.approx(1.0)
+
+    def test_render_all(self, small_grid, workbench):
+        grid, strategies = small_grid
+        for figure in (
+            fig5_accuracy(grid, ("D2",), strategies),
+            fig8_candidates(grid, "D2", strategies),
+            fig9_tids(grid, "D2", strategies),
+            fig10_osc(grid, "D2", strategies),
+        ):
+            text = figure.render()
+            assert text.count("\n") >= 3
+
+
+class TestEdVsFms:
+    def test_naive_best_match(self, workbench):
+        from repro.core.fms import fms
+
+        tid, values = next(workbench.reference.scan())
+        best_tid, similarity = naive_best_match(
+            workbench.reference,
+            values,
+            lambda u, v: fms(u, v, workbench.weights, workbench.base_config),
+        )
+        assert best_tid == tid or similarity == pytest.approx(1.0)
+
+    def test_ed_vs_fms_structure(self, workbench):
+        result = run_ed_vs_fms(workbench, num_inputs=8)
+        assert result.headers == ("error_model", "fms", "ed")
+        assert [row[0] for row in result.rows] == ["Type I", "Type II"]
+        for row in result.rows:
+            assert 0.0 <= row[1] <= 1.0
+            assert 0.0 <= row[2] <= 1.0

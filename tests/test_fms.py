@@ -1,0 +1,252 @@
+"""The fms similarity function — §3's definitions and worked example."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MatchConfig, TranspositionCost
+from repro.core.fms import (
+    fms,
+    input_tuple_weight,
+    transformation_cost,
+    tuple_transformation_cost,
+)
+from repro.core.tokens import TupleTokens
+
+
+class UnitWeights:
+    """w(t, i) = 1 for every token — the paper's worked-example setting."""
+
+    def weight(self, token, column):
+        return 1.0
+
+    def frequency(self, token, column):
+        return 1
+
+
+class MappedWeights:
+    """Explicit (token, column) -> weight map; unknown tokens get 1.0."""
+
+    def __init__(self, mapping):
+        self.mapping = mapping
+
+    def weight(self, token, column):
+        return self.mapping.get((token, column), 1.0)
+
+    def frequency(self, token, column):
+        return 1
+
+
+UNIT = UnitWeights()
+CONFIG3 = MatchConfig(q=3, signature_size=2)
+
+
+class TestTransformationCost:
+    def test_identical_sequences_cost_zero(self):
+        assert transformation_cost(("a", "b"), ("a", "b"), 0, UNIT, CONFIG3) == 0.0
+
+    def test_replacement_cost_is_ed_times_weight(self):
+        # replace 'beoing' by 'boeing': ed = 2/6.
+        cost = transformation_cost(("beoing",), ("boeing",), 0, UNIT, CONFIG3)
+        assert cost == pytest.approx(2 / 6)
+
+    def test_paper_i3_r1_name_cost(self):
+        """§3.1: tc(u[1], v[1]) = 0.33 + 0.64 ≈ 0.97 with unit weights."""
+        cost = transformation_cost(
+            ("beoing", "corporation"), ("boeing", "company"), 0, UNIT, CONFIG3
+        )
+        assert cost == pytest.approx(2 / 6 + 7 / 11, abs=1e-9)
+
+    def test_deletion_costs_full_weight(self):
+        cost = transformation_cost(("extra",), (), 0, UNIT, CONFIG3)
+        assert cost == pytest.approx(1.0)
+
+    def test_insertion_costs_cins_weight(self):
+        cost = transformation_cost((), ("missing",), 0, UNIT, CONFIG3)
+        assert cost == pytest.approx(CONFIG3.token_insertion_factor)
+
+    def test_insert_delete_asymmetry(self):
+        """Absent tokens are penalized less than spurious ones (§3.1)."""
+        insert = transformation_cost((), ("tok",), 0, UNIT, CONFIG3)
+        delete = transformation_cost(("tok",), (), 0, UNIT, CONFIG3)
+        assert insert < delete
+
+    def test_weights_scale_costs(self):
+        weights = MappedWeights({("corporation", 0): 0.1})
+        cheap = transformation_cost(("corporation",), ("company",), 0, weights, CONFIG3)
+        expensive = transformation_cost(("boeing",), ("bon",), 0, weights, CONFIG3)
+        # With IDF-style weights, replacing frequent 'corporation' is
+        # cheaper than replacing rare 'boeing' despite larger edit distance.
+        assert cheap < expensive
+
+    def test_empty_to_empty(self):
+        assert transformation_cost((), (), 0, UNIT, CONFIG3) == 0.0
+
+    def test_column_weight_scales(self):
+        base = transformation_cost(("a",), ("bb",), 0, UNIT, CONFIG3)
+        doubled = transformation_cost(
+            ("a",), ("bb",), 0, UNIT, CONFIG3, column_weight=2.0
+        )
+        assert doubled == pytest.approx(2 * base)
+
+    def test_replacement_beats_delete_insert_when_similar(self):
+        # 'beoing' -> 'boeing' should use replacement (0.33), not delete +
+        # insert (1.0 + 0.5).
+        cost = transformation_cost(("beoing",), ("boeing",), 0, UNIT, CONFIG3)
+        assert cost < 1.0
+
+    def test_delete_insert_beats_replacement_when_dissimilar(self):
+        # Dissimilar same-length tokens: replacement ed = 1.0 * w = 1.0;
+        # the DP should never pay more than that.
+        cost = transformation_cost(("aaaa",), ("zzzz",), 0, UNIT, CONFIG3)
+        assert cost <= 1.0
+
+
+class TestFms:
+    def test_paper_worked_example(self):
+        """fms(I3, R1) = 1 − 0.97/5.0 ≈ 0.806 with unit weights."""
+        i3 = ("Beoing Corporation", "Seattle", "WA", "98004")
+        r1 = ("Boeing Company", "Seattle", "WA", "98004")
+        similarity = fms(i3, r1, UNIT, CONFIG3)
+        expected = 1 - (2 / 6 + 7 / 11) / 5.0
+        assert similarity == pytest.approx(expected, abs=1e-9)
+
+    def test_exact_match_is_one(self):
+        values = ("Boeing Company", "Seattle", "WA", "98004")
+        assert fms(values, values, UNIT, CONFIG3) == 1.0
+
+    def test_case_insensitive(self):
+        assert fms(("BOEING",), ("boeing",), UNIT, CONFIG3) == 1.0
+
+    def test_bounded_below_by_zero(self):
+        # Cost can exceed w(u); similarity must clamp at 0.
+        similarity = fms(("a",), ("completely different tokens here",), UNIT, CONFIG3)
+        assert similarity == 0.0
+
+    def test_null_input_column(self):
+        u = ("Company Beoing", "Seattle", None, "98014")
+        v = ("Boeing Company", "Seattle", "WA", "98014")
+        similarity = fms(u, v, UNIT, CONFIG3)
+        assert 0.0 < similarity < 1.0
+
+    def test_empty_input_tuple(self):
+        assert fms((None,), (None,), UNIT, CONFIG3) == 1.0
+        assert fms((None,), ("something",), UNIT, CONFIG3) == 0.0
+
+    def test_asymmetry(self):
+        u = ("boeing",)
+        v = ("boeing company corporation",)
+        assert fms(u, v, UNIT, CONFIG3) != fms(v, u, UNIT, CONFIG3)
+
+    def test_accepts_tuple_tokens(self):
+        u = TupleTokens.from_values(("boeing",))
+        v = TupleTokens.from_values(("boeing",))
+        assert fms(u, v, UNIT, CONFIG3) == 1.0
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fms(("a",), ("a", "b"), UNIT, CONFIG3)
+
+    def test_default_config(self):
+        assert fms(("x",), ("x",), UNIT) == 1.0
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.text(alphabet="abcd ", max_size=15)),
+            min_size=1,
+            max_size=3,
+        ).map(tuple)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_self_similarity(self, values):
+        assert fms(values, values, UNIT, CONFIG3) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.text(alphabet="abcd ", max_size=15), min_size=2, max_size=2).map(tuple),
+        st.lists(st.text(alphabet="abcd ", max_size=15), min_size=2, max_size=2).map(tuple),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_range(self, u, v):
+        assert 0.0 <= fms(u, v, UNIT, CONFIG3) <= 1.0
+
+
+class TestTranspositions:
+    def test_transposition_cheaper_than_two_replacements(self):
+        config = CONFIG3.with_(allow_transpositions=True)
+        without = fms(("company boeing",), ("boeing company",), UNIT, CONFIG3)
+        with_swap = fms(("company boeing",), ("boeing company",), UNIT, config)
+        assert with_swap > without
+
+    def test_transposition_cost_functions(self):
+        # Weights chosen so the swap beats insert+delete (1.5 * 0.8 = 1.2)
+        # under every cost function, making each g observable.
+        weights = MappedWeights({("a", 0): 0.8, ("b", 0): 0.9})
+        u, v = ("b", "a"), ("a", "b")
+        costs = {}
+        for kind in TranspositionCost:
+            config = CONFIG3.with_(
+                allow_transpositions=True,
+                transposition_cost=kind,
+                transposition_constant=0.3,
+            )
+            costs[kind] = transformation_cost(u, v, 0, weights, config)
+        assert costs[TranspositionCost.MINIMUM] == pytest.approx(0.8)
+        assert costs[TranspositionCost.AVERAGE] == pytest.approx(0.85)
+        assert costs[TranspositionCost.MAXIMUM] == pytest.approx(0.9)
+        assert costs[TranspositionCost.CONSTANT] == pytest.approx(0.3)
+
+    def test_transposition_only_adjacent_equal_pairs(self):
+        config = CONFIG3.with_(allow_transpositions=True)
+        # ('a','b') vs ('b','a') qualifies; ('a','b') vs ('c','a') does not.
+        swap = transformation_cost(("a", "b"), ("b", "a"), 0, UNIT, config)
+        no_swap = transformation_cost(("a", "b"), ("c", "a"), 0, UNIT, config)
+        assert swap < no_swap
+
+    def test_paper_i4_needs_transposition(self):
+        """I4 [Company Beoing, ...]: with transpositions fms recognizes R1."""
+        config = CONFIG3.with_(allow_transpositions=True)
+        i4 = ("Company Beoing", "Seattle", None, "98014")
+        r1 = ("Boeing Company", "Seattle", "WA", "98004")
+        plain = fms(i4, r1, UNIT, CONFIG3)
+        with_swap = fms(i4, r1, UNIT, config)
+        assert with_swap > plain
+
+
+class TestColumnWeights:
+    def test_uniform_weights_match_plain(self):
+        config = CONFIG3.with_(column_weights=(1.0, 1.0))
+        u, v = ("beoing", "seattle"), ("boeing", "tacoma")
+        assert fms(u, v, UNIT, config) == pytest.approx(fms(u, v, UNIT, CONFIG3))
+
+    def test_upweighted_column_dominates(self):
+        # Error in column 0 only; upweighting column 0 lowers similarity.
+        u, v = ("beoing", "seattle"), ("boeing", "seattle")
+        heavy = CONFIG3.with_(column_weights=(10.0, 1.0))
+        light = CONFIG3.with_(column_weights=(1.0, 10.0))
+        assert fms(u, v, UNIT, heavy) < fms(u, v, UNIT, light)
+
+    def test_wrong_arity_rejected(self):
+        config = CONFIG3.with_(column_weights=(1.0,))
+        with pytest.raises(ValueError):
+            fms(("a", "b"), ("a", "b"), UNIT, config)
+
+    def test_input_weight_uses_column_weights(self):
+        tokens = TupleTokens.from_values(("a", "b"))
+        config = CONFIG3.with_(column_weights=(3.0, 1.0))
+        # normalized to average 1: (1.5, 0.5) -> total weight 2.0.
+        assert input_tuple_weight(tokens, UNIT, config) == pytest.approx(2.0)
+
+
+class TestTupleTransformationCost:
+    def test_sums_columns(self):
+        u = TupleTokens.from_values(("beoing", "seatle"))
+        v = TupleTokens.from_values(("boeing", "seattle"))
+        total = tuple_transformation_cost(u, v, UNIT, CONFIG3)
+        col0 = transformation_cost(("beoing",), ("boeing",), 0, UNIT, CONFIG3)
+        col1 = transformation_cost(("seatle",), ("seattle",), 1, UNIT, CONFIG3)
+        assert total == pytest.approx(col0 + col1)
+
+    def test_arity_mismatch(self):
+        u = TupleTokens.from_values(("a",))
+        v = TupleTokens.from_values(("a", "b"))
+        with pytest.raises(ValueError):
+            tuple_transformation_cost(u, v, UNIT, CONFIG3)

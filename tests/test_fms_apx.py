@@ -1,0 +1,183 @@
+"""fmsapx / fmst_apx: the upper-bound property and rank preservation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MatchConfig
+from repro.core.fms import fms
+from repro.core.fms_apx import fms_apx, fms_t_apx
+from repro.core.minhash import MinHasher
+
+CONFIG = MatchConfig(q=3, signature_size=2)
+
+
+class UnitWeights:
+    def weight(self, token, column):
+        return 1.0
+
+    def frequency(self, token, column):
+        return 1
+
+
+UNIT = UnitWeights()
+
+
+def random_tuple(rng, tokens, columns=2):
+    return tuple(
+        " ".join(rng.choices(tokens, k=rng.randint(1, 3))) for _ in range(columns)
+    )
+
+
+def corrupt(rng, values):
+    corrupted = []
+    for value in values:
+        chars = list(value)
+        for _ in range(rng.randint(0, 2)):
+            pos = rng.randrange(len(chars))
+            chars[pos] = rng.choice("abcdefghij")
+        corrupted.append("".join(chars))
+    return tuple(corrupted)
+
+
+TOKENS = [
+    "boeing", "company", "corporation", "seattle", "tacoma", "united",
+    "pacific", "airlines", "systems", "northwest",
+]
+
+
+class TestUpperBound:
+    def test_exact_jaccard_upper_bounds_fms_within_lemma_slack(self):
+        """f2 >= fms up to the O(1/m) Lemma 4.2 boundary slack.
+
+        The paper's printed adjustment term drops a ``+(1 − 1/q)/m``
+        boundary correction (see the fms_apx module docstring), so the
+        "upper bound" can undershoot fms by roughly that much per token.
+        With q=3 and tokens of length >= 6 the slack is at most about
+        (1 − 1/3)/6 ≈ 0.11 per token and far less in aggregate.
+        """
+        rng = random.Random(0)
+        worst = 0.0
+        for _ in range(300):
+            v = random_tuple(rng, TOKENS)
+            u = corrupt(rng, v)
+            gap = fms(u, v, UNIT, CONFIG) - fms_apx(u, v, UNIT, CONFIG)
+            worst = max(worst, gap)
+        assert worst < 0.08
+
+    def test_minhash_upper_bounds_fms_whp(self):
+        """The min-hash estimate exceeds fms − slack for almost all pairs."""
+        rng = random.Random(1)
+        hasher = MinHasher(q=3, num_hashes=4, seed=3)
+        violations = 0
+        trials = 300
+        for _ in range(trials):
+            v = random_tuple(rng, TOKENS)
+            u = corrupt(rng, v)
+            if fms_apx(u, v, UNIT, CONFIG, hasher) < fms(u, v, UNIT, CONFIG) - 0.1:
+                violations += 1
+        assert violations / trials < 0.05
+
+    def test_identical_tuples_apx_is_one(self):
+        values = ("boeing company", "seattle")
+        assert fms_apx(values, values, UNIT, CONFIG) == pytest.approx(1.0)
+
+    def test_token_order_ignored(self):
+        """fmsapx considers reordered tuples identical (§4.1's example)."""
+        u = ("company boeing", "seattle")
+        v = ("boeing company", "seattle")
+        assert fms_apx(u, v, UNIT, CONFIG) == pytest.approx(1.0)
+
+    def test_per_token_contribution_capped(self):
+        # A perfect q-gram match contributes exactly w(t): similarity 1.0,
+        # not (2/q + d_q) > 1.
+        assert fms_apx(("abcdef",), ("abcdef",), UNIT, CONFIG) == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        assert fms_apx((None,), (None,), UNIT, CONFIG) == 1.0
+        assert fms_apx((None,), ("x",), UNIT, CONFIG) == 0.0
+
+    def test_empty_reference_column_contributes_zero(self):
+        similarity = fms_apx(("boeing", "seattle"), ("boeing", None), UNIT, CONFIG)
+        assert similarity == pytest.approx(0.5)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            fms_apx(("a",), ("a", "b"), UNIT, CONFIG)
+
+    @given(
+        st.lists(st.text(alphabet="abcde ", max_size=12), min_size=2, max_size=2).map(tuple),
+        st.lists(st.text(alphabet="abcde ", max_size=12), min_size=2, max_size=2).map(tuple),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range(self, u, v):
+        assert 0.0 <= fms_apx(u, v, UNIT, CONFIG) <= 1.0
+
+
+class TestColumnWeightedApx:
+    def test_uniform_weights_match_plain(self):
+        config = CONFIG.with_(column_weights=(1.0, 1.0))
+        u, v = ("beoing", "seattle"), ("boeing", "tacoma")
+        assert fms_apx(u, v, UNIT, config) == pytest.approx(
+            fms_apx(u, v, UNIT, CONFIG)
+        )
+
+    def test_upweighted_clean_column_raises_similarity(self):
+        # Column 0 erroneous, column 1 exact: weighting column 1 up pulls
+        # the approximate similarity toward 1.
+        u, v = ("zzzz", "seattle"), ("qqqq", "seattle")
+        light = CONFIG.with_(column_weights=(1.0, 1.0))
+        heavy = CONFIG.with_(column_weights=(1.0, 9.0))
+        assert fms_apx(u, v, UNIT, heavy) > fms_apx(u, v, UNIT, light)
+
+
+class TestPaperExampleI4:
+    def test_i4_r1_walkthrough(self):
+        """§4.1's worked example: fmsapx(I4, R1) = 1 while fms(I4, R1) < 1."""
+        i4 = ("Company Beoing", "Seattle", None, "98014")
+        r1 = ("Boeing Company", "Seattle", "WA", "98004")
+        # With the paper's narrative: order differences and the missing
+        # 'wa' lower fms but not fmsapx; the zip difference affects both.
+        apx = fms_apx(i4, r1, UNIT, CONFIG)
+        exact = fms(i4, r1, UNIT, CONFIG)
+        assert exact < apx
+
+
+class TestRankPreservation:
+    def test_fms_t_apx_is_rank_preserving_in_expectation(self):
+        """Lemma 5.1 (statistically): Q+T ordering matches Q ordering."""
+        rng = random.Random(2)
+        agreements = 0
+        trials = 150
+        usable = 0
+        for _ in range(trials):
+            v1 = random_tuple(rng, TOKENS)
+            v2 = random_tuple(rng, TOKENS)
+            u = corrupt(rng, v1)
+            apx1, apx2 = fms_apx(u, v1, UNIT, CONFIG), fms_apx(u, v2, UNIT, CONFIG)
+            t1, t2 = fms_t_apx(u, v1, UNIT, CONFIG), fms_t_apx(u, v2, UNIT, CONFIG)
+            if abs(apx1 - apx2) < 0.05:
+                continue  # too close to call, ranking noise expected
+            usable += 1
+            if (apx1 > apx2) == (t1 > t2):
+                agreements += 1
+        assert usable > 50
+        assert agreements / usable > 0.9
+
+    def test_t_apx_identical_tuples(self):
+        values = ("boeing company", "seattle")
+        assert fms_t_apx(values, values, UNIT, CONFIG) == pytest.approx(1.0)
+
+    def test_t_apx_penalizes_token_mismatch_more(self):
+        """An erroneous token loses its exact-token half in fmst_apx."""
+        u = ("beoing",)
+        v = ("boeing",)
+        assert fms_t_apx(u, v, UNIT, CONFIG) < fms_apx(u, v, UNIT, CONFIG)
+
+    def test_t_apx_range(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            u = random_tuple(rng, TOKENS)
+            v = random_tuple(rng, TOKENS)
+            assert 0.0 <= fms_t_apx(u, v, UNIT, CONFIG) <= 1.0

@@ -1,0 +1,114 @@
+"""Synthetic Customer generator: determinism and distributional shape."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.tokens import tokenize
+from repro.data.generator import (
+    CUSTOMER_COLUMNS,
+    CustomerGenerator,
+    generate_customers,
+)
+from repro.data.pools import CITIES
+
+
+class TestBasics:
+    def test_count(self):
+        assert len(generate_customers(250)) == 250
+
+    def test_zero_count(self):
+        assert generate_customers(0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            list(CustomerGenerator().generate(-1))
+
+    def test_tids_sequential(self):
+        customers = generate_customers(100)
+        assert [c.tid for c in customers] == list(range(100))
+
+    def test_start_tid(self):
+        customers = list(CustomerGenerator().generate(5, start_tid=1000))
+        assert [c.tid for c in customers] == list(range(1000, 1005))
+
+    def test_values_shape(self):
+        customer = generate_customers(1)[0]
+        assert len(customer.values) == len(CUSTOMER_COLUMNS)
+        assert all(isinstance(v, str) and v for v in customer.values)
+
+    def test_deterministic_in_seed(self):
+        a = generate_customers(200, seed=9)
+        b = generate_customers(200, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_customers(200, seed=1)
+        b = generate_customers(200, seed=2)
+        assert a != b
+
+    def test_business_fraction_zero(self):
+        from repro.data.pools import BUSINESS_SUFFIXES
+
+        customers = generate_customers(300, business_fraction=0.0)
+        suffixes = set(BUSINESS_SUFFIXES)
+        assert not any(
+            c.name.split()[-1] in suffixes for c in customers
+        )
+
+    def test_business_fraction_one(self):
+        from repro.data.pools import BUSINESS_SUFFIXES
+
+        customers = generate_customers(300, business_fraction=1.0)
+        suffixes = set(BUSINESS_SUFFIXES)
+        assert all(c.name.split()[-1] in suffixes for c in customers)
+
+    def test_invalid_business_fraction(self):
+        with pytest.raises(ValueError):
+            CustomerGenerator(business_fraction=1.5)
+
+
+class TestDistribution:
+    def test_city_state_consistent(self):
+        pairs = dict(CITIES)
+        for customer in generate_customers(500):
+            # A multi-token city maps back to exactly one pooled state —
+            # except city names repeated across states (e.g. portland).
+            assert customer.city in pairs or any(
+                city == customer.city for city, _ in CITIES
+            )
+            assert any(
+                customer.city == city and customer.state == state
+                for city, state in CITIES
+            )
+
+    def test_zip_depends_on_city(self):
+        by_city: dict[str, set[str]] = {}
+        for customer in generate_customers(800):
+            by_city.setdefault(customer.city, set()).add(customer.zipcode[:3])
+        for city, prefixes in by_city.items():
+            # One 3-digit prefix per city (portland appears in OR and ME
+            # with different pool indexes, so allow up to 2).
+            assert len(prefixes) <= 2
+
+    def test_zipf_skew_in_name_tokens(self):
+        """Token frequencies must be skewed — the property IDF relies on."""
+        counts = Counter()
+        for customer in generate_customers(2000):
+            for token in tokenize(customer.name):
+                counts[token] += 1
+        frequencies = sorted(counts.values(), reverse=True)
+        top_share = sum(frequencies[:10]) / sum(frequencies)
+        assert top_share > 0.25  # the head dominates
+        assert len(frequencies) > 100  # but the tail is long
+
+    def test_multi_token_names(self):
+        customers = generate_customers(500)
+        token_counts = [len(c.name.split()) for c in customers]
+        assert max(token_counts) >= 3
+        assert min(token_counts) >= 2
+
+    def test_zipcodes_are_five_digits(self):
+        for customer in generate_customers(300):
+            assert len(customer.zipcode) == 5
+            assert customer.zipcode.isdigit()

@@ -1,0 +1,157 @@
+"""Min-hash signatures: determinism, short-token rule, estimator quality."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fms_apx import minhash_similarity
+from repro.core.minhash import MinHasher, required_signature_size
+from repro.core.strings import jaccard, qgram_set
+
+words = st.text(alphabet="abcdefghij", min_size=1, max_size=14)
+
+
+class TestSignatures:
+    def test_length_equals_h_for_long_tokens(self):
+        hasher = MinHasher(q=3, num_hashes=4)
+        assert len(hasher.signature("corporation")) == 4
+
+    def test_short_token_is_own_signature(self):
+        hasher = MinHasher(q=3, num_hashes=4)
+        assert hasher.signature("wa") == ("wa",)
+
+    def test_exact_q_length_token(self):
+        hasher = MinHasher(q=3, num_hashes=4)
+        assert hasher.signature("abc") == ("abc",)
+
+    def test_empty_token(self):
+        hasher = MinHasher(q=3, num_hashes=2)
+        assert hasher.signature("") == ()
+
+    def test_coordinates_are_qgrams_of_token(self):
+        hasher = MinHasher(q=3, num_hashes=5)
+        grams = qgram_set("corporation", 3)
+        for coordinate in hasher.signature("corporation"):
+            assert coordinate in grams
+
+    def test_deterministic_across_instances(self):
+        a = MinHasher(q=4, num_hashes=3, seed=11)
+        b = MinHasher(q=4, num_hashes=3, seed=11)
+        for token in ("boeing", "corporation", "seattle", "98004"):
+            assert a.signature(token) == b.signature(token)
+
+    def test_different_seeds_differ(self):
+        a = MinHasher(q=3, num_hashes=8, seed=1)
+        b = MinHasher(q=3, num_hashes=8, seed=2)
+        tokens = ["corporation", "companions", "massachusetts", "philadelphia"]
+        assert any(a.signature(t) != b.signature(t) for t in tokens)
+
+    def test_identical_tokens_identical_signatures(self):
+        hasher = MinHasher(q=3, num_hashes=3)
+        assert hasher.signature("boeing") == hasher.signature("boeing")
+
+    def test_signature_length_helper(self):
+        hasher = MinHasher(q=3, num_hashes=3)
+        assert hasher.signature_length("boeing") == 3
+        assert hasher.signature_length("wa") == 1
+
+    def test_zero_hashes_degrades_to_token(self):
+        hasher = MinHasher(q=3, num_hashes=0)
+        assert hasher.signature("corporation") == ("corporation",)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MinHasher(q=0, num_hashes=1)
+        with pytest.raises(ValueError):
+            MinHasher(q=3, num_hashes=-1)
+
+    def test_qgrams_positional(self):
+        hasher = MinHasher(q=3, num_hashes=1)
+        assert hasher.qgrams("boeing") == ("boe", "oei", "ein", "ing")
+
+    @given(words)
+    @settings(max_examples=100, deadline=None)
+    def test_signature_coordinates_from_qgram_set(self, token):
+        hasher = MinHasher(q=3, num_hashes=4)
+        grams = qgram_set(token, 3)
+        for coordinate in hasher.signature(token):
+            assert coordinate in grams
+
+
+class TestRequiredSignatureSize:
+    def test_formula(self):
+        # H >= 2 * (1/0.5)^2 * ln(1/0.1) = 8 * 2.302... -> 19
+        assert required_signature_size(0.5, 0.1) == 19
+
+    def test_tightening_delta_grows_h(self):
+        assert required_signature_size(0.1, 0.1) > required_signature_size(0.5, 0.1)
+
+    def test_tightening_epsilon_grows_h(self):
+        assert required_signature_size(0.5, 0.01) > required_signature_size(0.5, 0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            required_signature_size(0.0, 0.1)
+        with pytest.raises(ValueError):
+            required_signature_size(0.5, 1.0)
+
+    def test_worst_case_guarantee_holds_empirically(self):
+        """With the theorem's H, underestimates beyond (1−δ) are rare."""
+        import random
+
+        from repro.core.strings import jaccard, qgram_set
+
+        delta, epsilon = 0.5, 0.05
+        h = required_signature_size(delta, epsilon)
+        hasher = MinHasher(q=3, num_hashes=h, seed=9)
+        rng = random.Random(10)
+        words = ["corporation", "corporal", "cooperation", "comparison"]
+        violations = trials = 0
+        for _ in range(100):
+            t1, t2 = rng.sample(words, 2)
+            exact = jaccard(qgram_set(t1, 3), qgram_set(t2, 3))
+            if exact == 0:
+                continue
+            trials += 1
+            if minhash_similarity(t1, t2, hasher) < (1 - delta) * exact:
+                violations += 1
+        assert trials > 0
+        assert violations / trials <= epsilon + 0.05
+
+
+class TestMinHashEstimator:
+    def test_identical_tokens_similarity_one(self):
+        hasher = MinHasher(q=3, num_hashes=4)
+        assert minhash_similarity("corporation", "corporation", hasher) == 1.0
+
+    def test_disjoint_tokens_similarity_zero(self):
+        hasher = MinHasher(q=3, num_hashes=4)
+        assert minhash_similarity("aaaa", "bbbb", hasher) == 0.0
+
+    def test_short_tokens_exact_match_semantics(self):
+        hasher = MinHasher(q=3, num_hashes=4)
+        assert minhash_similarity("wa", "wa", hasher) == 1.0
+        assert minhash_similarity("wa", "or", hasher) == 0.0
+
+    def test_estimates_jaccard_on_average(self):
+        """E[simmh] = Jaccard (§4.1) — check with a large H."""
+        hasher = MinHasher(q=3, num_hashes=200, seed=5)
+        pairs = [
+            ("corporation", "corporal"),
+            ("boeing", "beoing"),
+            ("companions", "company"),
+        ]
+        for t1, t2 in pairs:
+            exact = jaccard(qgram_set(t1, 3), qgram_set(t2, 3))
+            estimate = minhash_similarity(t1, t2, hasher)
+            assert estimate == pytest.approx(exact, abs=0.12)
+
+    @given(words, words)
+    @settings(max_examples=100, deadline=None)
+    def test_similarity_in_unit_range(self, t1, t2):
+        hasher = MinHasher(q=3, num_hashes=3)
+        assert 0.0 <= minhash_similarity(t1, t2, hasher) <= 1.0
+
+    @given(words)
+    def test_self_similarity_is_one(self, token):
+        hasher = MinHasher(q=3, num_hashes=3)
+        assert minhash_similarity(token, token, hasher) == 1.0

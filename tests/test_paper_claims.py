@@ -1,0 +1,112 @@
+"""Direct checks of the paper's analytical claims (§3.2, §4.1).
+
+These pin the *relationships between functions* the paper argues from,
+complementing the experiment-shaped benchmarks.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MatchConfig
+from repro.core.fms import fms
+from repro.core.strings import edit_distance, tuple_edit_similarity
+
+CONFIG = MatchConfig(q=3, signature_size=2)
+tokens = st.text(alphabet="abcdefgh", min_size=1, max_size=10)
+
+
+class UnitWeights:
+    """All-ones weights isolate the structural part of fms."""
+
+    def weight(self, token, column):
+        return 1.0
+
+    def frequency(self, token, column):
+        return 1
+
+
+UNIT = UnitWeights()
+
+
+class TestFmsGeneralizesEditDistance:
+    """§3: "our notion of similarity ... is similar to edit distance
+    except that we operate on tokens and explicitly consider weights."
+
+    For single-token columns with unit weights, the generalization
+    collapses: replacement (cost ed·1) is never beaten by delete+insert
+    (cost 1 + c_ins), so fms(u, v) = 1 − ed(u, v) exactly.
+    """
+
+    @given(tokens, tokens)
+    @settings(max_examples=150, deadline=None)
+    def test_single_token_equivalence(self, t1, t2):
+        similarity = fms((t1,), (t2,), UNIT, CONFIG)
+        assert similarity == pytest.approx(1.0 - edit_distance(t1, t2))
+
+    @given(tokens, tokens, tokens, tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_two_columns_sum_costs(self, a1, a2, b1, b2):
+        similarity = fms((a1, b1), (a2, b2), UNIT, CONFIG)
+        expected = 1.0 - min(
+            (edit_distance(a1, a2) + edit_distance(b1, b2)) / 2.0, 1.0
+        )
+        assert similarity == pytest.approx(expected)
+
+
+class TestImplicitLengthWeighting:
+    """§3.2, Equation (1): ed implicitly weights token mappings in
+    proportion to their lengths — "longer tokens get higher weights"."""
+
+    def test_long_token_error_hurts_ed_more(self):
+        # One substitution inside a long token vs inside a short token,
+        # same record otherwise.  ed penalizes both by 1 character over
+        # the total length — but when the *whole token must change*, ed's
+        # cost scales with token length.
+        base = ("boeing corporation",)
+        long_changed = ("boeing corpxxxxion",)  # 4 edits in the long token
+        short_changed = ("bxxxng corporation",)  # 3 edits in the short token
+        assert tuple_edit_similarity(base, long_changed) < tuple_edit_similarity(
+            base, ("boexng corporation",)
+        )
+        # Replacing the long token entirely costs ed more than the short.
+        replace_long = ("boeing company",)
+        replace_short = ("bon corporation",)
+        assert tuple_edit_similarity(base, replace_long) < tuple_edit_similarity(
+            base, replace_short
+        )
+
+    def test_fms_with_idf_inverts_the_preference(self):
+        """With IDF-style weights the frequent long token becomes cheap to
+        replace — the paper's I3 story in miniature."""
+
+        class IdfLike:
+            def weight(self, token, column):
+                return {"corporation": 0.2, "boeing": 2.0}.get(token, 1.0)
+
+            def frequency(self, token, column):
+                return 1
+
+        base = ("boeing corporation",)
+        replace_long = ("boeing company",)   # cheap: 'corporation' is frequent
+        replace_short = ("bon corporation",)  # expensive: 'boeing' is rare
+        weights = IdfLike()
+        sim_long = fms(replace_long, base, weights, CONFIG)
+        sim_short = fms(replace_short, base, weights, CONFIG)
+        assert sim_long > sim_short
+
+    def test_ed_and_fms_disagree_exactly_on_i3(self):
+        """Tables 1–2: ed prefers R2 for I3, fms prefers R1 — both facts in
+        one place (the motivating example of the whole paper)."""
+        from repro.core.weights import build_frequency_cache
+
+        r1 = ("Boeing Company", "Seattle", "WA", "98004")
+        r2 = ("Bon Corporation", "Seattle", "WA", "98014")
+        i3 = ("Boeing Corporation", "Seattle", "WA", "98004")
+        # A reference with enough filler to give IDF-ish weights.
+        reference_values = [r1, r2, ("Companions", "Seattle", "WA", "98024")] + [
+            (f"filler corporation {i}", "Seattle", "WA", f"9810{i % 10}")
+            for i in range(20)
+        ]
+        weights = build_frequency_cache(reference_values, 4)
+        assert tuple_edit_similarity(i3, r2) > tuple_edit_similarity(i3, r1)
+        assert fms(i3, r1, weights, CONFIG) > fms(i3, r2, weights, CONFIG)

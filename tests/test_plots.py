@@ -1,0 +1,87 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.eval.figures import FigureResult
+from repro.eval.plots import bar_chart, figure_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], title="T", width=10)
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a  |")
+        assert lines[2].startswith("bb |")
+        # The max value fills the full width.
+        assert "█" * 10 in lines[2]
+
+    def test_proportional_bars(self):
+        chart = bar_chart(["x", "y"], [5.0, 10.0], width=10)
+        x_line, y_line = chart.splitlines()
+        assert x_line.count("█") == 5
+        assert y_line.count("█") == 10
+
+    def test_shared_ceiling(self):
+        chart = bar_chart(["x"], [1.0], max_value=4.0, width=8)
+        assert chart.count("█") == 2
+
+    def test_value_formatting(self):
+        chart = bar_chart(["x"], [0.123456], value_format="{:.4f}")
+        assert "0.1235" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in bar_chart([], [], title="empty")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_zero_values(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0], width=10)
+        assert "█" not in chart
+
+    def test_negative_clamped(self):
+        chart = bar_chart(["a", "b"], [-1.0, 2.0], width=10)
+        first = chart.splitlines()[0]
+        assert first.count("█") == 0
+
+
+class TestGroupedBarChart:
+    def test_groups_per_label(self):
+        chart = grouped_bar_chart(
+            ["Q_1", "Q_2"],
+            {"D1": [1.0, 2.0], "D2": [3.0, 4.0]},
+            width=8,
+        )
+        lines = [l for l in chart.splitlines() if l]
+        assert len(lines) == 4
+        assert lines[0].startswith("Q_1 D1")
+        assert lines[3].startswith("Q_2 D2")
+
+    def test_shared_scale(self):
+        chart = grouped_bar_chart(
+            ["x"], {"a": [5.0], "b": [10.0]}, width=10
+        )
+        a_line, b_line = [l for l in chart.splitlines() if l]
+        assert a_line.count("█") == 5
+        assert b_line.count("█") == 10
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["x", "y"], {"a": [1.0]})
+
+
+class TestFigureChart:
+    def test_renders_figure_result(self):
+        figure = FigureResult(
+            "Figure 10: OSC", ("strategy", "success"), [("Q_1", 0.6), ("Q_2", 0.8)]
+        )
+        chart = figure_chart(figure, width=10)
+        assert "Figure 10" in chart
+        assert "success" in chart
+        assert chart.count("|") == 4

@@ -1,0 +1,96 @@
+"""Product-domain workload generator and cross-domain matching."""
+
+import pytest
+
+from repro.core.config import MatchConfig
+from repro.core.matcher import FuzzyMatcher
+from repro.core.reference import ReferenceTable
+from repro.core.weights import build_frequency_cache
+from repro.data.errors import ErrorModel
+from repro.data.products import (
+    PRODUCT_COLUMNS,
+    ProductGenerator,
+    generate_products,
+)
+from repro.db.database import Database
+from repro.eti.builder import build_eti
+
+
+class TestProductGenerator:
+    def test_count_and_tids(self):
+        products = generate_products(120, seed=1)
+        assert len(products) == 120
+        assert [p.tid for p in products] == list(range(120))
+
+    def test_deterministic(self):
+        assert generate_products(60, seed=5) == generate_products(60, seed=5)
+
+    def test_unique_values(self):
+        products = generate_products(500, seed=2)
+        assert len({p.values for p in products}) == 500
+
+    def test_part_number_shape(self):
+        for product in generate_products(100, seed=3):
+            series, number, suffix = product.part_number.split("-")
+            assert len(series) == 2 and series.isalpha()
+            assert len(number) == 4 and number.isdigit()
+            assert len(suffix) == 1
+
+    def test_part_numbers_mostly_unique(self):
+        products = generate_products(1000, seed=4)
+        parts = [p.part_number for p in products]
+        assert len(set(parts)) > 990
+
+    def test_names_multi_token(self):
+        products = generate_products(200, seed=5)
+        assert all(2 <= len(p.product_name.split()) <= 3 for p in products)
+
+    def test_categories_from_small_pool(self):
+        products = generate_products(500, seed=6)
+        assert len({p.category for p in products}) <= 10
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            list(ProductGenerator().generate(-1))
+
+
+class TestProductMatching:
+    @pytest.fixture(scope="class")
+    def matcher(self):
+        products = generate_products(600, seed=9)
+        db = Database.in_memory()
+        catalog = ReferenceTable(db, "product", list(PRODUCT_COLUMNS))
+        catalog.load((p.tid, p.values) for p in products)
+        config = MatchConfig()
+        weights = build_frequency_cache(catalog.scan_values(), 3)
+        eti, _ = build_eti(db, catalog, config)
+        return FuzzyMatcher(catalog, weights, config, eti), products
+
+    def test_clean_records_match_exactly(self, matcher):
+        fuzzy, products = matcher
+        for product in products[:30]:
+            result = fuzzy.match(product.values)
+            assert result.best.similarity == pytest.approx(1.0)
+
+    def test_typo_in_part_number_recoverable(self, matcher):
+        """The paper's point: an erroneous high-IDF token must still let
+        the remaining tokens (and its own q-grams) identify the target."""
+        fuzzy, products = matcher
+        model = ErrorModel((1.0, 0.0, 0.0), name_column=1, seed=41)
+        hits = 0
+        trials = 40
+        for product in products[:trials]:
+            dirty, _ = model.corrupt(product.values)
+            result = fuzzy.match(dirty)
+            if result.best is not None and result.best.tid == product.tid:
+                hits += 1
+        assert hits / trials > 0.75
+
+    def test_part_number_can_go_missing(self, matcher):
+        fuzzy, products = matcher
+        product = products[0]
+        result = fuzzy.match((None, product.product_name, product.category))
+        assert result.best is not None
+        # Name + category alone usually narrow it down, but several
+        # products can share both; just require a sane ranked answer.
+        assert 0.0 < result.best.similarity <= 1.0

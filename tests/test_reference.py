@@ -1,0 +1,103 @@
+"""ReferenceTable: tid-indexed access, mutation, fetch accounting."""
+
+import pytest
+
+from repro.core.reference import ReferenceTable
+from repro.db.database import Database
+from repro.db.errors import DuplicateKeyError, RecordNotFoundError
+
+
+@pytest.fixture()
+def table():
+    db = Database.in_memory()
+    reference = ReferenceTable(db, "r", ["name", "city"])
+    reference.load(
+        [
+            (1, ("alpha one", "springfield")),
+            (2, ("beta two", "shelbyville")),
+            (5, ("gamma three", None)),
+        ]
+    )
+    return reference
+
+
+class TestAccess:
+    def test_len(self, table):
+        assert len(table) == 3
+
+    def test_fetch(self, table):
+        assert table.fetch(2) == ("beta two", "shelbyville")
+
+    def test_fetch_null_column(self, table):
+        assert table.fetch(5) == ("gamma three", None)
+
+    def test_fetch_missing_tid(self, table):
+        with pytest.raises(RecordNotFoundError):
+            table.fetch(99)
+
+    def test_contains(self, table):
+        assert 1 in table
+        assert 99 not in table
+
+    def test_scan_order_and_shape(self, table):
+        rows = list(table.scan())
+        assert [tid for tid, _ in rows] == [1, 2, 5]
+        assert all(len(values) == 2 for _, values in rows)
+
+    def test_scan_values(self, table):
+        assert list(table.scan_values())[0] == ("alpha one", "springfield")
+
+    def test_fetch_counter(self, table):
+        table.reset_fetch_counter()
+        table.fetch(1)
+        table.fetch(2)
+        assert table.fetches == 2
+        table.reset_fetch_counter()
+        assert table.fetches == 0
+
+
+class TestMutation:
+    def test_insert(self, table):
+        table.insert(9, ("delta four", "ogdenville"))
+        assert table.fetch(9) == ("delta four", "ogdenville")
+
+    def test_duplicate_tid_rejected(self, table):
+        with pytest.raises(DuplicateKeyError):
+            table.insert(1, ("dup", "x"))
+
+    def test_wrong_arity_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.insert(9, ("only-one-value",))
+
+    def test_delete(self, table):
+        values = table.delete(2)
+        assert values == ("beta two", "shelbyville")
+        assert 2 not in table
+        assert len(table) == 2
+
+    def test_delete_missing(self, table):
+        with pytest.raises(RecordNotFoundError):
+            table.delete(42)
+
+    def test_empty_columns_rejected(self):
+        db = Database.in_memory()
+        with pytest.raises(ValueError):
+            ReferenceTable(db, "r", [])
+
+
+class TestAttach:
+    def test_attach_wraps_existing(self):
+        db = Database.in_memory()
+        original = ReferenceTable(db, "r", ["name", "city"])
+        original.load([(1, ("alpha", "town"))])
+        attached = ReferenceTable.attach(db, "r", ["name", "city"])
+        assert attached.fetch(1) == ("alpha", "town")
+        # Both views share the underlying relation.
+        attached.insert(2, ("beta", "city"))
+        assert original.fetch(2) == ("beta", "city")
+
+    def test_attach_schema_mismatch(self):
+        db = Database.in_memory()
+        ReferenceTable(db, "r", ["name", "city"])
+        with pytest.raises(ValueError, match="columns"):
+            ReferenceTable.attach(db, "r", ["wrong"])

@@ -1,0 +1,104 @@
+"""Database snapshot persistence: save, reopen, and reuse a built ETI."""
+
+import pytest
+
+from repro.core.config import MatchConfig
+from repro.core.matcher import FuzzyMatcher
+from repro.core.reference import ReferenceTable
+from repro.core.weights import build_frequency_cache
+from repro.db.database import Database
+from repro.db.errors import DatabaseError
+from repro.db.snapshot import load_database, save_database
+from repro.db.types import Column, ColumnType
+from repro.eti.builder import build_eti
+from repro.eti.index import EtiIndex
+
+from tests.conftest import ORG_COLUMNS, ORG_ROWS
+
+
+class TestSnapshotBasics:
+    def test_round_trip_rows(self, tmp_path):
+        path = str(tmp_path / "db.pages")
+        db = Database.on_disk(path)
+        rel = db.create_relation(
+            "t", [Column("k", ColumnType.INT), Column("v", ColumnType.STR)]
+        )
+        for i in range(500):
+            rel.insert((i, f"value-{i}"))
+        save_database(db)
+        db.close()
+
+        reopened = load_database(path)
+        rows = list(reopened.relation("t").scan())
+        assert len(rows) == 500
+        assert rows[123] == (123, "value-123")
+        reopened.close()
+
+    def test_indexes_restored(self, tmp_path):
+        path = str(tmp_path / "db.pages")
+        db = Database.on_disk(path)
+        rel = db.create_relation(
+            "t", [Column("k", ColumnType.INT), Column("v", ColumnType.STR)]
+        )
+        rel.create_index("by_k", ["k"], unique=True)
+        for i in range(100):
+            rel.insert((i, str(i)))
+        save_database(db)
+        db.close()
+
+        reopened = load_database(path)
+        restored = reopened.relation("t")
+        assert "by_k" in restored.index_names()
+        assert restored.index_get("by_k", 42) == (42, "42")
+        reopened.close()
+
+    def test_in_memory_rejected(self):
+        db = Database.in_memory()
+        with pytest.raises(DatabaseError, match="in-memory"):
+            save_database(db)
+
+    def test_missing_metadata_rejected(self, tmp_path):
+        path = str(tmp_path / "nothing.pages")
+        db = Database.on_disk(path)
+        db.close()
+        with pytest.raises(DatabaseError, match="no snapshot metadata"):
+            load_database(path)
+
+    def test_writes_after_reopen(self, tmp_path):
+        path = str(tmp_path / "db.pages")
+        db = Database.on_disk(path)
+        rel = db.create_relation("t", [Column("k", ColumnType.INT)])
+        rel.insert((1,))
+        save_database(db)
+        db.close()
+
+        reopened = load_database(path)
+        reopened.relation("t").insert((2,))
+        assert sorted(reopened.relation("t").scan()) == [(1,), (2,)]
+        reopened.close()
+
+
+class TestEtiReuse:
+    def test_persisted_eti_answers_queries(self, tmp_path):
+        """§6.2.2.1: the persisted ETI serves subsequent input batches."""
+        path = str(tmp_path / "warehouse.pages")
+        config = MatchConfig(q=3, signature_size=2)
+
+        db = Database.on_disk(path)
+        reference = ReferenceTable(db, "orgs", list(ORG_COLUMNS))
+        reference.load(ORG_ROWS)
+        build_eti(db, reference, config)
+        save_database(db)
+        db.close()
+
+        reopened = load_database(path)
+        restored_reference = ReferenceTable.attach(reopened, "orgs", list(ORG_COLUMNS))
+        weights = build_frequency_cache(
+            restored_reference.scan_values(), restored_reference.num_columns
+        )
+        eti = EtiIndex(reopened.relation("eti"))
+        matcher = FuzzyMatcher(restored_reference, weights, config, eti)
+        result = matcher.match(("Beoing Company", "Seattle", "WA", "98004"))
+        assert result.best is not None
+        assert result.best.tid == 1
+        reopened.close()

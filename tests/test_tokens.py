@@ -1,0 +1,92 @@
+"""Tokenization and per-column token identity."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.tokens import DEFAULT_DELIMITERS, TupleTokens, tokenize
+
+
+class TestTokenize:
+    def test_whitespace_split(self):
+        assert tokenize("Boeing Company") == ["boeing", "company"]
+
+    def test_lowercasing(self):
+        assert tokenize("SEATTLE") == ["seattle"]
+
+    def test_none_is_empty(self):
+        assert tokenize(None) == []
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_punctuation_delimiters(self):
+        assert tokenize("Beoing Co.") == ["beoing", "co"]
+
+    def test_multiple_delimiters_collapse(self):
+        assert tokenize("a,,  b..c") == ["a", "b", "c"]
+
+    def test_custom_delimiters(self):
+        assert tokenize("a-b c", delimiters=" ") == ["a-b", "c"]
+
+    def test_order_preserved(self):
+        assert tokenize("company beoing") == ["company", "beoing"]
+
+    def test_duplicates_preserved_in_sequence(self):
+        assert tokenize("new new york") == ["new", "new", "york"]
+
+    @given(st.text(max_size=40))
+    def test_no_empty_tokens(self, s):
+        assert all(tokenize(s))
+
+    @given(st.text(max_size=40))
+    def test_tokens_contain_no_delimiters(self, s):
+        for token in tokenize(s):
+            assert not any(d in token for d in DEFAULT_DELIMITERS)
+
+
+class TestTupleTokens:
+    def test_sequences_and_sets(self):
+        tokens = TupleTokens.from_values(("Boeing Company", "Seattle"))
+        assert tokens.sequences == (("boeing", "company"), ("seattle",))
+        assert tokens.sets == (frozenset({"boeing", "company"}), frozenset({"seattle"}))
+
+    def test_num_columns(self):
+        assert TupleTokens.from_values(("a", "b", None)).num_columns == 3
+
+    def test_none_column(self):
+        tokens = TupleTokens.from_values(("x", None))
+        assert tokens.sequences[1] == ()
+        assert tokens.sets[1] == frozenset()
+
+    def test_duplicates_collapse_in_sets(self):
+        tokens = TupleTokens.from_values(("new new york",))
+        assert tokens.sequences[0] == ("new", "new", "york")
+        assert tokens.sets[0] == frozenset({"new", "york"})
+
+    def test_same_token_in_two_columns_kept_per_column(self):
+        """'madison' in the name column differs from 'madison' in city."""
+        tokens = TupleTokens.from_values(("madison", "madison"))
+        pairs = list(tokens.all_tokens())
+        assert ("madison", 0) in pairs
+        assert ("madison", 1) in pairs
+        assert tokens.token_count() == 2
+
+    def test_all_tokens_sorted_within_column(self):
+        tokens = TupleTokens.from_values(("zeta alpha", None))
+        assert list(tokens.all_tokens()) == [("alpha", 0), ("zeta", 0)]
+
+    def test_token_count_paper_example(self):
+        # I3 [Boeing Corporation, Seattle, WA, 98004] has five tokens.
+        tokens = TupleTokens.from_values(
+            ("Boeing Corporation", "Seattle", "WA", "98004")
+        )
+        assert tokens.token_count() == 5
+
+    def test_column_tokens_accessor(self):
+        tokens = TupleTokens.from_values(("a b", "c"))
+        assert tokens.column_tokens(0) == frozenset({"a", "b"})
+        assert tokens.column_tokens(1) == frozenset({"c"})
+
+    @given(st.lists(st.one_of(st.none(), st.text(max_size=20)), max_size=5))
+    def test_token_count_matches_sets(self, values):
+        tokens = TupleTokens.from_values(values)
+        assert tokens.token_count() == sum(len(s) for s in tokens.sets)

@@ -1,0 +1,72 @@
+"""Query tracing (`match(..., trace=True)`)."""
+
+import pytest
+
+from repro.core.matcher import FuzzyMatcher
+
+
+@pytest.fixture()
+def matcher(org_reference, org_weights, paper_config, org_eti):
+    return FuzzyMatcher(org_reference, org_weights, paper_config, org_eti)
+
+
+class TestTrace:
+    def test_disabled_by_default(self, matcher):
+        result = matcher.match(("Beoing Company", "Seattle", "WA", "98004"))
+        assert result.trace is None
+
+    def test_trace_lists_tokens_and_weights(self, matcher):
+        result = matcher.match(
+            ("Beoing Company", "Seattle", "WA", "98004"), trace=True
+        )
+        text = "\n".join(result.trace)
+        assert "token 'beoing'" in text
+        assert "w(u) =" in text
+
+    def test_trace_records_lookups(self, matcher):
+        result = matcher.match(
+            ("Beoing Company", "Seattle", "WA", "98004"), trace=True
+        )
+        lookups = [line for line in result.trace if line.startswith("lookup")]
+        assert len(lookups) == result.stats.eti_lookups
+        assert any("tids" in line or "miss" in line for line in lookups)
+
+    def test_osc_events_traced(self, matcher):
+        result = matcher.match(
+            ("Boeing Company", "Seattle", "WA", "98004"), trace=True, strategy="osc"
+        )
+        text = "\n".join(result.trace)
+        if result.stats.osc_succeeded:
+            assert "OSC stopping test passed" in text
+        assert result.stats.osc_fetch_attempts == text.count("fetching test passed")
+
+    def test_basic_verification_traced(self, matcher):
+        result = matcher.match(
+            ("Beoing Company", "Seattle", "WA", "98004"),
+            trace=True,
+            strategy="basic",
+        )
+        text = "\n".join(result.trace)
+        assert "verification phase" in text
+        assert "verify tid" in text
+
+    def test_zero_weight_trace(self, org_reference, paper_config, org_eti):
+        class ZeroWeights:
+            def weight(self, token, column):
+                return 0.0
+
+            def frequency(self, token, column):
+                return 1
+
+        matcher = FuzzyMatcher(
+            org_reference, ZeroWeights(), paper_config, org_eti
+        )
+        result = matcher.match(("a", "b", "c", "d"), trace=True)
+        assert any("zero" in line for line in result.trace)
+
+    def test_same_answer_with_and_without_trace(self, matcher):
+        values = ("Boeing Corporation", "Seattle", "WA", "98004")
+        plain = matcher.match(values)
+        traced = matcher.match(values, trace=True)
+        assert plain.best.tid == traced.best.tid
+        assert plain.best.similarity == traced.best.similarity
