@@ -1,0 +1,186 @@
+"""Batch-engine throughput: sequential (seed) vs cached vs parallel.
+
+Measures the queries/sec trajectory the ISSUE-1 tentpole targets on a
+repeated-token batch workload — the shape of Figure 1's ETL loop, where a
+dirty feed repeats tuples and (via IDF's long tail) repeats tokens even
+between distinct tuples:
+
+- ``seed_sequential``: caches disabled, plain per-tuple ``match`` loop —
+  the pre-cache behaviour of the repository.
+- ``cached_sequential``: ``FuzzyMatcher.match_many`` with the cross-query
+  caches and batch deduplication, one thread.
+- ``cached_jobs4``: :class:`repro.core.batch.BatchMatcher` with
+  ``jobs=4`` worker threads over the shared read-only ETI.
+
+Every mode runs the same batch and must produce bit-identical matches
+(asserted).  Results — throughput, speedups, and cache hit-rate counters —
+are printed and written to ``BENCH_batch.json`` at the repository root
+(and mirrored under ``benchmarks/results/``).
+
+Scale is environment-tunable::
+
+    REPRO_BENCH_BATCH_REFERENCE  reference relation size   (default 2000)
+    REPRO_BENCH_BATCH_DISTINCT   distinct dirty tuples     (default 75)
+    REPRO_BENCH_BATCH_REPEATS    repetitions of each tuple (default 4)
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_batch.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.core.batch import BatchMatcher
+from repro.core.cache import MatcherCaches
+from repro.core.config import MatchConfig
+from repro.core.matcher import FuzzyMatcher
+from repro.core.reference import ReferenceTable
+from repro.core.weights import build_frequency_cache
+from repro.data.datasets import DatasetSpec, make_dataset
+from repro.data.generator import CUSTOMER_COLUMNS, generate_customers
+from repro.db.database import Database
+from repro.eti.builder import build_eti
+
+REFERENCE_SIZE = int(os.environ.get("REPRO_BENCH_BATCH_REFERENCE", "2000"))
+DISTINCT_INPUTS = int(os.environ.get("REPRO_BENCH_BATCH_DISTINCT", "75"))
+REPEATS = int(os.environ.get("REPRO_BENCH_BATCH_REPEATS", "4"))
+SEED = 2003
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATHS = (
+    REPO_ROOT / "BENCH_batch.json",
+    Path(__file__).resolve().parent / "results" / "BENCH_batch.json",
+)
+
+
+def build_world():
+    """Reference relation + ETI + a repeated-tuple dirty batch."""
+    customers = generate_customers(REFERENCE_SIZE, seed=SEED, unique=True)
+    rows = [(c.tid, c.values) for c in customers]
+    db = Database.in_memory()
+    reference = ReferenceTable(db, "reference", list(CUSTOMER_COLUMNS))
+    reference.load(rows)
+    weights = build_frequency_cache(reference.scan_values(), reference.num_columns)
+    config = MatchConfig(q=4, signature_size=2, use_osc=True)
+    eti, _ = build_eti(db, reference, config)
+
+    dataset = make_dataset(
+        rows, DatasetSpec.preset("D2"), DISTINCT_INPUTS, seed=SEED + 1
+    )
+    distinct = [dirty.values for dirty in dataset.inputs]
+    batch = distinct * REPEATS
+    random.Random(SEED + 2).shuffle(batch)
+    return db, reference, weights, config, eti, batch
+
+
+def extract(results):
+    """Comparable view of the matches: [(tid, similarity), ...] per query."""
+    return [
+        [(match.tid, match.similarity) for match in result.matches]
+        for result in results
+    ]
+
+
+def run_modes(reference, weights, config, eti, batch):
+    """Time each execution mode on the same batch; verify identical output."""
+    modes = []
+
+    seed_matcher = FuzzyMatcher(
+        reference, weights, config, eti, caches=MatcherCaches.disabled()
+    )
+    started = time.perf_counter()
+    seed_results = [seed_matcher.match(values) for values in batch]
+    seed_seconds = time.perf_counter() - started
+    baseline = extract(seed_results)
+    modes.append(
+        {
+            "name": "seed_sequential",
+            "seconds": seed_seconds,
+            "queries_per_second": len(batch) / seed_seconds,
+            "cache_counters": seed_matcher.caches.counters(),
+        }
+    )
+
+    cached_matcher = FuzzyMatcher(reference, weights, config, eti)
+    started = time.perf_counter()
+    cached_results = cached_matcher.match_many(batch)
+    cached_seconds = time.perf_counter() - started
+    assert extract(cached_results) == baseline, "cached results diverged"
+    modes.append(
+        {
+            "name": "cached_sequential",
+            "seconds": cached_seconds,
+            "queries_per_second": len(batch) / cached_seconds,
+            "cache_counters": cached_matcher.caches.counters(),
+        }
+    )
+
+    with BatchMatcher(reference, weights, config, eti, jobs=4) as engine:
+        started = time.perf_counter()
+        parallel_results = engine.match_many(batch)
+        parallel_seconds = time.perf_counter() - started
+        assert extract(parallel_results) == baseline, "parallel results diverged"
+        modes.append(
+            {
+                "name": "cached_jobs4",
+                "seconds": parallel_seconds,
+                "queries_per_second": len(batch) / parallel_seconds,
+                "cache_counters": engine.cache_counters(),
+                "deduplicated_queries": engine.last_report.deduplicated_queries,
+            }
+        )
+
+    seed_qps = modes[0]["queries_per_second"]
+    for mode in modes:
+        mode["speedup_vs_seed"] = mode["queries_per_second"] / seed_qps
+    return modes
+
+
+def main() -> int:
+    """Run the trajectory, print it, and write ``BENCH_batch.json``."""
+    db, reference, weights, config, eti, batch = build_world()
+    try:
+        modes = run_modes(reference, weights, config, eti, batch)
+    finally:
+        db.close()
+
+    payload = {
+        "benchmark": "batch_engine_throughput",
+        "workload": {
+            "reference_size": REFERENCE_SIZE,
+            "batch_size": len(batch),
+            "distinct_inputs": DISTINCT_INPUTS,
+            "repeats": REPEATS,
+            "strategy": "osc",
+            "dataset_preset": "D2",
+        },
+        "modes": modes,
+    }
+    for path in RESULT_PATHS:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"batch of {len(batch)} queries ({DISTINCT_INPUTS} distinct), "
+          f"reference {REFERENCE_SIZE}")
+    for mode in modes:
+        print(
+            f"  {mode['name']:>17}: {mode['queries_per_second']:8.1f} q/s "
+            f"({mode['speedup_vs_seed']:.2f}x vs seed)"
+        )
+    final = modes[-1]["speedup_vs_seed"]
+    cached = modes[1]["speedup_vs_seed"]
+    best = max(cached, final)
+    print(f"best speedup vs seed sequential: {best:.2f}x")
+    if best < 2.0:
+        print("WARNING: below the 2x acceptance target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

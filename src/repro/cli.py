@@ -23,6 +23,7 @@ import sys
 import time
 from typing import Sequence
 
+from repro.core.batch import BatchMatcher
 from repro.core.config import MatchConfig, SignatureScheme
 from repro.core.matcher import FuzzyMatcher
 from repro.core.reference import ReferenceTable
@@ -117,6 +118,8 @@ def cmd_corrupt(args) -> int:
 
 def cmd_match(args) -> int:
     """``repro match``: build an ETI and fuzzy-match an input CSV."""
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     config = MatchConfig(
         q=args.q,
         signature_size=args.signature_size,
@@ -153,9 +156,14 @@ def cmd_match(args) -> int:
     out_header = (["target_tid"] if has_target else []) + list(input_columns)
     writer.writerow(out_header + ["matched_tid", "similarity"])
     predictions = []
+    engine = BatchMatcher.from_matcher(matcher, jobs=args.jobs)
     started = time.perf_counter()
-    for target, values in inputs:
-        result = matcher.match(values, strategy=args.strategy)
+    with engine:
+        results = engine.match_many(
+            [values for _, values in inputs], strategy=args.strategy
+        )
+    elapsed = time.perf_counter() - started
+    for (target, values), result in zip(inputs, results):
         best = result.best
         row = ([target] if has_target else []) + [_cell(v) for v in values]
         if best is None:
@@ -164,10 +172,12 @@ def cmd_match(args) -> int:
             writer.writerow(row + [best.tid, f"{best.similarity:.4f}"])
         if has_target:
             predictions.append((best.tid if best else None, target))
-    elapsed = time.perf_counter() - started
+    report = engine.last_report
     print(
         f"matched {len(inputs)} tuples in {elapsed:.2f}s "
-        f"({1000 * elapsed / max(len(inputs), 1):.1f} ms/tuple)",
+        f"({1000 * elapsed / max(len(inputs), 1):.1f} ms/tuple, "
+        f"{report.queries_per_second:.1f} q/s, jobs={args.jobs}, "
+        f"{report.deduplicated_queries} deduplicated)",
         file=sys.stderr,
     )
     if has_target and predictions:
@@ -302,6 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
     mat.add_argument("--signature-size", type=int, default=2)
     mat.add_argument("--scheme", choices=("Q", "Q+T"), default="Q+T")
     mat.add_argument("--strategy", choices=("naive", "basic", "osc"), default="osc")
+    mat.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for batch matching (1 = sequential)",
+    )
     mat.add_argument("--out", type=argparse.FileType("w"), default=sys.stdout)
     mat.set_defaults(func=cmd_match)
 

@@ -10,6 +10,8 @@
   K-fuzzy-match algorithms over the ETI.
 """
 
+from repro.core.batch import BatchMatcher, BatchReport
+from repro.core.cache import CacheStats, CachingWeightFunction, LRUCache, MatcherCaches
 from repro.core.config import MatchConfig, SignatureScheme
 from repro.core.fms import fms, transformation_cost
 from repro.core.fms_apx import fms_apx, fms_t_apx
@@ -26,8 +28,14 @@ from repro.core.weights import (
 )
 
 __all__ = [
+    "BatchMatcher",
+    "BatchReport",
     "BoundedTokenFrequencyCache",
     "build_frequency_cache",
+    "CacheStats",
+    "CachingWeightFunction",
+    "LRUCache",
+    "MatcherCaches",
     "edit_distance",
     "edit_distance_raw",
     "fms",

@@ -1,0 +1,247 @@
+"""Cross-query caches for the fuzzy-match hot path.
+
+The matcher's per-query work has three components that repeat massively
+across a batch of dirty input tuples (that is what IDF weighting says:
+most tokens are frequent ones):
+
+- tokenizing fetched reference tuples (``tid -> TupleTokens``) — the same
+  candidates come back query after query;
+- IDF weight lookups (``(column, token) -> float``) — every fms evaluation
+  re-weighs the same tokens;
+- min-hash signature expansion (``token -> signature entries``) — dirty
+  batches share almost all of their tokens.
+
+PASS-JOIN and ApproxJoin get their throughput by amortizing exactly this
+per-string preprocessing across a workload; :class:`MatcherCaches` is the
+same idea for the online ETL loop of Figure 1.  All caches are bounded
+LRU, thread-safe (the parallel batch engine shares nothing *mutable*
+except these), and every one counts hits/misses/evictions so the win is
+measured, not asserted — the counters surface per query in
+:class:`repro.core.matcher.MatchStats` and in ``BENCH_batch.json``.
+
+Cached values are keyed on content that is fixed for one matcher (its
+config, hasher, and weight provider).  Do **not** share one
+:class:`MatcherCaches` between matchers with different configurations;
+give each its own bundle (the default).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+_MISSING = object()
+
+# Default capacities: sized for the paper's evaluation scale (a couple of
+# million reference tuples, batches of thousands of dirty inputs) while
+# staying bounded.  Entries are small (token strings, weight floats,
+# tokenized tuples), so even the largest default is a few tens of MB.
+DEFAULT_REFERENCE_CAPACITY = 65_536
+DEFAULT_WEIGHT_CAPACITY = 262_144
+DEFAULT_SIGNATURE_CAPACITY = 131_072
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> tuple[int, int]:
+        """``(hits, misses)`` at this instant, for per-query deltas."""
+        return (self.hits, self.misses)
+
+
+class LRUCache:
+    """A bounded, thread-safe LRU map with hit/miss/eviction accounting.
+
+    ``capacity=0`` disables the cache: every lookup misses and nothing is
+    stored, which is how the "seed" (uncached) behaviour is reproduced for
+    parity tests and benchmarks.
+
+    Thread safety: all map mutations happen under one lock.  In
+    :meth:`get_or_compute` the compute callable runs *outside* the lock,
+    so two threads racing on the same key may both compute; the second
+    store is discarded.  Cached values must therefore be immutable (they
+    are: tuples, floats, frozen dataclasses).
+    """
+
+    def __init__(self, capacity: int, name: str = ""):
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self.name = name
+        self.stats = CacheStats()
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or miss."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return default
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``key -> value``, evicting the LRU entry when full."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data[key] = value
+                self._data.move_to_end(key)
+                return
+            self._data[key] = value
+            if len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return compute()
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is not _MISSING:
+                self._data.move_to_end(key)
+                self.stats.hits += 1
+                return value
+            self.stats.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are retained)."""
+        with self._lock:
+            self._data.clear()
+
+
+class MatcherCaches:
+    """The bundle of cross-query caches one :class:`FuzzyMatcher` uses.
+
+    - ``reference_tokens``: ``tid -> (TupleTokens, values)`` for fetched
+      reference tuples, shared by candidate verification and the naive
+      scan.
+    - ``token_weights``: ``(column, token) -> weight`` memo in front of
+      the weight provider (see :class:`CachingWeightFunction`).
+    - ``signatures``: ``token -> signature entries`` memo in front of
+      :func:`repro.eti.signature.signature_entries`.
+    """
+
+    def __init__(
+        self,
+        reference_capacity: int = DEFAULT_REFERENCE_CAPACITY,
+        weight_capacity: int = DEFAULT_WEIGHT_CAPACITY,
+        signature_capacity: int = DEFAULT_SIGNATURE_CAPACITY,
+    ):
+        self.reference_tokens = LRUCache(reference_capacity, "reference_tokens")
+        self.token_weights = LRUCache(weight_capacity, "token_weights")
+        self.signatures = LRUCache(signature_capacity, "signatures")
+
+    @classmethod
+    def disabled(cls) -> "MatcherCaches":
+        """A bundle with every cache off — the seed (uncached) behaviour."""
+        return cls(0, 0, 0)
+
+    @property
+    def enabled(self) -> bool:
+        return any(cache.enabled for cache in self.all_caches())
+
+    def all_caches(self) -> tuple[LRUCache, ...]:
+        """The three caches, in counter order."""
+        return (self.reference_tokens, self.token_weights, self.signatures)
+
+    def counters(self) -> dict[str, dict[str, int | float]]:
+        """Per-cache hit/miss/eviction counters plus hit rate."""
+        return {
+            cache.name: {
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "evictions": cache.stats.evictions,
+                "hit_rate": cache.stats.hit_rate,
+                "entries": len(cache),
+            }
+            for cache in self.all_caches()
+        }
+
+    def snapshot(self) -> tuple[tuple[int, int], ...]:
+        """Per-cache ``(hits, misses)`` tuples, for per-query deltas."""
+        return tuple(cache.stats.snapshot() for cache in self.all_caches())
+
+    def clear(self) -> None:
+        """Drop every entry from every cache."""
+        for cache in self.all_caches():
+            cache.clear()
+
+
+class CachingWeightFunction:
+    """A :class:`~repro.core.weights.WeightFunction` memoizing ``weight``.
+
+    Wraps any weight provider with the shared ``token_weights`` LRU.  The
+    wrapper watches the provider's ``version`` attribute (bumped by the
+    frequency caches on every mutation — see
+    :class:`repro.core.weights.TokenFrequencyCache`) and clears the memo
+    whenever it changes, so incrementally-maintained weights stay exact.
+    Providers without a ``version`` attribute are assumed immutable.
+    """
+
+    def __init__(self, base, cache: LRUCache):
+        self._base = base
+        self._cache = cache
+        self._seen_version = getattr(base, "version", None)
+
+    @property
+    def base(self):
+        """The wrapped weight provider."""
+        return self._base
+
+    def _check_version(self) -> None:
+        version = getattr(self._base, "version", None)
+        if version != self._seen_version:
+            self._cache.clear()
+            self._seen_version = version
+
+    def weight(self, token: str, column: int) -> float:
+        """``w(t, i)`` served from the memo (computed once per token)."""
+        self._check_version()
+        return self._cache.get_or_compute(
+            (column, token), lambda: self._base.weight(token, column)
+        )
+
+    def frequency(self, token: str, column: int) -> int:
+        """``freq(t, i)``, delegated uncached (cold path)."""
+        return self._base.frequency(token, column)

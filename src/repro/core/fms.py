@@ -151,6 +151,7 @@ def fms(
     v: TupleTokens | Sequence[str | None],
     weights: WeightFunction,
     config: MatchConfig | None = None,
+    u_weight: float | None = None,
 ) -> float:
     """Fuzzy match similarity between input ``u`` and reference ``v``.
 
@@ -158,6 +159,11 @@ def fms(
     :class:`TupleTokens`.  Returns a similarity in [0, 1].  An input with
     no tokens at all matches an empty reference perfectly and anything
     else not at all (``w(u) = 0`` leaves nothing to normalize by).
+
+    ``u_weight`` is an optional precomputed ``w(u)``
+    (:func:`input_tuple_weight` of ``u`` under the same weights and
+    config): a query verifying many candidates against one input tuple
+    computes it once instead of per candidate.
     """
     if config is None:
         config = MatchConfig()
@@ -165,7 +171,9 @@ def fms(
         u = TupleTokens.from_values(u)
     if not isinstance(v, TupleTokens):
         v = TupleTokens.from_values(v)
-    total_weight = input_tuple_weight(u, weights, config)
+    total_weight = (
+        u_weight if u_weight is not None else input_tuple_weight(u, weights, config)
+    )
     if total_weight <= 0.0:
         return 1.0 if v.token_count() == 0 else 0.0
     cost = tuple_transformation_cost(u, v, weights, config)

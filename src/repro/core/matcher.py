@@ -22,12 +22,14 @@ counts at the few-per-query level Figure 8 reports.
 
 from __future__ import annotations
 
+import heapq
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.core.cache import CachingWeightFunction, MatcherCaches
 from repro.core.candidates import ScoreTable
 from repro.core.config import MatchConfig
-from repro.core.fms import fms
+from repro.core.fms import fms, input_tuple_weight
 from repro.core.minhash import MinHasher
 from repro.core.osc import fetching_test, similarity_upper_bound, stopping_test
 from repro.core.reference import ReferenceTable
@@ -35,7 +37,7 @@ from repro.core.tokens import TupleTokens
 from repro.core.weights import WeightFunction
 from repro.db.errors import RecordNotFoundError
 from repro.eti.index import EtiIndex
-from repro.eti.signature import signature_entries
+from repro.eti.signature import signature_entries_cached
 
 
 @dataclass(frozen=True)
@@ -49,7 +51,14 @@ class Match:
 
 @dataclass
 class MatchStats:
-    """Per-query counters behind the paper's efficiency figures."""
+    """Per-query counters behind the paper's efficiency figures.
+
+    ``candidates_fetched`` counts *logical* candidate fetches (one per
+    distinct tid verified by the query), matching the paper's Figure 8
+    metric regardless of caching; the per-cache hit/miss counters below
+    say how many of this query's cache lookups were served from the
+    cross-query caches instead of recomputed.
+    """
 
     strategy: str = ""
     eti_lookups: int = 0
@@ -60,6 +69,15 @@ class MatchStats:
     osc_fetch_attempts: int = 0
     osc_succeeded: bool = False
     elapsed_seconds: float = 0.0
+    reference_cache_hits: int = 0
+    reference_cache_misses: int = 0
+    weight_cache_hits: int = 0
+    weight_cache_misses: int = 0
+    signature_cache_hits: int = 0
+    signature_cache_misses: int = 0
+    deduplicated: bool = False
+    """True when this result was copied from an identical tuple earlier
+    in the same :meth:`FuzzyMatcher.match_many` batch."""
 
 
 @dataclass
@@ -83,6 +101,26 @@ class _TokenInfo:
     weight: float
 
 
+def reference_version(reference) -> int | None:
+    """The reference relation's mutation version (None if untracked)."""
+    return getattr(reference, "version", None)
+
+
+def replicate_result(result: MatchResult) -> MatchResult:
+    """An independent copy of ``result`` flagged as batch-deduplicated.
+
+    Duplicate tuples inside one batch share the underlying query; each
+    occurrence still gets its own result object (callers mutate match
+    lists and stats freely), with ``stats.deduplicated`` set so the free
+    queries are visible in accounting.
+    """
+    return MatchResult(
+        matches=list(result.matches),
+        stats=replace(result.stats, deduplicated=True),
+        trace=list(result.trace) if result.trace is not None else None,
+    )
+
+
 class FuzzyMatcher:
     """Fuzzy match queries against one reference relation.
 
@@ -102,6 +140,12 @@ class FuzzyMatcher:
         The min-hash family.  Must be the one the ETI was built with; when
         omitted, a hasher with the config's (q, H, seed) is created, which
         matches an ETI built from the same config.
+    caches:
+        Cross-query caches (:class:`~repro.core.cache.MatcherCaches`).
+        Defaults to a fresh enabled bundle; pass
+        ``MatcherCaches.disabled()`` for the uncached (seed) behaviour.
+        Caching never changes results — only how often tokenization,
+        weight lookups, and signature expansion are recomputed.
     """
 
     def __init__(
@@ -111,6 +155,7 @@ class FuzzyMatcher:
         config: MatchConfig | None = None,
         eti: EtiIndex | None = None,
         hasher: MinHasher | None = None,
+        caches: MatcherCaches | None = None,
     ):
         self.reference = reference
         self.weights = weights
@@ -121,6 +166,15 @@ class FuzzyMatcher:
             if hasher is not None
             else MinHasher(self.config.q, self.config.signature_size, self.config.seed)
         )
+        self.caches = caches if caches is not None else MatcherCaches()
+        # The memoized weight view used on every hot path (fms, token
+        # weighing); ``self.weights`` stays the raw provider.
+        self._weights: WeightFunction = (
+            CachingWeightFunction(weights, self.caches.token_weights)
+            if self.caches.token_weights.enabled
+            else weights
+        )
+        self._reference_version = reference_version(reference)
 
     # ------------------------------------------------------------------
     # Public API
@@ -157,6 +211,7 @@ class FuzzyMatcher:
             raise ValueError(f"strategy {strategy!r} requires a built ETI")
 
         started = time.perf_counter()
+        counters_before = self.caches.snapshot()
         if strategy == "naive":
             result = self._match_naive(values, k, c)
         else:
@@ -164,6 +219,7 @@ class FuzzyMatcher:
                 values, k, c, use_osc=(strategy == "osc"), trace=trace
             )
         result.stats.strategy = strategy
+        self._record_cache_deltas(result.stats, counters_before)
         result.stats.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -173,16 +229,114 @@ class FuzzyMatcher:
         k: int | None = None,
         min_similarity: float | None = None,
         strategy: str | None = None,
+        trace: bool = False,
     ) -> list[MatchResult]:
         """Match a batch of input tuples; results in input order.
 
-        A convenience wrapper over :meth:`match` for the ETL-style usage
-        of Figure 1, where input tuples arrive in batches.
+        The batch engine behind the ETL-style usage of Figure 1: identical
+        input tuples are matched once and their results replicated
+        (``stats.deduplicated`` marks the copies), and the cross-query
+        caches are warmed batch-wide before querying, so repeated tokens —
+        the common case in a dirty feed — are tokenized, weighed, and
+        min-hashed once for the whole batch.  Results are returned in
+        input order and are identical to calling :meth:`match` per tuple.
         """
-        return [
-            self.match(values, k=k, min_similarity=min_similarity, strategy=strategy)
-            for values in batch
-        ]
+        batch = list(batch)
+        groups: dict[tuple, list[int]] = {}
+        keys: list[tuple | None] = []
+        for index, values in enumerate(batch):
+            try:
+                key = tuple(values)
+                groups.setdefault(key, []).append(index)
+            except TypeError:
+                key = None  # unhashable values: match it standalone
+            keys.append(key)
+
+        self._warm_batch(groups, strategy)
+
+        results: list[MatchResult | None] = [None] * len(batch)
+        computed: dict[tuple, MatchResult] = {}
+        for index, values in enumerate(batch):
+            key = keys[index]
+            if key is not None and key in computed:
+                results[index] = replicate_result(computed[key])
+                continue
+            result = self.match(
+                values,
+                k=k,
+                min_similarity=min_similarity,
+                strategy=strategy,
+                trace=trace,
+            )
+            if key is not None:
+                computed[key] = result
+            results[index] = result
+        return results
+
+    def _warm_batch(self, groups: dict[tuple, list[int]], strategy: str | None) -> None:
+        """Pre-populate the weight and signature caches for a whole batch.
+
+        Touches every distinct (token, column) of the batch once, so the
+        per-query loops below run almost entirely on cache hits.  A no-op
+        when caching is disabled.
+        """
+        if not self.caches.enabled or len(self.reference.column_names) == 0:
+            return
+        if strategy is None:
+            strategy = "osc" if self.config.use_osc else "basic"
+        warm_signatures = (
+            strategy != "naive"
+            and self.eti is not None
+            and self.caches.signatures.enabled
+        )
+        seen: set[tuple[int, str]] = set()
+        for key in groups:
+            if len(key) != self.reference.num_columns:
+                continue  # match() raises per-tuple; don't raise while warming
+            for token, column in TupleTokens.from_values(key).all_tokens():
+                if (column, token) in seen:
+                    continue
+                seen.add((column, token))
+                self._weights.weight(token, column)
+                if warm_signatures:
+                    signature_entries_cached(
+                        token, self.hasher, self.config, self.caches.signatures
+                    )
+
+    def _record_cache_deltas(
+        self, stats: MatchStats, before: tuple[tuple[int, int], ...]
+    ) -> None:
+        reference, weights, signatures = self.caches.snapshot()
+        stats.reference_cache_hits = reference[0] - before[0][0]
+        stats.reference_cache_misses = reference[1] - before[0][1]
+        stats.weight_cache_hits = weights[0] - before[1][0]
+        stats.weight_cache_misses = weights[1] - before[1][1]
+        stats.signature_cache_hits = signatures[0] - before[2][0]
+        stats.signature_cache_misses = signatures[1] - before[2][1]
+
+    def _reference_tokens(
+        self, tid: int, values: tuple | None = None
+    ) -> tuple[TupleTokens, tuple]:
+        """``(TupleTokens, values)`` of reference tuple ``tid``, cached.
+
+        ``values`` short-circuits the fetch when the caller already holds
+        the tuple (the naive scan).  Without it a cache miss fetches via
+        the tid index (counted in ``reference.fetches``).  Raises
+        :class:`RecordNotFoundError` for dangling tids; misses are never
+        cached.  The cache is cleared whenever the reference relation's
+        mutation version moves.
+        """
+        cache = self.caches.reference_tokens
+        version = reference_version(self.reference)
+        if version != self._reference_version:
+            cache.clear()
+            self._reference_version = version
+
+        def compute() -> tuple[TupleTokens, tuple]:
+            row = values if values is not None else self.reference.fetch(tid)
+            return (TupleTokens.from_values(row), tuple(row))
+
+        return cache.get_or_compute(tid, compute)
 
     # ------------------------------------------------------------------
     # Naive scan
@@ -190,22 +344,37 @@ class FuzzyMatcher:
 
     def _match_naive(self, values, k: int, c: float) -> MatchResult:
         result = MatchResult()
+        stats = result.stats
         input_tokens = TupleTokens.from_values(values)
-        best: list[tuple[float, int, tuple]] = []
-        for tid, reference_values in self.reference.scan():
-            similarity = fms(
-                input_tokens,
-                TupleTokens.from_values(reference_values),
-                self.weights,
-                self.config,
-            )
-            result.stats.fms_evaluations += 1
-            if similarity >= c:
-                best.append((similarity, tid, reference_values))
-        best.sort(key=lambda item: (-item[0], item[1]))
+        u_weight = input_tuple_weight(input_tokens, self._weights, self.config)
+
+        def scored():
+            for tid, reference_values in self.reference.scan():
+                reference_tokens, row = self._reference_tokens(
+                    tid, values=reference_values
+                )
+                similarity = fms(
+                    input_tokens,
+                    reference_tokens,
+                    self._weights,
+                    self.config,
+                    u_weight=u_weight,
+                )
+                stats.fms_evaluations += 1
+                if similarity >= c:
+                    # tid is unique, so the heap never compares row values.
+                    yield (-similarity, tid, row)
+
+        if k > 0:
+            # Bounded top-K selection: O(N log K) instead of sorting the
+            # whole admitted set.
+            best = heapq.nsmallest(k, scored())
+        else:
+            for _ in scored():
+                pass
+            best = []
         result.matches = [
-            Match(tid, similarity, values_)
-            for similarity, tid, values_ in best[:k]
+            Match(tid, -neg_similarity, row) for neg_similarity, tid, row in best
         ]
         return result
 
@@ -228,7 +397,7 @@ class FuzzyMatcher:
         column_weights = config.normalized_column_weights(input_tokens.num_columns)
 
         token_infos = [
-            _TokenInfo(token, column, self.weights.weight(token, column) * column_weights[column])
+            _TokenInfo(token, column, self._weights.weight(token, column) * column_weights[column])
             for token, column in input_tokens.all_tokens()
         ]
         input_weight = sum(info.weight for info in token_infos)
@@ -245,7 +414,9 @@ class FuzzyMatcher:
         entries: list[tuple[float, int, int, str, int]] = []
         # (qgram_weight, token_index, coordinate, gram, column)
         for token_index, info in enumerate(token_infos):
-            for entry in signature_entries(info.token, self.hasher, config):
+            for entry in signature_entries_cached(
+                info.token, self.hasher, config, self.caches.signatures
+            ):
                 entries.append(
                     (
                         info.weight * entry.weight_fraction,
@@ -308,7 +479,7 @@ class FuzzyMatcher:
                     f"outside cap {decision.outside_score_cap:.3f}"
                 )
             similarities = [
-                self._verify(tid, input_tokens, fms_cache, stats)[0]
+                self._verify(tid, input_tokens, input_weight, fms_cache, stats)[0]
                 for tid in decision.top_tids
             ]
             if stopping_test(
@@ -362,7 +533,9 @@ class FuzzyMatcher:
                         f"displace K-th fms {verified[k - 1][0]:.3f}"
                     )
                 break
-            similarity, _ = self._verify(tid, input_tokens, fms_cache, stats)
+            similarity, _ = self._verify(
+                tid, input_tokens, input_weight, fms_cache, stats
+            )
             if log:
                 log(f"verify tid {tid}: score {score:.3f} -> fms {similarity:.3f}")
             if similarity >= c:
@@ -379,10 +552,16 @@ class FuzzyMatcher:
         self,
         tid: int,
         input_tokens: TupleTokens,
+        input_weight: float,
         fms_cache: dict[int, tuple[float, tuple]],
         stats: MatchStats,
     ) -> tuple[float, tuple]:
-        """Fetch ``tid`` (once) and compute its exact fms (once).
+        """Fetch ``tid`` (once per query) and compute its exact fms (once).
+
+        The fetch+tokenize goes through the cross-query reference-token
+        cache, so a candidate verified by an earlier query costs neither a
+        B+-tree fetch nor re-tokenization; ``candidates_fetched`` still
+        counts it (the Figure 8 metric is logical fetches per query).
 
         A tid the ETI names but the reference relation no longer holds
         (possible when index maintenance lags deletes) verifies to
@@ -393,16 +572,17 @@ class FuzzyMatcher:
         if cached is not None:
             return cached
         try:
-            reference_values = self.reference.fetch(tid)
+            reference_tokens, reference_values = self._reference_tokens(tid)
         except RecordNotFoundError:
             fms_cache[tid] = (-1.0, ())
             return fms_cache[tid]
         stats.candidates_fetched += 1
         similarity = fms(
             input_tokens,
-            TupleTokens.from_values(reference_values),
-            self.weights,
+            reference_tokens,
+            self._weights,
             self.config,
+            u_weight=input_weight,
         )
         stats.fms_evaluations += 1
         fms_cache[tid] = (similarity, reference_values)

@@ -38,6 +38,7 @@ class ReferenceTable:
         self.relation = db.create_relation(name, columns)
         self.relation.create_index(TID_INDEX, ["tid"], unique=True)
         self.fetches = 0
+        self._version_box = [0]
 
     @classmethod
     def attach(cls, db: Database, name: str, column_names: Sequence[str]) -> "ReferenceTable":
@@ -60,7 +61,29 @@ class ReferenceTable:
         table.column_names = tuple(column_names)
         table.relation = relation
         table.fetches = 0
+        table._version_box = [0]
         return table
+
+    def view(self) -> "ReferenceTable":
+        """A handle onto the same stored relation with its own counters.
+
+        Views share the relation, the tid index, and the mutation version
+        (an insert through any view invalidates caches everywhere), but
+        count fetches independently — the parallel batch engine gives each
+        worker a view so per-query statistics stay race-free.
+        """
+        table = ReferenceTable.__new__(ReferenceTable)
+        table.name = self.name
+        table.column_names = self.column_names
+        table.relation = self.relation
+        table.fetches = 0
+        table._version_box = self._version_box
+        return table
+
+    @property
+    def version(self) -> int:
+        """Bumped on every insert/delete; cache layers watch this."""
+        return self._version_box[0]
 
     @property
     def num_columns(self) -> int:
@@ -77,6 +100,7 @@ class ReferenceTable:
                 f"expected {self.num_columns} values, got {len(values)}"
             )
         self.relation.insert((tid,) + tuple(values))
+        self._version_box[0] += 1
 
     def load(self, rows: Iterable[tuple[int, Sequence[str | None]]]) -> int:
         """Bulk load ``(tid, values)`` pairs; returns the count."""
@@ -97,6 +121,7 @@ class ReferenceTable:
         rid = self.relation.find_rid(TID_INDEX, tid)
         values = self.relation.fetch(rid)[1:]
         self.relation.delete(rid)
+        self._version_box[0] += 1
         return values
 
     def __contains__(self, tid: int) -> bool:

@@ -13,6 +13,7 @@ becomes stale once evicted.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -131,6 +132,10 @@ class BufferPool:
         self.capacity = capacity
         self.stats = PoolStats()
         self._cache: OrderedDict[int, Page] = OrderedDict()
+        # Even read-only page access reorders (and can evict from) the LRU
+        # map, so concurrent readers — the parallel batch matcher — must
+        # serialize around it.  Reentrant: _install runs under get_page.
+        self._lock = threading.RLock()
 
     @property
     def num_pages(self) -> int:
@@ -138,40 +143,44 @@ class BufferPool:
 
     def allocate_page(self) -> int:
         """Allocate a fresh page in storage, cache it, return its number."""
-        page_no = self.storage.allocate()
-        page = Page()
-        page.dirty = True
-        self._install(page_no, page)
-        return page_no
+        with self._lock:
+            page_no = self.storage.allocate()
+            page = Page()
+            page.dirty = True
+            self._install(page_no, page)
+            return page_no
 
     def get_page(self, page_no: int) -> Page:
         """Return the page, reading it from storage on a miss."""
-        page = self._cache.get(page_no)
-        if page is not None:
-            self.stats.hits += 1
-            self._cache.move_to_end(page_no)
+        with self._lock:
+            page = self._cache.get(page_no)
+            if page is not None:
+                self.stats.hits += 1
+                self._cache.move_to_end(page_no)
+                return page
+            self.stats.misses += 1
+            if not 0 <= page_no < self.storage.num_pages:
+                raise BufferPoolError(f"page {page_no} does not exist")
+            self.stats.physical_reads += 1
+            page = Page(self.storage.read(page_no))
+            self._install(page_no, page)
             return page
-        self.stats.misses += 1
-        if not 0 <= page_no < self.storage.num_pages:
-            raise BufferPoolError(f"page {page_no} does not exist")
-        self.stats.physical_reads += 1
-        page = Page(self.storage.read(page_no))
-        self._install(page_no, page)
-        return page
 
     def flush(self) -> None:
         """Write all dirty cached pages back to storage."""
-        for page_no, page in self._cache.items():
-            if page.dirty:
-                self.storage.write(page_no, bytes(page.data))
-                page.dirty = False
-                self.stats.physical_writes += 1
+        with self._lock:
+            for page_no, page in self._cache.items():
+                if page.dirty:
+                    self.storage.write(page_no, bytes(page.data))
+                    page.dirty = False
+                    self.stats.physical_writes += 1
 
     def close(self) -> None:
         """Flush dirty pages and release the cache and storage."""
-        self.flush()
-        self._cache.clear()
-        self.storage.close()
+        with self._lock:
+            self.flush()
+            self._cache.clear()
+            self.storage.close()
 
     def _install(self, page_no: int, page: Page) -> None:
         while len(self._cache) >= self.capacity:

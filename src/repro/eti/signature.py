@@ -65,3 +65,22 @@ def signature_entries(
             for i, gram in enumerate(signature)
         )
     return tuple(entries)
+
+
+def signature_entries_cached(
+    token: str, hasher: MinHasher, config: MatchConfig, cache
+) -> tuple[SignatureEntry, ...]:
+    """:func:`signature_entries` memoized through a shared per-token cache.
+
+    ``cache`` is an :class:`repro.core.cache.LRUCache` (or None to bypass).
+    Input tokens repeat massively across a dirty batch, so the expansion —
+    min-hashing plus entry construction — is paid once per distinct token
+    per matcher.  The cache key is the token alone: one cache must only
+    ever serve matchers sharing a (hasher, config) pair, which
+    :class:`repro.core.cache.MatcherCaches` guarantees by being per-matcher.
+    """
+    if cache is None:
+        return signature_entries(token, hasher, config)
+    return cache.get_or_compute(
+        token, lambda: signature_entries(token, hasher, config)
+    )

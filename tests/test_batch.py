@@ -1,0 +1,185 @@
+"""The batch/parallel query engine: determinism, dedup, and the CLI path.
+
+The headline guarantee: :class:`BatchMatcher` with any ``jobs`` count
+returns results in input order that are bit-identical to the sequential
+per-tuple path — parallel execution is an implementation detail, never a
+semantic one.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.batch import BatchMatcher, BatchReport
+from repro.core.cache import MatcherCaches
+from repro.core.matcher import FuzzyMatcher
+
+from tests.conftest import ORG_INPUTS
+from tests.test_cache import build_error_injected_world, result_view
+
+
+@pytest.fixture(scope="module")
+def world():
+    db, reference, weights, config, eti, batch = build_error_injected_world(
+        num_reference=200, num_inputs=40, repeats=3
+    )
+    yield reference, weights, config, eti, batch
+    db.close()
+
+
+class TestMatchManyDedup:
+    def test_duplicates_matched_once_and_flagged(self, world):
+        reference, weights, config, eti, _ = world
+        matcher = FuzzyMatcher(reference, weights, config, eti)
+        values = ORG_INPUTS[0][0][:2] + ("WA", "98004")
+        batch = [values, values, values]
+        results = matcher.match_many(batch)
+        flags = [result.stats.deduplicated for result in results]
+        assert flags == [False, True, True]
+        assert result_view([results[0]]) == result_view([results[1]])
+
+    def test_replicas_are_independent_objects(self, world):
+        reference, weights, config, eti, batch = world
+        matcher = FuzzyMatcher(reference, weights, config, eti)
+        first, second = matcher.match_many([batch[0], batch[0]])
+        second.matches.clear()
+        assert first.matches  # clearing the replica left the original alone
+
+    def test_trace_forwarded(self, world):
+        reference, weights, config, eti, batch = world
+        matcher = FuzzyMatcher(reference, weights, config, eti)
+        results = matcher.match_many(batch[:2] + batch[:1], trace=True)
+        assert all(result.trace for result in results)
+
+    def test_order_preserved(self, world):
+        reference, weights, config, eti, batch = world
+        matcher = FuzzyMatcher(reference, weights, config, eti)
+        bulk = matcher.match_many(batch)
+        singles = [matcher.match(values) for values in batch]
+        assert result_view(bulk) == result_view(singles)
+
+
+class TestBatchMatcherParallel:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("strategy", ["basic", "osc"])
+    def test_bit_identical_to_sequential(self, world, jobs, strategy):
+        reference, weights, config, eti, batch = world
+        sequential = FuzzyMatcher(
+            reference, weights, config, eti, caches=MatcherCaches.disabled()
+        )
+        expected = result_view(
+            [sequential.match(values, k=2, strategy=strategy) for values in batch]
+        )
+        with BatchMatcher(reference, weights, config, eti, jobs=jobs) as engine:
+            results = engine.match_many(batch, k=2, strategy=strategy)
+        assert result_view(results) == expected
+
+    def test_parallel_naive_strategy(self, world):
+        reference, weights, config, eti, batch = world
+        matcher = FuzzyMatcher(reference, weights, config, eti)
+        expected = result_view(
+            [matcher.match(values, strategy="naive") for values in batch[:8]]
+        )
+        with BatchMatcher(reference, weights, config, eti, jobs=2) as engine:
+            results = engine.match_many(batch[:8], strategy="naive")
+        assert result_view(results) == expected
+
+    def test_report_accounting(self, world):
+        reference, weights, config, eti, batch = world
+        with BatchMatcher(reference, weights, config, eti, jobs=2) as engine:
+            engine.match_many(batch)
+            report = engine.last_report
+        assert isinstance(report, BatchReport)
+        assert report.total_queries == len(batch)
+        assert report.unique_queries == len(set(batch))
+        assert report.deduplicated_queries == len(batch) - len(set(batch))
+        assert report.queries_per_second > 0
+        assert report.cache_counters["token_weights"]["hits"] > 0
+
+    def test_per_query_stats_do_not_race(self, world):
+        """Each worker owns its ETI-lookup counter, so per-query stats
+        match the sequential run even under concurrency."""
+        reference, weights, config, eti, batch = world
+        sequential = FuzzyMatcher(
+            reference, weights, config, eti, caches=MatcherCaches.disabled()
+        )
+        distinct = list(dict.fromkeys(batch))
+        expected = [
+            sequential.match(values).stats.candidates_fetched for values in distinct
+        ]
+        with BatchMatcher(reference, weights, config, eti, jobs=4) as engine:
+            results = engine.match_many(distinct)
+        got = [result.stats.candidates_fetched for result in results]
+        assert got == expected
+
+    def test_invalid_jobs_rejected(self, world):
+        reference, weights, config, eti, _ = world
+        with pytest.raises(ValueError, match="jobs"):
+            BatchMatcher(reference, weights, config, eti, jobs=0)
+
+    def test_from_matcher(self, world):
+        reference, weights, config, eti, batch = world
+        matcher = FuzzyMatcher(reference, weights, config, eti)
+        with BatchMatcher.from_matcher(matcher, jobs=2) as engine:
+            results = engine.match_many(batch[:5])
+        assert result_view(results) == result_view(
+            [matcher.match(values) for values in batch[:5]]
+        )
+
+
+class TestCliJobs:
+    @pytest.fixture()
+    def csv_pair(self, tmp_path):
+        reference = tmp_path / "reference.csv"
+        dirty = tmp_path / "dirty.csv"
+        cli_main(["generate", "--count", "120", "--seed", "3", "--out", str(reference)])
+        cli_main(
+            [
+                "corrupt",
+                "--reference", str(reference),
+                "--count", "20",
+                "--preset", "D2",
+                "--seed", "5",
+                "--out", str(dirty),
+            ]
+        )
+        return reference, dirty
+
+    def test_jobs_flag_matches_sequential_output(self, csv_pair, tmp_path):
+        reference, dirty = csv_pair
+        seq_out = tmp_path / "seq.csv"
+        par_out = tmp_path / "par.csv"
+        base = ["match", "--reference", str(reference), "--input", str(dirty)]
+        assert cli_main(base + ["--out", str(seq_out)]) == 0
+        assert cli_main(base + ["--jobs", "4", "--out", str(par_out)]) == 0
+        with open(seq_out, newline="") as handle:
+            sequential_rows = list(csv.reader(handle))
+        with open(par_out, newline="") as handle:
+            parallel_rows = list(csv.reader(handle))
+        assert sequential_rows == parallel_rows
+
+
+def test_bench_batch_importable():
+    """The throughput benchmark's module contract: modes + JSON targets."""
+    import importlib.util
+    from pathlib import Path
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_batch",
+        Path(__file__).resolve().parent.parent / "benchmarks" / "bench_batch.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert [path.name for path in module.RESULT_PATHS] == [
+        "BENCH_batch.json",
+        "BENCH_batch.json",
+    ]
+    payload = json.loads(module.RESULT_PATHS[0].read_text())
+    assert payload["benchmark"] == "batch_engine_throughput"
+    assert [mode["name"] for mode in payload["modes"]] == [
+        "seed_sequential",
+        "cached_sequential",
+        "cached_jobs4",
+    ]

@@ -1,0 +1,234 @@
+"""The cross-query cache layer: LRU mechanics, counters, and parity.
+
+The contract under test is twofold: the caches must behave like caches
+(bounded, LRU eviction, accurate hit/miss/eviction accounting), and they
+must be *invisible* in results — a cached matcher returns bit-identical
+``Match`` lists to an uncached one on the synthetic error-injected
+dataset, across every strategy, including after reference and weight
+mutations (version-based invalidation).
+"""
+
+import pytest
+
+from repro.core.cache import (
+    CachingWeightFunction,
+    LRUCache,
+    MatcherCaches,
+)
+from repro.core.config import MatchConfig
+from repro.core.matcher import FuzzyMatcher
+from repro.core.reference import ReferenceTable
+from repro.core.weights import build_frequency_cache
+from repro.data.datasets import DatasetSpec, make_dataset
+from repro.data.generator import CUSTOMER_COLUMNS, generate_customers
+from repro.db.database import Database
+from repro.eti.builder import build_eti
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b", "default") == "default"
+
+    def test_counts_hits_and_misses(self):
+        cache = LRUCache(4)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now LRU
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_capacity_is_a_hard_bound(self):
+        cache = LRUCache(8)
+        for i in range(100):
+            cache.put(i, i)
+        assert len(cache) == 8
+        assert cache.stats.evictions == 92
+
+    def test_get_or_compute_computes_once(self):
+        cache = LRUCache(4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+            assert value == 42
+        assert len(calls) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+
+    def test_compute_error_caches_nothing(self):
+        cache = LRUCache(4)
+
+        def boom():
+            raise RuntimeError("no")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", boom)
+        assert "k" not in cache
+        assert cache.get_or_compute("k", lambda: 7) == 7
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = LRUCache(0)
+        assert not cache.enabled
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        calls = []
+        for _ in range(2):
+            cache.get_or_compute("a", lambda: calls.append(1) or 5)
+        assert len(calls) == 2  # recomputed every time
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 3
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestMatcherCaches:
+    def test_disabled_bundle(self):
+        caches = MatcherCaches.disabled()
+        assert not caches.enabled
+        assert all(not cache.enabled for cache in caches.all_caches())
+
+    def test_counters_shape(self):
+        caches = MatcherCaches()
+        counters = caches.counters()
+        assert set(counters) == {"reference_tokens", "token_weights", "signatures"}
+        for bucket in counters.values():
+            assert {"hits", "misses", "evictions", "hit_rate", "entries"} <= set(
+                bucket
+            )
+
+
+class TestCachingWeightFunction:
+    def test_parity_with_base(self, org_weights):
+        cached = CachingWeightFunction(org_weights, LRUCache(128))
+        for token, column in [("boeing", 0), ("seattle", 1), ("unseen", 0)]:
+            assert cached.weight(token, column) == org_weights.weight(token, column)
+            assert cached.frequency(token, column) == org_weights.frequency(
+                token, column
+            )
+
+    def test_invalidates_on_weight_mutation(self, org_weights):
+        cached = CachingWeightFunction(org_weights, LRUCache(128))
+        before = cached.weight("boeing", 0)
+        org_weights.add_tuple(("Boeing Blimps", "Everett", "WA", "98201"))
+        after = cached.weight("boeing", 0)
+        assert after == org_weights.weight("boeing", 0)
+        assert after != before  # |R| and freq(boeing) both moved
+
+
+def build_error_injected_world(num_reference=300, num_inputs=60, repeats=3):
+    """A synthetic reference relation plus an error-injected dirty batch."""
+    customers = generate_customers(num_reference, seed=11, unique=True)
+    rows = [(c.tid, c.values) for c in customers]
+    db = Database.in_memory()
+    reference = ReferenceTable(db, "reference", list(CUSTOMER_COLUMNS))
+    reference.load(rows)
+    weights = build_frequency_cache(reference.scan_values(), reference.num_columns)
+    config = MatchConfig(q=4, signature_size=2)
+    eti, _ = build_eti(db, reference, config)
+    dataset = make_dataset(rows, DatasetSpec.preset("D2"), num_inputs, seed=12)
+    batch = [dirty.values for dirty in dataset.inputs] * repeats
+    return db, reference, weights, config, eti, batch
+
+
+def result_view(results):
+    return [
+        [(match.tid, match.similarity, match.values) for match in result.matches]
+        for result in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def error_world():
+    db, reference, weights, config, eti, batch = build_error_injected_world()
+    yield reference, weights, config, eti, batch
+    db.close()
+
+
+class TestCachedUncachedParity:
+    @pytest.mark.parametrize("strategy", ["naive", "basic", "osc"])
+    def test_identical_matches(self, error_world, strategy):
+        reference, weights, config, eti, batch = error_world
+        subset = batch if strategy != "naive" else batch[:30]
+        uncached = FuzzyMatcher(
+            reference, weights, config, eti, caches=MatcherCaches.disabled()
+        )
+        cached = FuzzyMatcher(reference, weights, config, eti)
+        expected = result_view(
+            [uncached.match(values, k=3, strategy=strategy) for values in subset]
+        )
+        # Twice through the same matcher: the second pass runs hot.
+        for _ in range(2):
+            got = result_view(
+                [cached.match(values, k=3, strategy=strategy) for values in subset]
+            )
+            assert got == expected
+
+    def test_match_many_equals_per_tuple_match(self, error_world):
+        reference, weights, config, eti, batch = error_world
+        matcher = FuzzyMatcher(reference, weights, config, eti)
+        bulk = matcher.match_many(batch)
+        singles = [matcher.match(values) for values in batch]
+        assert result_view(bulk) == result_view(singles)
+
+    def test_stats_report_cache_hits_on_repeat(self, error_world):
+        reference, weights, config, eti, batch = error_world
+        matcher = FuzzyMatcher(reference, weights, config, eti)
+        matcher.match(batch[0])
+        repeat = matcher.match(batch[0])
+        assert repeat.stats.weight_cache_hits > 0
+        assert repeat.stats.signature_cache_hits > 0
+        assert repeat.stats.reference_cache_hits > 0
+        assert repeat.stats.weight_cache_misses == 0
+        assert repeat.stats.signature_cache_misses == 0
+
+    def test_candidates_fetched_unchanged_by_caching(self, error_world):
+        """The Figure 8 metric counts logical fetches, cached or not."""
+        reference, weights, config, eti, batch = error_world
+        uncached = FuzzyMatcher(
+            reference, weights, config, eti, caches=MatcherCaches.disabled()
+        )
+        cached = FuzzyMatcher(reference, weights, config, eti)
+        for values in batch[:20]:
+            a = uncached.match(values).stats.candidates_fetched
+            cached.match(values)
+            b = cached.match(values).stats.candidates_fetched  # hot run
+            assert a == b
+
+    def test_reference_mutation_invalidates_tokens(self, error_world):
+        reference, weights, config, eti, batch = error_world
+        matcher = FuzzyMatcher(reference, weights, config, eti)
+        matcher.match(batch[0])  # warm the reference-token cache
+        tid, values = next(iter(reference.scan()))
+        removed = reference.delete(tid)
+        try:
+            result = matcher.match(removed, strategy="naive", k=1)
+            assert all(match.tid != tid for match in result.matches)
+        finally:
+            reference.insert(tid, removed)
