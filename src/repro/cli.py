@@ -26,6 +26,7 @@ from typing import Sequence
 from repro.core.batch import BatchMatcher
 from repro.core.config import MatchConfig, SignatureScheme
 from repro.core.matcher import FuzzyMatcher
+from repro.core.resilience import ResiliencePolicy
 from repro.core.reference import ReferenceTable
 from repro.core.weights import build_frequency_cache
 from repro.data.datasets import DATASET_PRESETS, DatasetSpec, make_dataset
@@ -152,24 +153,46 @@ def cmd_match(args) -> int:
             values = tuple(_value(c) for c in (record[1:] if has_target else record))
             inputs.append((target, values))
 
-    writer = csv.writer(args.out)
-    out_header = (["target_tid"] if has_target else []) + list(input_columns)
-    writer.writerow(out_header + ["matched_tid", "similarity"])
-    predictions = []
-    engine = BatchMatcher.from_matcher(matcher, jobs=args.jobs)
+    budgeted = args.deadline_ms is not None or args.max_page_fetches is not None
+    resilience = None
+    if budgeted:
+        resilience = ResiliencePolicy.with_budget(
+            deadline_ms=args.deadline_ms, max_page_fetches=args.max_page_fetches
+        )
+    engine = BatchMatcher.from_matcher(
+        matcher, jobs=args.jobs, resilience=resilience, fail_fast=args.fail_fast
+    )
     started = time.perf_counter()
     with engine:
         results = engine.match_many(
             [values for _, values in inputs], strategy=args.strategy
         )
     elapsed = time.perf_counter() - started
+
+    writer = csv.writer(args.out)
+    out_header = (["target_tid"] if has_target else []) + list(input_columns)
+    out_header += ["matched_tid", "similarity"]
+    if budgeted:
+        # The status column only appears when a budget was requested, so
+        # budget-free runs keep the historical output schema.
+        out_header += ["status"]
+    writer.writerow(out_header)
+    predictions = []
     for (target, values), result in zip(inputs, results):
         best = result.best
         row = ([target] if has_target else []) + [_cell(v) for v in values]
         if best is None:
-            writer.writerow(row + ["", ""])
+            row += ["", ""]
         else:
-            writer.writerow(row + [best.tid, f"{best.similarity:.4f}"])
+            row += [best.tid, f"{best.similarity:.4f}"]
+        if budgeted:
+            if result.failed:
+                row += [f"error:{result.error_type}"]
+            elif result.stats.degraded:
+                row += [f"degraded:{result.stats.degraded_reason}"]
+            else:
+                row += ["ok"]
+        writer.writerow(row)
         if has_target:
             predictions.append((best.tid if best else None, target))
     report = engine.last_report
@@ -180,6 +203,12 @@ def cmd_match(args) -> int:
         f"{report.deduplicated_queries} deduplicated)",
         file=sys.stderr,
     )
+    if report.degraded_queries or report.failed_queries:
+        print(
+            f"resilience: {report.degraded_queries} degraded, "
+            f"{report.failed_queries} failed",
+            file=sys.stderr,
+        )
     if has_target and predictions:
         print(f"accuracy: {accuracy(predictions):.3f}", file=sys.stderr)
     return 0
@@ -317,6 +346,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker threads for batch matching (1 = sequential)",
+    )
+    mat.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query wall-clock budget; exhausted queries return "
+        "best-so-far results flagged 'degraded' in a status column",
+    )
+    mat.add_argument(
+        "--max-page-fetches",
+        type=int,
+        default=None,
+        help="per-query physical page read budget (adds the status column)",
+    )
+    mat.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the whole batch on the first storage error instead of "
+        "isolating it into that row's result",
     )
     mat.add_argument("--out", type=argparse.FileType("w"), default=sys.stdout)
     mat.set_defaults(func=cmd_match)

@@ -8,6 +8,8 @@
 - :mod:`repro.core.fms_apx`: the indexable upper bounds *fmsapx* / *fmst_apx*.
 - :mod:`repro.core.matcher`: the naive, basic (§4.3.1) and OSC (§4.3.2)
   K-fuzzy-match algorithms over the ETI.
+- :mod:`repro.core.resilience`: per-query budgets, circuit breaking, and
+  the degraded-mode contract for faulty storage.
 """
 
 from repro.core.batch import BatchMatcher, BatchReport
@@ -15,9 +17,16 @@ from repro.core.cache import CacheStats, CachingWeightFunction, LRUCache, Matche
 from repro.core.config import MatchConfig, SignatureScheme
 from repro.core.fms import fms, transformation_cost
 from repro.core.fms_apx import fms_apx, fms_t_apx
-from repro.core.matcher import FuzzyMatcher, Match, MatchStats
+from repro.core.matcher import FuzzyMatcher, Match, MatchStats, failed_result
 from repro.core.minhash import MinHasher
 from repro.core.reference import ReferenceTable
+from repro.core.resilience import (
+    BudgetMeter,
+    CircuitBreaker,
+    QueryBudget,
+    ResiliencePolicy,
+    fallback_chain,
+)
 from repro.core.strings import edit_distance, edit_distance_raw, qgram_set
 from repro.core.tokens import TupleTokens, tokenize
 from repro.core.weights import (
@@ -31,12 +40,16 @@ __all__ = [
     "BatchMatcher",
     "BatchReport",
     "BoundedTokenFrequencyCache",
+    "BudgetMeter",
     "build_frequency_cache",
     "CacheStats",
     "CachingWeightFunction",
+    "CircuitBreaker",
     "LRUCache",
     "MatcherCaches",
     "edit_distance",
+    "failed_result",
+    "fallback_chain",
     "edit_distance_raw",
     "fms",
     "fms_apx",
@@ -48,7 +61,9 @@ __all__ = [
     "MatchStats",
     "MinHasher",
     "qgram_set",
+    "QueryBudget",
     "ReferenceTable",
+    "ResiliencePolicy",
     "SignatureScheme",
     "tokenize",
     "TokenFrequencyCache",

@@ -31,10 +31,17 @@ from dataclasses import dataclass, field
 
 from repro.core.cache import MatcherCaches
 from repro.core.config import MatchConfig
-from repro.core.matcher import FuzzyMatcher, MatchResult, replicate_result
+from repro.core.matcher import (
+    FuzzyMatcher,
+    MatchResult,
+    failed_result,
+    replicate_result,
+)
 from repro.core.minhash import MinHasher
 from repro.core.reference import ReferenceTable
+from repro.core.resilience import ResiliencePolicy
 from repro.core.weights import WeightFunction
+from repro.db.errors import DatabaseError
 from repro.eti.index import EtiIndex
 
 
@@ -47,6 +54,8 @@ class BatchReport:
     jobs: int = 1
     elapsed_seconds: float = 0.0
     cache_counters: dict = field(default_factory=dict)
+    degraded_queries: int = 0
+    failed_queries: int = 0
 
     @property
     def deduplicated_queries(self) -> int:
@@ -72,6 +81,15 @@ class BatchMatcher:
         for each worker (and the sequential matcher).  Defaults to
         :class:`MatcherCaches` with default capacities; pass
         ``MatcherCaches.disabled`` to benchmark the uncached path.
+    resilience:
+        Optional :class:`~repro.core.resilience.ResiliencePolicy`, shared
+        by every worker — the circuit breaker sees the whole fleet's ETI
+        failures, and each query runs under the policy's budget.
+    fail_fast:
+        With the default ``True``, a :class:`DatabaseError` on any tuple
+        aborts the batch (the pre-resilience behaviour).  With ``False``
+        the failure is isolated into that tuple's result
+        (``result.error`` set) and the rest of the batch completes.
     """
 
     def __init__(
@@ -83,9 +101,13 @@ class BatchMatcher:
         hasher: MinHasher | None = None,
         jobs: int = 1,
         cache_factory=MatcherCaches,
+        resilience: ResiliencePolicy | None = None,
+        fail_fast: bool = True,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        self.resilience = resilience
+        self.fail_fast = fail_fast
         self.reference = reference
         self.weights = weights
         self.config = config if config is not None else MatchConfig()
@@ -106,7 +128,12 @@ class BatchMatcher:
 
     @classmethod
     def from_matcher(
-        cls, matcher: FuzzyMatcher, jobs: int = 1, cache_factory=MatcherCaches
+        cls,
+        matcher: FuzzyMatcher,
+        jobs: int = 1,
+        cache_factory=MatcherCaches,
+        resilience: ResiliencePolicy | None = None,
+        fail_fast: bool = True,
     ) -> "BatchMatcher":
         """Wrap an existing matcher's components in a batch engine."""
         return cls(
@@ -117,6 +144,8 @@ class BatchMatcher:
             matcher.hasher,
             jobs=jobs,
             cache_factory=cache_factory,
+            resilience=resilience if resilience is not None else matcher.resilience,
+            fail_fast=fail_fast,
         )
 
     # ------------------------------------------------------------------
@@ -134,6 +163,7 @@ class BatchMatcher:
             eti_view,
             self.hasher,
             caches=self.cache_factory(),
+            resilience=self.resilience,
         )
 
     def _worker_matcher(self) -> FuzzyMatcher:
@@ -172,8 +202,8 @@ class BatchMatcher:
         The weight provider computes column averages on the first unseen
         token and the min-hash family memoizes signatures; doing one
         throwaway query here keeps those one-time mutations
-        single-threaded.  Query errors (bad arity, missing ETI) are left
-        for the real execution to raise.
+        single-threaded.  Query errors (bad arity, missing ETI, storage
+        faults) are left for the real execution to raise or isolate.
         """
         for column in range(self.reference.num_columns):
             self.weights.weight("", column)
@@ -182,7 +212,7 @@ class BatchMatcher:
                 self._sequential.match(
                     sample, k=k, min_similarity=min_similarity, strategy=strategy
                 )
-            except ValueError:
+            except (ValueError, DatabaseError):
                 pass
 
     # ------------------------------------------------------------------
@@ -203,6 +233,11 @@ class BatchMatcher:
         batch]`` — same matches, same similarities — with dedup, caching,
         and (``jobs > 1``) parallel execution underneath.  A
         :class:`BatchReport` for the run is left in :attr:`last_report`.
+
+        With ``fail_fast=False`` (constructor flag) one query's
+        :class:`DatabaseError` becomes that item's ``result.error`` marker
+        instead of killing the batch; the report counts failed and
+        degraded items.
         """
         batch = list(batch)
         started = time.perf_counter()
@@ -213,9 +248,10 @@ class BatchMatcher:
                 min_similarity=min_similarity,
                 strategy=strategy,
                 trace=trace,
+                fail_fast=self.fail_fast,
             )
             unique = sum(1 for r in results if not r.stats.deduplicated)
-            self._finish_report(len(batch), unique, started)
+            self._finish_report(len(batch), unique, started, results)
             return results
 
         groups: dict[tuple, list[int]] = {}
@@ -236,13 +272,18 @@ class BatchMatcher:
         )
 
         def run_query(values) -> MatchResult:
-            return self._worker_matcher().match(
-                values,
-                k=k,
-                min_similarity=min_similarity,
-                strategy=strategy,
-                trace=trace,
-            )
+            try:
+                return self._worker_matcher().match(
+                    values,
+                    k=k,
+                    min_similarity=min_similarity,
+                    strategy=strategy,
+                    trace=trace,
+                )
+            except DatabaseError as exc:
+                if self.fail_fast:
+                    raise
+                return failed_result(exc, strategy or "")
 
         unique_results = list(self._ensure_pool().map(run_query, unique_inputs))
 
@@ -256,16 +297,20 @@ class BatchMatcher:
         for index, key in enumerate(keys):
             if key is None:
                 results[index] = next(extras)
-        self._finish_report(len(batch), len(unique_inputs), started)
+        self._finish_report(len(batch), len(unique_inputs), started, results)
         return results
 
-    def _finish_report(self, total: int, unique: int, started: float) -> None:
+    def _finish_report(
+        self, total: int, unique: int, started: float, results=()
+    ) -> None:
         self.last_report = BatchReport(
             total_queries=total,
             unique_queries=unique,
             jobs=self.jobs,
             elapsed_seconds=time.perf_counter() - started,
             cache_counters=self.cache_counters(),
+            degraded_queries=sum(1 for r in results if r.stats.degraded),
+            failed_queries=sum(1 for r in results if r.failed),
         )
 
     def cache_counters(self) -> dict:

@@ -33,9 +33,15 @@ from repro.core.fms import fms, input_tuple_weight
 from repro.core.minhash import MinHasher
 from repro.core.osc import fetching_test, similarity_upper_bound, stopping_test
 from repro.core.reference import ReferenceTable
+from repro.core.resilience import (
+    BudgetMeter,
+    QueryBudget,
+    ResiliencePolicy,
+    fallback_chain,
+)
 from repro.core.tokens import TupleTokens
 from repro.core.weights import WeightFunction
-from repro.db.errors import RecordNotFoundError
+from repro.db.errors import DatabaseError, RecordNotFoundError
 from repro.eti.index import EtiIndex
 from repro.eti.signature import signature_entries_cached
 
@@ -78,6 +84,16 @@ class MatchStats:
     deduplicated: bool = False
     """True when this result was copied from an identical tuple earlier
     in the same :meth:`FuzzyMatcher.match_many` batch."""
+    degraded: bool = False
+    """True when the result is best-effort rather than exact: a query
+    budget was exhausted mid-query or the strategy fell back down the
+    ``osc → basic → naive`` chain.  Degraded results are flagged, never
+    silently wrong."""
+    degraded_reason: str | None = None
+    """Why the result is degraded: ``"deadline"``, ``"page_fetches"``,
+    ``"circuit_open"``, or ``"fallback:<ErrorType>"``."""
+    fallback_from: str | None = None
+    """The strategy originally requested, when a fallback answered."""
 
 
 @dataclass
@@ -88,10 +104,21 @@ class MatchResult:
     stats: MatchStats = field(default_factory=MatchStats)
     trace: list[str] | None = None
     """Human-readable event log of the query, when requested."""
+    error: str | None = None
+    """The failure message when this query errored under per-item fault
+    isolation (``fail_fast=False``); ``None`` on success."""
+    error_type: str | None = None
+    """Class name of the :class:`~repro.db.errors.DatabaseError` behind
+    :attr:`error`."""
 
     @property
     def best(self) -> Match | None:
         return self.matches[0] if self.matches else None
+
+    @property
+    def failed(self) -> bool:
+        """True when the query errored and carries no matches."""
+        return self.error is not None
 
 
 @dataclass(frozen=True)
@@ -118,6 +145,17 @@ def replicate_result(result: MatchResult) -> MatchResult:
         matches=list(result.matches),
         stats=replace(result.stats, deduplicated=True),
         trace=list(result.trace) if result.trace is not None else None,
+        error=result.error,
+        error_type=result.error_type,
+    )
+
+
+def failed_result(exc: DatabaseError, strategy: str = "") -> MatchResult:
+    """A per-item error marker for fault-isolated batch execution."""
+    return MatchResult(
+        stats=MatchStats(strategy=strategy),
+        error=str(exc) or type(exc).__name__,
+        error_type=type(exc).__name__,
     )
 
 
@@ -146,6 +184,14 @@ class FuzzyMatcher:
         ``MatcherCaches.disabled()`` for the uncached (seed) behaviour.
         Caching never changes results — only how often tokenization,
         weight lookups, and signature expansion are recomputed.
+    resilience:
+        Optional :class:`~repro.core.resilience.ResiliencePolicy`.  When
+        set, queries run under its budget (degrading instead of stalling),
+        storage failures on the ETI path fall back down the
+        ``osc → basic → naive`` chain, and the policy's circuit breaker
+        gates the indexed strategies.  ``None`` (the default) keeps the
+        exact pre-resilience behaviour: no budget, no fallback, errors
+        propagate.
     """
 
     def __init__(
@@ -156,6 +202,7 @@ class FuzzyMatcher:
         eti: EtiIndex | None = None,
         hasher: MinHasher | None = None,
         caches: MatcherCaches | None = None,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.reference = reference
         self.weights = weights
@@ -167,6 +214,7 @@ class FuzzyMatcher:
             else MinHasher(self.config.q, self.config.signature_size, self.config.seed)
         )
         self.caches = caches if caches is not None else MatcherCaches()
+        self.resilience = resilience
         # The memoized weight view used on every hot path (fms, token
         # weighing); ``self.weights`` stays the raw provider.
         self._weights: WeightFunction = (
@@ -187,6 +235,7 @@ class FuzzyMatcher:
         min_similarity: float | None = None,
         strategy: str | None = None,
         trace: bool = False,
+        budget: QueryBudget | None = None,
     ) -> MatchResult:
         """Find the K fuzzy matches of one input tuple.
 
@@ -195,6 +244,14 @@ class FuzzyMatcher:
         the config's values.  With ``trace=True`` the result carries a
         human-readable event log of every lookup and decision (indexed
         strategies only) — useful for debugging and teaching.
+
+        ``budget`` (defaulting to the resilience policy's budget, when one
+        is configured) bounds this query's wall clock and physical page
+        fetches; on exhaustion the best-so-far top-K comes back with
+        ``stats.degraded`` set instead of the query stalling or raising.
+        With a resilience policy, a :class:`DatabaseError` on an indexed
+        strategy falls back down ``osc → basic → naive`` (and trips the
+        circuit breaker on repeated failures) instead of propagating.
         """
         if len(values) != self.reference.num_columns:
             raise ValueError(
@@ -210,18 +267,71 @@ class FuzzyMatcher:
         if strategy != "naive" and self.eti is None:
             raise ValueError(f"strategy {strategy!r} requires a built ETI")
 
+        policy = self.resilience
+        if budget is None and policy is not None:
+            budget = policy.budget
+        meter = None
+        if budget is not None and not budget.unlimited:
+            meter = budget.start(self._pool())
+
         started = time.perf_counter()
         counters_before = self.caches.snapshot()
-        if strategy == "naive":
-            result = self._match_naive(values, k, c)
-        else:
-            result = self._match_indexed(
-                values, k, c, use_osc=(strategy == "osc"), trace=trace
-            )
-        result.stats.strategy = strategy
+
+        requested = strategy
+        circuit_skipped = False
+        attempts = [strategy]
+        if policy is not None and policy.fallback:
+            attempts = list(fallback_chain(strategy))
+        if (
+            policy is not None
+            and requested != "naive"
+            and not policy.breaker.allow()
+        ):
+            attempts = ["naive"]
+            circuit_skipped = True
+
+        last_error: DatabaseError | None = None
+        result = None
+        used = requested
+        for index, attempt in enumerate(attempts):
+            indexed = attempt != "naive"
+            try:
+                if indexed:
+                    result = self._match_indexed(
+                        values, k, c, use_osc=(attempt == "osc"),
+                        trace=trace, meter=meter,
+                    )
+                else:
+                    result = self._match_naive(values, k, c, meter=meter)
+            except DatabaseError as exc:
+                if indexed and policy is not None:
+                    policy.breaker.record_failure()
+                last_error = exc
+                if policy is None or not policy.fallback or index == len(attempts) - 1:
+                    raise
+                continue
+            if indexed and policy is not None:
+                policy.breaker.record_success()
+            used = attempt
+            break
+
+        result.stats.strategy = used
+        if used != requested:
+            result.stats.degraded = True
+            result.stats.fallback_from = requested
+            if result.stats.degraded_reason is None:
+                result.stats.degraded_reason = (
+                    "circuit_open"
+                    if circuit_skipped
+                    else f"fallback:{type(last_error).__name__}"
+                )
         self._record_cache_deltas(result.stats, counters_before)
         result.stats.elapsed_seconds = time.perf_counter() - started
         return result
+
+    def _pool(self):
+        """The buffer pool under the reference relation (fetch metering)."""
+        return self.reference.relation.heap.pool
 
     def match_many(
         self,
@@ -230,6 +340,7 @@ class FuzzyMatcher:
         min_similarity: float | None = None,
         strategy: str | None = None,
         trace: bool = False,
+        fail_fast: bool = True,
     ) -> list[MatchResult]:
         """Match a batch of input tuples; results in input order.
 
@@ -240,6 +351,11 @@ class FuzzyMatcher:
         the common case in a dirty feed — are tokenized, weighed, and
         min-hashed once for the whole batch.  Results are returned in
         input order and are identical to calling :meth:`match` per tuple.
+
+        With ``fail_fast=False`` a :class:`DatabaseError` on one tuple is
+        isolated into that tuple's result (``result.error`` set, no
+        matches) instead of killing the whole batch; programming errors
+        (bad arity, unknown strategy) always raise.
         """
         batch = list(batch)
         groups: dict[tuple, list[int]] = {}
@@ -261,13 +377,18 @@ class FuzzyMatcher:
             if key is not None and key in computed:
                 results[index] = replicate_result(computed[key])
                 continue
-            result = self.match(
-                values,
-                k=k,
-                min_similarity=min_similarity,
-                strategy=strategy,
-                trace=trace,
-            )
+            try:
+                result = self.match(
+                    values,
+                    k=k,
+                    min_similarity=min_similarity,
+                    strategy=strategy,
+                    trace=trace,
+                )
+            except DatabaseError as exc:
+                if fail_fast:
+                    raise
+                result = failed_result(exc, strategy or "")
             if key is not None:
                 computed[key] = result
             results[index] = result
@@ -342,39 +463,47 @@ class FuzzyMatcher:
     # Naive scan
     # ------------------------------------------------------------------
 
-    def _match_naive(self, values, k: int, c: float) -> MatchResult:
+    def _match_naive(
+        self, values, k: int, c: float, meter: BudgetMeter | None = None
+    ) -> MatchResult:
         result = MatchResult()
         stats = result.stats
         input_tokens = TupleTokens.from_values(values)
         u_weight = input_tuple_weight(input_tokens, self._weights, self.config)
 
-        def scored():
-            for tid, reference_values in self.reference.scan():
-                reference_tokens, row = self._reference_tokens(
-                    tid, values=reference_values
-                )
-                similarity = fms(
-                    input_tokens,
-                    reference_tokens,
-                    self._weights,
-                    self.config,
-                    u_weight=u_weight,
-                )
-                stats.fms_evaluations += 1
-                if similarity >= c:
-                    # tid is unique, so the heap never compares row values.
-                    yield (-similarity, tid, row)
-
-        if k > 0:
-            # Bounded top-K selection: O(N log K) instead of sorting the
-            # whole admitted set.
-            best = heapq.nsmallest(k, scored())
-        else:
-            for _ in scored():
-                pass
-            best = []
+        # Bounded top-K selection: a size-K min-heap on (similarity, -tid)
+        # whose root is the weakest kept match — O(N log K) instead of
+        # sorting the whole admitted set.  tid is unique, so the heap
+        # never compares row values.
+        kept: list[tuple[float, int, tuple]] = []
+        for tid, reference_values in self.reference.scan():
+            if meter is not None and stats.fms_evaluations % 32 == 0:
+                reason = meter.exhausted()
+                if reason is not None:
+                    stats.degraded = True
+                    stats.degraded_reason = reason
+                    break
+            reference_tokens, row = self._reference_tokens(
+                tid, values=reference_values
+            )
+            similarity = fms(
+                input_tokens,
+                reference_tokens,
+                self._weights,
+                self.config,
+                u_weight=u_weight,
+            )
+            stats.fms_evaluations += 1
+            if similarity < c or k <= 0:
+                continue
+            entry = (similarity, -tid, row)
+            if len(kept) < k:
+                heapq.heappush(kept, entry)
+            elif entry > kept[0]:
+                heapq.heappushpop(kept, entry)
+        kept.sort(key=lambda e: (-e[0], -e[1]))
         result.matches = [
-            Match(tid, -neg_similarity, row) for neg_similarity, tid, row in best
+            Match(-neg_tid, similarity, row) for similarity, neg_tid, row in kept
         ]
         return result
 
@@ -383,7 +512,13 @@ class FuzzyMatcher:
     # ------------------------------------------------------------------
 
     def _match_indexed(
-        self, values, k: int, c: float, use_osc: bool, trace: bool = False
+        self,
+        values,
+        k: int,
+        c: float,
+        use_osc: bool,
+        trace: bool = False,
+        meter: BudgetMeter | None = None,
     ) -> MatchResult:
         result = MatchResult()
         stats = result.stats
@@ -447,7 +582,20 @@ class FuzzyMatcher:
         lookups_before = eti.lookups
 
         processed_weight = 0.0
+        budget_reason = None
+        lookups_done = 0
         for qgram_weight, token_index, coordinate, gram, column in entries:
+            if meter is not None:
+                budget_reason = meter.exhausted()
+                if budget_reason is not None:
+                    if log:
+                        log(
+                            f"budget exhausted ({budget_reason}) after "
+                            f"{lookups_done} of {len(entries)} lookups; "
+                            "degrading to best-so-far"
+                        )
+                    break
+            lookups_done += 1
             remaining = total_entry_weight - processed_weight
             eti_entry = eti.lookup(gram, coordinate, column)
             if log:
@@ -516,13 +664,31 @@ class FuzzyMatcher:
         # once the next upper bound cannot displace the K-th verified match.
         floor = threshold - full_adjustment
         candidates = score_table.candidates(floor)
+        if budget_reason is not None:
+            # Budget spent mid-lookup: flag the result and verify only the
+            # top-K scored tids, so the degraded answer still costs a
+            # bounded, small amount of extra work.
+            stats.degraded = True
+            stats.degraded_reason = budget_reason
+            candidates = candidates[: max(k, 1)]
         if log:
             log(
                 f"verification phase: {len(candidates)} candidates "
                 f"above floor {floor:.3f}"
             )
         verified: list[tuple[float, int]] = []
-        for tid, score in candidates:
+        for position, (tid, score) in enumerate(candidates):
+            if meter is not None and budget_reason is None and position > 0:
+                reason = meter.exhausted()
+                if reason is not None:
+                    stats.degraded = True
+                    stats.degraded_reason = reason
+                    if log:
+                        log(
+                            f"budget exhausted ({reason}) after verifying "
+                            f"{position} candidates; returning best-so-far"
+                        )
+                    break
             upper_bound = similarity_upper_bound(score, input_weight, config.q)
             if upper_bound < c:
                 break

@@ -1,0 +1,219 @@
+"""Per-query budgets, circuit breaking, and the degraded-mode contract.
+
+The paper's setting is *online* data cleaning (§1): the fuzzy-match lookup
+sits inside an interactive pipeline, where a query that stalls is as bad
+as one that answers wrongly — §4.3.2's optimistic short circuiting exists
+precisely to bound per-query work.  This module makes that bound
+*enforceable under faults*:
+
+- :class:`QueryBudget` caps one query's wall-clock time and physical page
+  fetches.  When a budget trips, the matcher does not raise: it returns
+  the best-so-far top-K with ``MatchStats.degraded`` set and the reason
+  recorded — partial answers are flagged, never silent.
+- :class:`CircuitBreaker` watches the ETI path.  Repeated storage
+  failures trip it open, after which queries skip straight to the
+  index-free ``naive`` scan (the fallback chain ``osc → basic → naive``)
+  until a half-open trial succeeds.
+- :class:`ResiliencePolicy` bundles both plus the fallback switch; one
+  policy is shared by every worker of a
+  :class:`~repro.core.batch.BatchMatcher` so the breaker sees the whole
+  fleet's failures.
+
+The invariant the chaos suite enforces: under any injected fault
+schedule, each query's outcome is exactly one of {bit-identical to the
+clean run, flagged degraded with a reason, a typed
+:class:`~repro.db.errors.DatabaseError`} — never a silently wrong answer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+DEGRADED_DEADLINE = "deadline"
+DEGRADED_PAGE_FETCHES = "page_fetches"
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Hard per-query limits: wall-clock seconds and physical page reads.
+
+    ``deadline`` is seconds of wall clock from the start of the query
+    (``None`` = unlimited); ``max_page_fetches`` caps the *physical* page
+    reads the query may trigger through the buffer pool (``None`` =
+    unlimited).  Construct from CLI-style milliseconds with
+    :meth:`from_ms`.
+    """
+
+    deadline: float | None = None
+    max_page_fetches: int | None = None
+
+    def __post_init__(self):
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.max_page_fetches is not None and self.max_page_fetches < 0:
+            raise ValueError("max_page_fetches must be >= 0")
+
+    @classmethod
+    def from_ms(
+        cls, deadline_ms: float | None = None, max_page_fetches: int | None = None
+    ) -> "QueryBudget":
+        """Budget from a millisecond deadline (the CLI's unit)."""
+        deadline = None if deadline_ms is None else deadline_ms / 1000.0
+        return cls(deadline=deadline, max_page_fetches=max_page_fetches)
+
+    @property
+    def unlimited(self) -> bool:
+        return self.deadline is None and self.max_page_fetches is None
+
+    def start(self, pool=None) -> "BudgetMeter":
+        """Begin metering one query (``pool`` supplies the read counter)."""
+        return BudgetMeter(self, pool)
+
+
+class BudgetMeter:
+    """One query's view of its budget: cheap to poll, never raises.
+
+    Page fetches are charged from the pool's ``physical_reads`` delta
+    since the meter started.  The pool is shared, so under parallel
+    execution a query may be charged for a neighbour's reads — the bound
+    stays conservative, which is the right direction for a limit.
+    """
+
+    __slots__ = (
+        "budget",
+        "_pool_stats",
+        "_started",
+        "_reads_at_start",
+        "_deadline_at",
+        "_max_fetches",
+    )
+
+    def __init__(self, budget: QueryBudget, pool=None):
+        self.budget = budget
+        self._pool_stats = pool.stats if pool is not None else None
+        self._started = time.perf_counter()
+        self._reads_at_start = (
+            self._pool_stats.physical_reads if self._pool_stats is not None else 0
+        )
+        # exhausted() runs once per index entry on the hot path; flatten
+        # the budget into absolute thresholds so each poll is two compares.
+        self._deadline_at = (
+            None if budget.deadline is None else self._started + budget.deadline
+        )
+        self._max_fetches = (
+            None
+            if budget.max_page_fetches is None or self._pool_stats is None
+            else self._reads_at_start + budget.max_page_fetches
+        )
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._started
+
+    @property
+    def page_fetches(self) -> int:
+        if self._pool_stats is None:
+            return 0
+        return self._pool_stats.physical_reads - self._reads_at_start
+
+    def exhausted(self) -> str | None:
+        """The reason the budget is spent, or ``None`` while within it."""
+        if self._deadline_at is not None and time.perf_counter() >= self._deadline_at:
+            return DEGRADED_DEADLINE
+        if (
+            self._max_fetches is not None
+            and self._pool_stats.physical_reads >= self._max_fetches
+        ):
+            return DEGRADED_PAGE_FETCHES
+        return None
+
+
+class CircuitBreaker:
+    """A count-based breaker over the ETI (indexed) query path.
+
+    ``failure_threshold`` consecutive failures trip it open; while open,
+    :meth:`allow` denies the protected path except for one half-open
+    trial every ``half_open_interval`` denials.  A successful trial
+    closes the breaker, a failed one re-opens it.  Deterministic (no
+    clocks) and thread-safe: one breaker is shared across a batch
+    engine's workers.
+    """
+
+    def __init__(self, failure_threshold: int = 3, half_open_interval: int = 8):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if half_open_interval < 1:
+            raise ValueError("half_open_interval must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.half_open_interval = half_open_interval
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._open = False
+        self._denials = 0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return "open" if self._open else "closed"
+
+    def allow(self) -> bool:
+        """May the protected path run now?"""
+        with self._lock:
+            if not self._open:
+                return True
+            self._denials += 1
+            if self._denials % self.half_open_interval == 0:
+                return True  # half-open trial
+            return False
+
+    def record_success(self) -> None:
+        """A protected-path success: reset the count and close the breaker."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._open = False
+            self._denials = 0
+
+    def record_failure(self) -> None:
+        """A protected-path failure; trips the breaker at the threshold."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold and not self._open:
+                self._open = True
+                self.trips += 1
+
+
+@dataclass
+class ResiliencePolicy:
+    """Everything one matcher (or batch fleet) needs to survive faults.
+
+    ``budget`` applies to every query unless the call site passes its own;
+    ``fallback`` enables the ``osc → basic → naive`` strategy chain on
+    :class:`~repro.db.errors.DatabaseError`; ``breaker`` gates the ETI
+    path.  Share one policy instance across the workers of a batch engine.
+    """
+
+    budget: QueryBudget | None = None
+    fallback: bool = True
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+
+    @classmethod
+    def with_budget(
+        cls,
+        deadline_ms: float | None = None,
+        max_page_fetches: int | None = None,
+    ) -> "ResiliencePolicy":
+        """Policy with a budget given in CLI units (ms / fetch count)."""
+        budget = QueryBudget.from_ms(deadline_ms, max_page_fetches)
+        return cls(budget=None if budget.unlimited else budget)
+
+
+def fallback_chain(strategy: str) -> tuple[str, ...]:
+    """The degradation order starting at ``strategy``."""
+    chain = ("osc", "basic", "naive")
+    try:
+        return chain[chain.index(strategy):]
+    except ValueError:
+        return (strategy,)

@@ -27,15 +27,25 @@ from repro.db.errors import (
     BufferPoolError,
     DatabaseError,
     DuplicateKeyError,
+    PageCorruptionError,
     PageFullError,
     RecordNotFoundError,
     RelationError,
+    RetryExhaustedError,
     SchemaError,
+    TransientIOError,
 )
 from repro.db.exsort import external_sort
+from repro.db.faults import FaultConfig, FaultInjector, FaultStats
 from repro.db.heap import HeapFile, RecordId
 from repro.db.page import Page, PAGE_SIZE
-from repro.db.pager import BufferPool, InMemoryStorage, FileStorage
+from repro.db.pager import (
+    BufferPool,
+    FileStorage,
+    InMemoryStorage,
+    RetryPolicy,
+    page_checksum,
+)
 from repro.db.relation import Relation
 from repro.db.types import Column, ColumnType, Schema
 
@@ -49,16 +59,24 @@ __all__ = [
     "DatabaseError",
     "DuplicateKeyError",
     "external_sort",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
     "FileStorage",
     "HeapFile",
     "InMemoryStorage",
     "Page",
     "PAGE_SIZE",
+    "page_checksum",
+    "PageCorruptionError",
     "PageFullError",
     "RecordId",
     "RecordNotFoundError",
     "Relation",
     "RelationError",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "Schema",
     "SchemaError",
+    "TransientIOError",
 ]

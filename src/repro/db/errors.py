@@ -27,3 +27,32 @@ class RelationError(DatabaseError):
 
 class BufferPoolError(DatabaseError):
     """The buffer pool could not satisfy a pin request."""
+
+
+class TransientIOError(DatabaseError):
+    """A storage operation failed in a way that may succeed on retry.
+
+    Raised by flaky storage backends (and the test fault injector); the
+    buffer pool's retry policy absorbs these up to its attempt budget.
+    """
+
+
+class RetryExhaustedError(BufferPoolError):
+    """A transient fault persisted through every configured retry."""
+
+    def __init__(self, message: str, page_no: int | None = None):
+        super().__init__(message)
+        self.page_no = page_no
+
+
+class PageCorruptionError(DatabaseError):
+    """A page's bytes do not match its recorded CRC32 checksum.
+
+    Corruption is never retried away silently: the pool re-reads once to
+    rule out a transient bus/bit error, then fails loudly with the page
+    number so the operator knows exactly what is damaged.
+    """
+
+    def __init__(self, message: str, page_no: int | None = None):
+        super().__init__(message)
+        self.page_no = page_no

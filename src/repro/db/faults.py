@@ -1,0 +1,185 @@
+"""Deterministic fault injection for the storage stack.
+
+:class:`FaultInjector` wraps any page-storage backend and injects the
+failure modes an online matching service actually meets in production:
+
+- **transient I/O errors** on read or write (:class:`TransientIOError`),
+  the kind a retry with backoff absorbs;
+- **read corruption**: a bit flip in the bytes *returned* by one read —
+  the stored page stays intact, so a re-read after a checksum failure
+  recovers;
+- **torn writes**: only a prefix of the page reaches storage, leaving
+  persistent corruption that a checksum must catch and no retry can fix;
+- **latency**: a configurable sleep per faulted operation, for exercising
+  query deadlines.
+
+Everything is driven by one seeded :class:`random.Random`, so a chaos run
+is exactly reproducible from ``(workload, seed)``.  The injector starts
+*disarmed* — build your relations cleanly, then :meth:`arm` it for the
+phase under test.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.db.errors import TransientIOError
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-operation fault probabilities (all default to "never").
+
+    Rates are independent per operation; ``max_faults`` caps the total
+    number of injected faults (of any kind) so a sweep can bound how much
+    damage one run takes.
+    """
+
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    read_corruption_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_seconds: float = 0.0
+    max_faults: int | None = None
+
+    def __post_init__(self):
+        for name in (
+            "read_error_rate",
+            "write_error_rate",
+            "read_corruption_rate",
+            "torn_write_rate",
+            "latency_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.latency_seconds < 0:
+            raise ValueError("latency_seconds must be >= 0")
+
+
+@dataclass
+class FaultStats:
+    """How many faults of each kind the injector has fired."""
+
+    read_errors: int = 0
+    write_errors: int = 0
+    read_corruptions: int = 0
+    torn_writes: int = 0
+    latency_injections: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.read_errors
+            + self.write_errors
+            + self.read_corruptions
+            + self.torn_writes
+            + self.latency_injections
+        )
+
+    def reset(self) -> None:
+        """Zero every counter (start of a fresh chaos run)."""
+        self.read_errors = 0
+        self.write_errors = 0
+        self.read_corruptions = 0
+        self.torn_writes = 0
+        self.latency_injections = 0
+
+
+class FaultInjector:
+    """A storage wrapper that injects seeded, reproducible faults.
+
+    Implements the same protocol as
+    :class:`~repro.db.pager.InMemoryStorage` / ``FileStorage`` and can
+    wrap either.  ``allocate`` and ``close`` are never faulted: chaos
+    tests target the steady-state read/write path, not setup/teardown.
+    """
+
+    def __init__(
+        self,
+        inner,
+        config: FaultConfig | None = None,
+        seed: int = 0,
+        armed: bool = False,
+        sleep=time.sleep,
+    ):
+        self.inner = inner
+        self.config = config if config is not None else FaultConfig()
+        self.stats = FaultStats()
+        self.armed = armed
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+
+    @property
+    def num_pages(self) -> int:
+        return self.inner.num_pages
+
+    def arm(self, seed: int | None = None, config: FaultConfig | None = None) -> None:
+        """Start injecting; optionally reseed/reconfigure for a new run."""
+        if seed is not None:
+            self._rng = random.Random(seed)
+        if config is not None:
+            self.config = config
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Stop injecting (the wrapped storage keeps any torn pages)."""
+        self.armed = False
+
+    def _fire(self, rate: float) -> bool:
+        if not self.armed or rate <= 0.0:
+            return False
+        if (
+            self.config.max_faults is not None
+            and self.stats.total >= self.config.max_faults
+        ):
+            return False
+        return self._rng.random() < rate
+
+    def _maybe_sleep(self) -> None:
+        if self._fire(self.config.latency_rate):
+            self.stats.latency_injections += 1
+            self._sleep(self.config.latency_seconds)
+
+    def allocate(self) -> int:
+        """Allocate on the wrapped storage (never faulted)."""
+        return self.inner.allocate()
+
+    def read(self, page_no: int) -> bytes:
+        """Read a page, possibly delayed, failed, or corrupted in flight."""
+        self._maybe_sleep()
+        if self._fire(self.config.read_error_rate):
+            self.stats.read_errors += 1
+            raise TransientIOError(f"injected read fault on page {page_no}")
+        data = self.inner.read(page_no)
+        if self._fire(self.config.read_corruption_rate):
+            self.stats.read_corruptions += 1
+            corrupted = bytearray(data)
+            position = self._rng.randrange(len(corrupted))
+            corrupted[position] ^= 0xFF
+            return bytes(corrupted)
+        return data
+
+    def write(self, page_no: int, data: bytes) -> None:
+        """Write a page, possibly delayed, failed, or torn mid-page."""
+        self._maybe_sleep()
+        if self._fire(self.config.write_error_rate):
+            self.stats.write_errors += 1
+            # Transient write faults fail *before* touching storage, so a
+            # retry writes the intact page.
+            raise TransientIOError(f"injected write fault on page {page_no}")
+        if self._fire(self.config.torn_write_rate):
+            self.stats.torn_writes += 1
+            torn = bytearray(data)
+            cut = self._rng.randrange(1, len(torn))
+            torn[cut:] = bytes(len(torn) - cut)  # tail never hit the disk
+            self.inner.write(page_no, bytes(torn))
+            return
+        self.inner.write(page_no, data)
+
+    def close(self) -> None:
+        """Close the wrapped storage (never faulted)."""
+        self.inner.close()

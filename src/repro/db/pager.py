@@ -8,17 +8,41 @@ the currency the paper uses when arguing the ETI makes few lookups.
 Callers must re-fetch pages through :meth:`BufferPool.get_page` for every
 operation instead of holding ``Page`` references across calls; a page object
 becomes stale once evicted.
+
+Resilience (the online-service requirement the paper's §1 setting implies):
+
+- Every physical write records the page's CRC32 in an in-memory ledger and
+  every physical read of a ledgered page is verified against it; a mismatch
+  is re-read once (to rule out a transient bus error) and then raised as
+  :class:`~repro.db.errors.PageCorruptionError` naming the page — corrupt
+  bytes never reach a caller silently.
+- Transient storage faults (:class:`~repro.db.errors.TransientIOError`)
+  are retried with exponential backoff under a configurable
+  :class:`RetryPolicy`; exhaustion raises
+  :class:`~repro.db.errors.RetryExhaustedError`.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.db.errors import BufferPoolError
+from repro.db.errors import (
+    BufferPoolError,
+    PageCorruptionError,
+    RetryExhaustedError,
+    TransientIOError,
+)
 from repro.db.page import Page, PAGE_SIZE
+
+
+def page_checksum(data: bytes) -> int:
+    """The CRC32 checksum of one page's bytes."""
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 class InMemoryStorage:
@@ -38,12 +62,20 @@ class InMemoryStorage:
 
     def read(self, page_no: int) -> bytes:
         """Return the raw bytes of page ``page_no``."""
+        if not 0 <= page_no < len(self._pages):
+            raise BufferPoolError(
+                f"page {page_no} out of range (storage has {len(self._pages)})"
+            )
         return self._pages[page_no]
 
     def write(self, page_no: int, data: bytes) -> None:
         """Overwrite page ``page_no`` with ``data``."""
         if len(data) != PAGE_SIZE:
             raise BufferPoolError("page write with wrong size")
+        if not 0 <= page_no < len(self._pages):
+            raise BufferPoolError(
+                f"page {page_no} out of range (storage has {len(self._pages)})"
+            )
         self._pages[page_no] = bytes(data)
 
     def close(self) -> None:
@@ -76,15 +108,25 @@ class FileStorage:
 
     def read(self, page_no: int) -> bytes:
         """Read one page from the file."""
+        if not 0 <= page_no < self._num_pages:
+            raise BufferPoolError(
+                f"page {page_no} out of range (storage has {self._num_pages})"
+            )
         data = os.pread(self._fd, PAGE_SIZE, page_no * PAGE_SIZE)
         if len(data) != PAGE_SIZE:
-            raise BufferPoolError(f"short read on page {page_no}")
+            raise BufferPoolError(
+                f"short read on page {page_no}: got {len(data)} bytes"
+            )
         return data
 
     def write(self, page_no: int, data: bytes) -> None:
         """Write one page to the file."""
         if len(data) != PAGE_SIZE:
             raise BufferPoolError("page write with wrong size")
+        if not 0 <= page_no < self._num_pages:
+            raise BufferPoolError(
+                f"page {page_no} out of range (storage has {self._num_pages})"
+            )
         os.pwrite(self._fd, data, page_no * PAGE_SIZE)
 
     def close(self) -> None:
@@ -92,6 +134,35 @@ class FileStorage:
         if self._fd >= 0:
             os.close(self._fd)
             self._fd = -1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient storage faults.
+
+    Attempt ``n`` (0-based) sleeps ``min(base_delay * multiplier**n,
+    max_delay)`` before retrying; ``max_attempts`` counts total tries, so
+    ``max_attempts=1`` disables retrying.  Only
+    :class:`~repro.db.errors.TransientIOError` is retried — genuine
+    corruption gets one verification re-read and then fails loudly.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.base_delay * self.multiplier**attempt, self.max_delay)
 
 
 @dataclass
@@ -103,6 +174,9 @@ class PoolStats:
     physical_reads: int = 0
     physical_writes: int = 0
     evictions: int = 0
+    read_retries: int = 0
+    write_retries: int = 0
+    checksum_failures: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -111,6 +185,9 @@ class PoolStats:
         self.physical_reads = 0
         self.physical_writes = 0
         self.evictions = 0
+        self.read_retries = 0
+        self.write_retries = 0
+        self.checksum_failures = 0
 
     @property
     def logical_accesses(self) -> int:
@@ -123,14 +200,32 @@ class PoolStats:
 
 
 class BufferPool:
-    """LRU page cache over a storage backend."""
+    """LRU page cache over a storage backend.
 
-    def __init__(self, storage=None, capacity: int = 1024):
+    ``retry_policy`` governs how transient storage faults are absorbed
+    (default: 4 attempts with exponential backoff).  ``verify_checksums``
+    turns the CRC32 read-verification ledger on (the default) or off;
+    writes always record checksums so verification can be primed later
+    (e.g. from a snapshot's persisted checksums).
+    """
+
+    def __init__(
+        self,
+        storage=None,
+        capacity: int = 1024,
+        retry_policy: RetryPolicy | None = None,
+        verify_checksums: bool = True,
+        sleep=time.sleep,
+    ):
         if capacity < 1:
             raise BufferPoolError("buffer pool needs capacity >= 1")
         self.storage = storage if storage is not None else InMemoryStorage()
         self.capacity = capacity
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.verify_checksums = verify_checksums
         self.stats = PoolStats()
+        self._sleep = sleep
+        self._checksums: dict[int, int] = {}
         self._cache: OrderedDict[int, Page] = OrderedDict()
         # Even read-only page access reorders (and can evict from) the LRU
         # map, so concurrent readers — the parallel batch matcher — must
@@ -145,13 +240,19 @@ class BufferPool:
         """Allocate a fresh page in storage, cache it, return its number."""
         with self._lock:
             page_no = self.storage.allocate()
+            self._checksums[page_no] = page_checksum(bytes(PAGE_SIZE))
             page = Page()
             page.dirty = True
             self._install(page_no, page)
             return page_no
 
     def get_page(self, page_no: int) -> Page:
-        """Return the page, reading it from storage on a miss."""
+        """Return the page, reading it from storage on a miss.
+
+        Physical reads retry transient faults per the pool's policy and
+        are verified against the checksum ledger; a persistent mismatch
+        raises :class:`PageCorruptionError` naming the page.
+        """
         with self._lock:
             page = self._cache.get(page_no)
             if page is not None:
@@ -161,19 +262,42 @@ class BufferPool:
             self.stats.misses += 1
             if not 0 <= page_no < self.storage.num_pages:
                 raise BufferPoolError(f"page {page_no} does not exist")
-            self.stats.physical_reads += 1
-            page = Page(self.storage.read(page_no))
+            page = Page(self._read_verified(page_no))
             self._install(page_no, page)
             return page
+
+    def checksum(self, page_no: int) -> int | None:
+        """The ledgered CRC32 of ``page_no`` (None if never written here)."""
+        with self._lock:
+            return self._checksums.get(page_no)
+
+    def prime_checksums(self, checksums: dict[int, int]) -> None:
+        """Seed the verification ledger (e.g. from snapshot metadata)."""
+        with self._lock:
+            self._checksums.update(checksums)
+
+    def page_checksums(self) -> dict[int, int]:
+        """A copy of the current checksum ledger."""
+        with self._lock:
+            return dict(self._checksums)
 
     def flush(self) -> None:
         """Write all dirty cached pages back to storage."""
         with self._lock:
             for page_no, page in self._cache.items():
                 if page.dirty:
-                    self.storage.write(page_no, bytes(page.data))
+                    self._write_page(page_no, bytes(page.data))
                     page.dirty = False
-                    self.stats.physical_writes += 1
+
+    def drop_cache(self) -> None:
+        """Flush, then forget every cached page (forces physical re-reads).
+
+        Used by chaos tests and benchmarks that need the next access to go
+        through storage; correctness never depends on it.
+        """
+        with self._lock:
+            self.flush()
+            self._cache.clear()
 
     def close(self) -> None:
         """Flush dirty pages and release the cache and storage."""
@@ -182,12 +306,70 @@ class BufferPool:
             self._cache.clear()
             self.storage.close()
 
+    # ------------------------------------------------------------------
+    # Physical I/O with retry + verification
+    # ------------------------------------------------------------------
+
+    def _read_verified(self, page_no: int) -> bytes:
+        """One logical read: retries transient faults, verifies the CRC."""
+        policy = self.retry_policy
+        expected = self._checksums.get(page_no) if self.verify_checksums else None
+        last_error: Exception | None = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self._sleep(policy.delay(attempt - 1))
+                self.stats.read_retries += 1
+            try:
+                data = self.storage.read(page_no)
+            except TransientIOError as exc:
+                last_error = exc
+                continue
+            self.stats.physical_reads += 1
+            if expected is None or page_checksum(data) == expected:
+                return data
+            # Mismatch: count it and re-read — a transient flip heals, a
+            # torn page keeps failing and falls through to the raise below.
+            self.stats.checksum_failures += 1
+            last_error = PageCorruptionError(
+                f"page {page_no} failed checksum verification "
+                f"(expected {expected:#010x}, got {page_checksum(data):#010x})",
+                page_no=page_no,
+            )
+        if isinstance(last_error, PageCorruptionError):
+            raise last_error
+        raise RetryExhaustedError(
+            f"read of page {page_no} still failing after "
+            f"{policy.max_attempts} attempts: {last_error}",
+            page_no=page_no,
+        ) from last_error
+
+    def _write_page(self, page_no: int, data: bytes) -> None:
+        """One logical write: ledger the CRC first, retry transient faults."""
+        policy = self.retry_policy
+        self._checksums[page_no] = page_checksum(data)
+        last_error: Exception | None = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self._sleep(policy.delay(attempt - 1))
+                self.stats.write_retries += 1
+            try:
+                self.storage.write(page_no, data)
+            except TransientIOError as exc:
+                last_error = exc
+                continue
+            self.stats.physical_writes += 1
+            return
+        raise RetryExhaustedError(
+            f"write of page {page_no} still failing after "
+            f"{policy.max_attempts} attempts: {last_error}",
+            page_no=page_no,
+        ) from last_error
+
     def _install(self, page_no: int, page: Page) -> None:
         while len(self._cache) >= self.capacity:
             evict_no, evicted = self._cache.popitem(last=False)
             self.stats.evictions += 1
             if evicted.dirty:
-                self.storage.write(evict_no, bytes(evicted.data))
-                self.stats.physical_writes += 1
+                self._write_page(evict_no, bytes(evicted.data))
         self._cache[page_no] = page
         self._cache.move_to_end(page_no)

@@ -21,11 +21,14 @@ import json
 import os
 
 from repro.db.database import Database
-from repro.db.errors import DatabaseError
-from repro.db.pager import BufferPool, FileStorage
+from repro.db.errors import DatabaseError, PageCorruptionError
+from repro.db.pager import BufferPool, FileStorage, page_checksum
 from repro.db.types import Column, ColumnType
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+# Version 1 snapshots (no page checksums) still load; they just cannot be
+# verified.
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _meta_path(page_path: str) -> str:
@@ -48,8 +51,16 @@ def save_database(db: Database, page_path: str | None = None) -> str:
             )
         page_path = storage.path
     db.pool.flush()
+    ledger = db.pool.page_checksums()
+    checksums = [
+        ledger.get(page_no)
+        if ledger.get(page_no) is not None
+        else page_checksum(storage.read(page_no))
+        for page_no in range(storage.num_pages)
+    ]
     meta = {
         "version": _FORMAT_VERSION,
+        "page_checksums": checksums,
         "relations": [
             {
                 "name": relation.name,
@@ -80,16 +91,48 @@ def save_database(db: Database, page_path: str | None = None) -> str:
 
 
 def load_database(page_path: str, pool_capacity: int = 4096) -> Database:
-    """Reopen a snapshotted database from its page file + metadata."""
+    """Reopen a snapshotted database from its page file + metadata.
+
+    Version-2 snapshots carry per-page CRC32 checksums; every page is
+    verified before any row is deserialized, and a mismatch raises
+    :class:`PageCorruptionError` naming the offending page.  The verified
+    checksums also prime the reopened pool's ledger, so later physical
+    re-reads of those pages stay verified.
+    """
     meta_file = _meta_path(page_path)
     if not os.path.exists(meta_file):
         raise DatabaseError(f"no snapshot metadata at {meta_file}")
     with open(meta_file) as handle:
         meta = json.load(handle)
-    if meta.get("version") != _FORMAT_VERSION:
+    if meta.get("version") not in _SUPPORTED_VERSIONS:
         raise DatabaseError(f"unsupported snapshot version {meta.get('version')!r}")
 
-    db = Database(BufferPool(FileStorage(page_path), capacity=pool_capacity))
+    storage = FileStorage(page_path)
+    checksums = meta.get("page_checksums")
+    ledger: dict[int, int] = {}
+    if checksums is not None:
+        if len(checksums) != storage.num_pages:
+            storage.close()
+            raise DatabaseError(
+                f"snapshot metadata lists {len(checksums)} pages but "
+                f"{page_path} holds {storage.num_pages}"
+            )
+        for page_no, expected in enumerate(checksums):
+            if expected is None:
+                continue
+            actual = page_checksum(storage.read(page_no))
+            if actual != expected:
+                storage.close()
+                raise PageCorruptionError(
+                    f"snapshot page {page_no} of {page_path} is corrupt "
+                    f"(expected CRC {expected:#010x}, got {actual:#010x})",
+                    page_no=page_no,
+                )
+            ledger[page_no] = expected
+
+    pool = BufferPool(storage, capacity=pool_capacity)
+    pool.prime_checksums(ledger)
+    db = Database(pool)
     for relation_meta in meta["relations"]:
         columns = [
             Column(name, ColumnType(type_value), nullable)

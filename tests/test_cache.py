@@ -8,8 +8,12 @@ dataset, across every strategy, including after reference and weight
 mutations (version-based invalidation).
 """
 
+import threading
+import time
+
 import pytest
 
+from repro.core.batch import BatchMatcher
 from repro.core.cache import (
     CachingWeightFunction,
     LRUCache,
@@ -232,3 +236,88 @@ class TestCachedUncachedParity:
             assert all(match.tid != tid for match in result.matches)
         finally:
             reference.insert(tid, removed)
+
+
+class TestBatchInvalidationRace:
+    """Version-based invalidation against warm :class:`BatchMatcher` workers.
+
+    The batch engine keeps worker matchers (and their caches) alive across
+    batches; mutating the weight provider or the reference relation bumps a
+    version that every worker's cache layer watches.  The contract: after a
+    mutation, no worker may serve a stale cached entry — batch results must
+    be bit-identical to a freshly built uncached matcher's.
+    """
+
+    def make_world(self):
+        return build_error_injected_world(
+            num_reference=150, num_inputs=20, repeats=2
+        )
+
+    def fresh_expected(self, reference, weights, config, eti, batch):
+        matcher = FuzzyMatcher(
+            reference, weights, config, eti, caches=MatcherCaches.disabled()
+        )
+        return result_view([matcher.match(v, k=2) for v in batch])
+
+    def test_weight_mutation_between_batches(self):
+        db, reference, weights, config, eti, batch = self.make_world()
+        try:
+            with BatchMatcher(reference, weights, config, eti, jobs=2) as engine:
+                engine.match_many(batch, k=2)  # warm every worker's memo
+                weights.add_tuple(
+                    ("zyzzyva consolidated", "outpost", "zz", "99999")
+                )
+                got = result_view(engine.match_many(batch, k=2))
+                assert got == self.fresh_expected(
+                    reference, weights, config, eti, batch
+                )
+        finally:
+            db.close()
+
+    def test_reference_mutation_between_batches(self):
+        db, reference, weights, config, eti, batch = self.make_world()
+        try:
+            with BatchMatcher(reference, weights, config, eti, jobs=2) as engine:
+                engine.match_many(batch, k=2)  # warm reference-token caches
+                tid, values = next(iter(reference.scan()))
+                reference.delete(tid)
+                reference.insert(tid, ("renamed entity",) + tuple(values[1:]))
+                got = result_view(engine.match_many(batch, k=2))
+                assert got == self.fresh_expected(
+                    reference, weights, config, eti, batch
+                )
+        finally:
+            db.close()
+
+    def test_weight_mutation_mid_batch_settles_exact(self):
+        """A version bump racing in-flight workers never wedges the caches.
+
+        The mid-flight batch itself may mix pre- and post-mutation weights
+        (queries already running finish with what they started with); the
+        guarantee under test is that the workers' memos notice the version
+        bump, so the next quiesced batch is exact.
+        """
+        db, reference, weights, config, eti, batch = self.make_world()
+        try:
+            big_batch = batch * 4
+            with BatchMatcher(reference, weights, config, eti, jobs=4) as engine:
+                engine.match_many(batch, k=2)  # warm the workers
+
+                def mutate():
+                    time.sleep(0.005)  # land mid-batch
+                    weights.add_tuple(
+                        ("interleaved mutation inc", "midflight", "mm", "12121")
+                    )
+
+                mutator = threading.Thread(target=mutate)
+                mutator.start()
+                racy = engine.match_many(big_batch, k=2)
+                mutator.join()
+                assert len(racy) == len(big_batch)
+
+                got = result_view(engine.match_many(batch, k=2))
+                assert got == self.fresh_expected(
+                    reference, weights, config, eti, batch
+                )
+        finally:
+            db.close()
