@@ -1,0 +1,92 @@
+"""CLI for reprolint: ``python -m repro.analysis [paths...]``.
+
+Exit status is 0 when every selected rule is clean over every target,
+1 when there are findings, 2 on usage errors (unknown rule, missing
+path, unparseable file).  Output is one ``path:line:col: rule: message``
+line per finding — the same shape as compiler diagnostics, so editors
+and CI annotate it for free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis import REGISTRY, run
+
+
+def _default_target() -> Path:
+    """The installed package directory (``src/repro`` in a checkout)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the reprolint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis for the repro package.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run reprolint; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        width = max(len(name) for name in REGISTRY)
+        for name in sorted(REGISTRY):
+            print(f"{name:<{width}}  {REGISTRY[name].description}")
+        return 0
+    targets = [Path(p) for p in args.paths] if args.paths else [_default_target()]
+    missing = [str(p) for p in targets if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    select = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",") if name.strip()]
+    parse_errors: list[str] = []
+
+    def record_parse_error(path: Path, exc: SyntaxError) -> None:
+        parse_errors.append(f"{path}:{exc.lineno or 0}:0: parse-error: {exc.msg}")
+
+    try:
+        findings = run(targets, select=select, on_error=record_parse_error)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    for line in parse_errors:
+        print(line)
+    for finding in findings:
+        print(finding.render())
+    if parse_errors:
+        return 2
+    if findings:
+        print(
+            f"\nreprolint: {len(findings)} finding(s) across "
+            f"{len({f.path for f in findings})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

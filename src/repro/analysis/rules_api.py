@@ -1,0 +1,186 @@
+"""Public-API consistency rules: ``__all__``, docstrings, re-exports.
+
+The package's public surface is declared twice — in each module's
+``__all__`` and in its docstrings — and drift between them is the kind
+of rot generic tools never see.  Two rules:
+
+- **api-consistency** — every name in ``__all__`` must actually be
+  defined or imported at module top level, must not be private
+  (underscore-prefixed), and conversely every *public* top-level class
+  or function defined in a module that declares ``__all__`` must be
+  listed there.  Modules, public classes, and public functions must
+  carry docstrings (the static mirror of ``tests/test_docstrings.py``,
+  which also covers fixtures that are never imported).
+- **unused-import** — a top-level import whose name is never referenced
+  in the module body and not re-exported via ``__all__`` is dead weight;
+  in package ``__init__`` modules every import *must* appear in
+  ``__all__`` (they exist only to re-export).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Module, Rule, register
+
+
+def _declared_all(tree: ast.Module) -> tuple[ast.AST | None, list[str] | None]:
+    """The ``__all__`` assignment node and its literal names, if present."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                names: list[str] = []
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            names.append(element.value)
+                return node, names
+    return None, None
+
+
+def _top_level_bindings(tree: ast.Module) -> dict[str, ast.AST]:
+    """Every name bound at module top level (defs, imports, assignments)."""
+    bindings: dict[str, ast.AST] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bindings[node.name] = node
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                bindings[name] = node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bindings[target.id] = node
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bindings[node.target.id] = node
+        elif isinstance(node, (ast.If, ast.Try)):
+            for name, sub in _top_level_bindings(
+                ast.Module(body=list(ast.iter_child_nodes(node)), type_ignores=[])
+            ).items():
+                bindings[name] = sub
+    return bindings
+
+
+@register
+class ApiConsistencyRule(Rule):
+    """``__all__`` entries exist, public defs are exported and documented."""
+
+    name = "api-consistency"
+    description = (
+        "__all__ entries must resolve, public top-level defs must be in "
+        "__all__ (when declared) and carry docstrings"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Check __all__ resolution, export coverage, and docstrings."""
+        tree = module.tree
+        all_node, exported = _declared_all(tree)
+        bindings = _top_level_bindings(tree)
+        if exported is not None and all_node is not None:
+            for name in exported:
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # dunder metadata like __version__ is conventional
+                if name.startswith("_"):
+                    yield from self.emit(
+                        module, all_node, f"__all__ exports private name {name!r}"
+                    )
+                elif name not in bindings:
+                    yield from self.emit(
+                        module,
+                        all_node,
+                        f"__all__ lists {name!r} but the module never defines "
+                        f"or imports it",
+                    )
+        if ast.get_docstring(tree) is None:
+            anchor = tree.body[0] if tree.body else ast.Module(body=[], type_ignores=[])
+            yield from self.emit(module, anchor, "module has no docstring")
+        for node in tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            if ast.get_docstring(node) is None:
+                yield from self.emit(
+                    module, node, f"public {kind} {node.name!r} has no docstring"
+                )
+            if exported is not None and node.name not in exported:
+                yield from self.emit(
+                    module,
+                    node,
+                    f"public {kind} {node.name!r} is not listed in __all__ "
+                    f"(add it or prefix with _)",
+                )
+
+
+@register
+class UnusedImportRule(Rule):
+    """Top-level imports must be used or re-exported via ``__all__``."""
+
+    name = "unused-import"
+    description = (
+        "imports never referenced in the module body and not re-exported "
+        "through __all__ are dead"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Flag dead imports and un-exported package-__init__ imports."""
+        tree = module.tree
+        _, exported = _declared_all(tree)
+        exported_names = set(exported or ())
+        imports: list[tuple[str, ast.AST]] = []
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "__future__":
+                        continue
+                    imports.append((alias.asname or alias.name.split(".")[0], node))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    imports.append((alias.asname or alias.name, node))
+        if not imports:
+            return
+        used: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                root: ast.expr = node
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    used.add(root.id)
+        # names referenced in string annotations ("BatchMatcher") count
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                used.add(node.value.strip("'\""))
+        is_package_init = module.logical_path.endswith("__init__.py")
+        for name, node in imports:
+            if is_package_init:
+                if name not in exported_names and name not in used:
+                    yield from self.emit(
+                        module,
+                        node,
+                        f"package __init__ imports {name!r} without re-exporting "
+                        f"it via __all__",
+                    )
+            elif name not in used and name not in exported_names:
+                yield from self.emit(
+                    module, node, f"import {name!r} is never used in this module"
+                )

@@ -1,0 +1,127 @@
+"""Determinism rule: the match path computes the same answer every run.
+
+The parity guarantees the batch engine and the chaos suite rely on —
+"bit-identical to the sequential run", "identical to the clean run" —
+only hold because fuzzy-match scoring is a pure function of its inputs.
+This rule guards the modules on that path (``core/fms*.py``,
+``core/osc.py``, and all of ``eti/``) against the three classic ways
+Python code goes nondeterministic:
+
+- **unseeded randomness** — any ``random.*`` call except constructing an
+  explicitly seeded ``random.Random(seed)``;
+- **wall-clock reads** — ``time.time``/``time.monotonic``/
+  ``datetime.now``/``datetime.utcnow`` (``time.perf_counter`` is allowed:
+  it feeds timing *stats*, never answers);
+- **set-order iteration** — ``for``/comprehension iteration directly
+  over a set literal, ``set(...)``/``frozenset(...)`` call, or set
+  comprehension, whose order varies with hash seeding.  Wrap in
+  ``sorted(...)`` to fix the order.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Module, Rule, register
+
+_SCOPE_RE = re.compile(r"^repro/(core/fms[^/]*\.py|core/osc\.py|eti/)")
+
+CLOCK_ATTRIBUTES = frozenset(
+    {
+        ("time", "time"),
+        ("time", "monotonic"),
+        ("time", "time_ns"),
+        ("time", "monotonic_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("date", "today"),
+    }
+)
+
+
+def _dotted(node: ast.AST) -> tuple[str, str] | None:
+    """``(base, attr)`` for an ``X.Y`` attribute access, else ``None``."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return (node.value.id, node.attr)
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Attribute)
+        and isinstance(node.value.value, ast.Name)
+    ):
+        # datetime.datetime.now -> ("datetime", "now")
+        return (node.value.attr, node.attr)
+    return None
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class DeterminismRule(Rule):
+    """No unseeded randomness, clock reads, or set-order iteration."""
+
+    name = "determinism"
+    description = (
+        "the match path (core/fms*.py, core/osc.py, eti/) must stay "
+        "deterministic: no unseeded random, wall clocks, or set iteration"
+    )
+
+    def applies(self, module: Module) -> bool:
+        """Only the deterministic match-path modules are in scope."""
+        return _SCOPE_RE.match(module.logical_path) is not None
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Flag randomness, clock reads, and set-order iteration."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, ast.For):
+                yield from self._check_iteration(module, node.iter, "for loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    yield from self._check_iteration(
+                        module, generator.iter, "comprehension"
+                    )
+
+    def _check_call(self, module: Module, node: ast.Call) -> Iterator[Finding]:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        base, attr = dotted
+        if base == "random":
+            if attr == "Random" and node.args:
+                return  # explicitly seeded generator: deterministic
+            yield from self.emit(
+                module,
+                node,
+                f"`random.{attr}(...)` on the match path is nondeterministic; "
+                f"use an explicitly seeded `random.Random(seed)`",
+            )
+        elif dotted in CLOCK_ATTRIBUTES:
+            yield from self.emit(
+                module,
+                node,
+                f"`{base}.{attr}()` reads the wall clock on the match path; "
+                f"answers must not depend on time (perf_counter for stats "
+                f"is fine)",
+            )
+
+    def _check_iteration(
+        self, module: Module, iterable: ast.expr, where: str
+    ) -> Iterator[Finding]:
+        if _is_set_expression(iterable):
+            yield from self.emit(
+                module,
+                iterable,
+                f"{where} iterates a set directly; set order varies with "
+                f"hash seeding — wrap in sorted(...) to pin the order",
+            )

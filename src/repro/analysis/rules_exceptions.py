@@ -1,0 +1,135 @@
+"""Exception-taxonomy rules: typed errors in ``db/``, no broad excepts.
+
+Two related contracts from the resilience layer (PR 2):
+
+- **db raises typed.**  The storage layer communicates failure through
+  the :class:`~repro.db.errors.DatabaseError` taxonomy so callers can
+  retry/fallback on *kind*, never on string matching.  Inside
+  ``repro/db/`` a ``raise`` of a builtin exception type is therefore a
+  finding — except ``ValueError``/``TypeError`` inside ``__init__`` or
+  ``__post_init__``, which report caller bugs (bad constructor
+  arguments), not database failures.
+- **no broad excepts.**  ``except:``, ``except Exception`` and
+  ``except BaseException`` swallow typed errors and hide corruption.
+  They are banned everywhere except the sanctioned fallback sites —
+  ``repro/core/resilience.py`` and ``repro/core/batch.py``, whose whole
+  job is to absorb failures into flagged degraded results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Module, Rule, register
+
+#: builtin exception names the db layer must not raise directly
+BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "EOFError",
+        "Exception",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "StopIteration",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+#: constructor-argument validation may raise these two inside __init__ /
+#: __post_init__ — a caller bug, not a database failure
+CONSTRUCTOR_EXEMPT = frozenset({"TypeError", "ValueError"})
+CONSTRUCTOR_METHODS = frozenset({"__init__", "__post_init__", "__init_subclass__"})
+
+#: logical paths allowed to catch broadly: the resilience fallback chain
+SANCTIONED_BROAD_EXCEPT = frozenset(
+    {"repro/core/resilience.py", "repro/core/batch.py"}
+)
+
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _raised_name(node: ast.Raise) -> ast.Name | None:
+    """The bare name being raised: ``raise X(...)`` or ``raise X``."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc
+    return None
+
+
+@register
+class ExceptionTaxonomyRule(Rule):
+    """db/ raises DatabaseError subclasses; no bare/overbroad excepts."""
+
+    name = "exception-taxonomy"
+    description = (
+        "repro/db/ may only raise DatabaseError subclasses (builtin "
+        "exceptions only for constructor validation); bare/broad excepts "
+        "are confined to the sanctioned resilience fallback sites"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Run the broad-except scan and, under repro/db/, the raise scan."""
+        yield from self._check_broad_excepts(module)
+        if module.logical_path.startswith("repro/db/"):
+            yield from self._check_db_raises(module)
+
+    def _check_broad_excepts(self, module: Module) -> Iterator[Finding]:
+        if module.logical_path in SANCTIONED_BROAD_EXCEPT:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield from self.emit(
+                    module,
+                    node,
+                    "bare `except:` swallows typed DatabaseErrors; catch the "
+                    "narrowest exception type instead",
+                )
+                continue
+            caught = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            for expr in caught:
+                if isinstance(expr, ast.Name) and expr.id in BROAD_NAMES:
+                    yield from self.emit(
+                        module,
+                        node,
+                        f"`except {expr.id}` outside the sanctioned resilience "
+                        f"fallback sites ({', '.join(sorted(SANCTIONED_BROAD_EXCEPT))}); "
+                        f"catch the narrowest typed exception instead",
+                    )
+
+    def _check_db_raises(self, module: Module) -> Iterator[Finding]:
+        functions = {
+            id(child): parent.name
+            for parent in ast.walk(module.tree)
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef))
+            for child in ast.walk(parent)
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            raised = _raised_name(node)
+            if raised is None or raised.id not in BUILTIN_EXCEPTIONS:
+                continue
+            enclosing = functions.get(id(node), "")
+            if raised.id in CONSTRUCTOR_EXEMPT and enclosing in CONSTRUCTOR_METHODS:
+                continue
+            yield from self.emit(
+                module,
+                node,
+                f"the db layer raises `{raised.id}`; raise a typed "
+                f"DatabaseError subclass from repro.db.errors instead",
+            )

@@ -1,0 +1,75 @@
+"""Annotation-coverage rule: the strict-typing backstop.
+
+``mypy --strict`` (configured in ``pyproject.toml``, run in CI) is the
+real type gate, but it needs full annotations to have anything to check
+— a single untyped ``def`` silently downgrades every call through it to
+``Any``.  This rule enforces the *coverage* half locally and
+dependency-free: every function and method in ``src/repro`` must
+annotate all of its parameters (``self``/``cls`` excepted, ``*args`` /
+``**kwargs`` included) and its return type — including ``__init__ ->
+None``, exactly as strict mypy demands.  Lambdas are exempt (they cannot
+be annotated).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Module, Rule, register
+
+_IMPLICIT_FIRST = frozenset({"self", "cls"})
+
+
+@register
+class AnnotationsRule(Rule):
+    """Every def annotates all parameters and its return type."""
+
+    name = "annotations"
+    description = (
+        "functions must carry full parameter and return annotations "
+        "(mypy --strict coverage, checked without mypy installed)"
+    )
+
+    def applies(self, module: Module) -> bool:
+        """Annotation coverage applies to the whole repro package."""
+        return module.logical_path.startswith("repro/")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Audit every def for parameter and return annotations."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: Module, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        missing: list[str] = []
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in _IMPLICIT_FIRST:
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        missing.extend(
+            arg.arg for arg in args.kwonlyargs if arg.annotation is None
+        )
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if missing:
+            yield from self.emit(
+                module,
+                node,
+                f"{node.name}() is missing parameter annotations for: "
+                f"{', '.join(missing)}",
+            )
+        if node.returns is None:
+            yield from self.emit(
+                module,
+                node,
+                f"{node.name}() is missing a return annotation "
+                f"(use `-> None` for procedures and __init__)",
+            )

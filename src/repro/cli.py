@@ -32,7 +32,7 @@ from repro.core.weights import build_frequency_cache
 from repro.data.datasets import DATASET_PRESETS, DatasetSpec, make_dataset
 from repro.data.generator import CUSTOMER_COLUMNS, generate_customers
 from repro.db.database import Database
-from repro.eti.builder import build_eti
+from repro.eti.builder import BuildStats, build_eti
 from repro.eval.harness import Workbench
 from repro.eval import figures as figure_drivers
 from repro.eval.metrics import accuracy
@@ -46,7 +46,9 @@ def _value(cell: str) -> str | None:
     return cell if cell != "" else None
 
 
-def _read_reference_csv(path: str):
+def _read_reference_csv(
+    path: str,
+) -> tuple[list[str], list[tuple[int, tuple[str | None, ...]]]]:
     """Returns (column_names, [(tid, values), ...])."""
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
@@ -60,7 +62,9 @@ def _read_reference_csv(path: str):
     return columns, rows
 
 
-def _build_matcher(reference_path: str, config: MatchConfig):
+def _build_matcher(
+    reference_path: str, config: MatchConfig
+) -> tuple[FuzzyMatcher, BuildStats]:
     columns, rows = _read_reference_csv(reference_path)
     db = Database.in_memory()
     reference = ReferenceTable(db, "reference", columns)
@@ -70,7 +74,7 @@ def _build_matcher(reference_path: str, config: MatchConfig):
     return FuzzyMatcher(reference, weights, config, eti), build_stats
 
 
-def cmd_generate(args) -> int:
+def cmd_generate(args: argparse.Namespace) -> int:
     """``repro generate``: write a synthetic reference relation CSV."""
     customers = generate_customers(
         args.count,
@@ -86,7 +90,7 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def cmd_corrupt(args) -> int:
+def cmd_corrupt(args: argparse.Namespace) -> int:
     """``repro corrupt``: sample reference tuples and inject errors."""
     columns, rows = _read_reference_csv(args.reference)
     if args.preset:
@@ -117,7 +121,7 @@ def cmd_corrupt(args) -> int:
     return 0
 
 
-def cmd_match(args) -> int:
+def cmd_match(args: argparse.Namespace) -> int:
     """``repro match``: build an ETI and fuzzy-match an input CSV."""
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
@@ -214,7 +218,7 @@ def cmd_match(args) -> int:
     return 0
 
 
-def cmd_dedup(args) -> int:
+def cmd_dedup(args: argparse.Namespace) -> int:
     """``repro dedup``: flag fuzzy duplicates inside a reference CSV."""
     from repro.dedup import FuzzyDeduplicator
 
@@ -240,7 +244,7 @@ def cmd_dedup(args) -> int:
     return 0
 
 
-def cmd_explain(args) -> int:
+def cmd_explain(args: argparse.Namespace) -> int:
     """``repro explain``: trace one fuzzy match query, step by step."""
     config = MatchConfig(
         q=args.q,
@@ -266,7 +270,7 @@ def cmd_explain(args) -> int:
     return 0
 
 
-def cmd_evaluate(args) -> int:
+def cmd_evaluate(args: argparse.Namespace) -> int:
     """``repro evaluate``: run the paper's experiment suite."""
     workbench = Workbench(
         num_reference=args.reference_size, num_inputs=args.inputs, seed=args.seed

@@ -28,7 +28,9 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
 
+from repro.analysis.debuglock import make_lock
 from repro.core.cache import MatcherCaches
 from repro.core.config import MatchConfig
 from repro.core.matcher import (
@@ -100,10 +102,10 @@ class BatchMatcher:
         eti: EtiIndex | None = None,
         hasher: MinHasher | None = None,
         jobs: int = 1,
-        cache_factory=MatcherCaches,
+        cache_factory: Callable[[], MatcherCaches] = MatcherCaches,
         resilience: ResiliencePolicy | None = None,
         fail_fast: bool = True,
-    ):
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.resilience = resilience
@@ -121,7 +123,7 @@ class BatchMatcher:
         self.cache_factory = cache_factory
         self._local = threading.local()
         self._workers: list[FuzzyMatcher] = []
-        self._workers_lock = threading.Lock()
+        self._workers_lock = make_lock("BatchMatcher._workers_lock")
         self._sequential = self._build_matcher()
         self._pool: ThreadPoolExecutor | None = None
         self.last_report = BatchReport(jobs=jobs)
@@ -131,7 +133,7 @@ class BatchMatcher:
         cls,
         matcher: FuzzyMatcher,
         jobs: int = 1,
-        cache_factory=MatcherCaches,
+        cache_factory: Callable[[], MatcherCaches] = MatcherCaches,
         resilience: ResiliencePolicy | None = None,
         fail_fast: bool = True,
     ) -> "BatchMatcher":
@@ -193,10 +195,16 @@ class BatchMatcher:
     def __enter__(self) -> "BatchMatcher":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _warm_shared_state(self, sample, k, min_similarity, strategy) -> None:
+    def _warm_shared_state(
+        self,
+        sample: Sequence[str | None] | None,
+        k: int | None,
+        min_similarity: float | None,
+        strategy: str | None,
+    ) -> None:
         """Force lazily-built shared structures before threads fan out.
 
         The weight provider computes column averages on the first unseen
@@ -221,7 +229,7 @@ class BatchMatcher:
 
     def match_many(
         self,
-        batch,
+        batch: Iterable[Sequence[str | None]],
         k: int | None = None,
         min_similarity: float | None = None,
         strategy: str | None = None,
@@ -271,7 +279,7 @@ class BatchMatcher:
             unique_inputs[0] if unique_inputs else None, k, min_similarity, strategy
         )
 
-        def run_query(values) -> MatchResult:
+        def run_query(values: Sequence[str | None]) -> MatchResult:
             try:
                 return self._worker_matcher().match(
                     values,
@@ -301,7 +309,11 @@ class BatchMatcher:
         return results
 
     def _finish_report(
-        self, total: int, unique: int, started: float, results=()
+        self,
+        total: int,
+        unique: int,
+        started: float,
+        results: Sequence[MatchResult | None] = (),
     ) -> None:
         self.last_report = BatchReport(
             total_queries=total,
@@ -309,8 +321,8 @@ class BatchMatcher:
             jobs=self.jobs,
             elapsed_seconds=time.perf_counter() - started,
             cache_counters=self.cache_counters(),
-            degraded_queries=sum(1 for r in results if r.stats.degraded),
-            failed_queries=sum(1 for r in results if r.failed),
+            degraded_queries=sum(1 for r in results if r is not None and r.stats.degraded),
+            failed_queries=sum(1 for r in results if r is not None and r.failed),
         )
 
     def cache_counters(self) -> dict:

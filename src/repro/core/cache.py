@@ -27,10 +27,11 @@ give each its own bundle (the default).
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
+
+from repro.analysis.debuglock import make_lock
 
 _MISSING = object()
 
@@ -80,21 +81,22 @@ class LRUCache:
     are: tuples, floats, frozen dataclasses).
     """
 
-    def __init__(self, capacity: int, name: str = ""):
+    def __init__(self, capacity: int, name: str = "") -> None:
         if capacity < 0:
             raise ValueError("cache capacity must be >= 0")
         self.capacity = capacity
         self.name = name
         self.stats = CacheStats()
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("LRUCache._lock")
 
     @property
     def enabled(self) -> bool:
         return self.capacity > 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
@@ -167,7 +169,7 @@ class MatcherCaches:
         reference_capacity: int = DEFAULT_REFERENCE_CAPACITY,
         weight_capacity: int = DEFAULT_WEIGHT_CAPACITY,
         signature_capacity: int = DEFAULT_SIGNATURE_CAPACITY,
-    ):
+    ) -> None:
         self.reference_tokens = LRUCache(reference_capacity, "reference_tokens")
         self.token_weights = LRUCache(weight_capacity, "token_weights")
         self.signatures = LRUCache(signature_capacity, "signatures")
@@ -219,13 +221,13 @@ class CachingWeightFunction:
     Providers without a ``version`` attribute are assumed immutable.
     """
 
-    def __init__(self, base, cache: LRUCache):
+    def __init__(self, base: Any, cache: LRUCache) -> None:
         self._base = base
         self._cache = cache
         self._seen_version = getattr(base, "version", None)
 
     @property
-    def base(self):
+    def base(self) -> Any:
         """The wrapped weight provider."""
         return self._base
 

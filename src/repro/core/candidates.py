@@ -33,7 +33,7 @@ class ScoreTableStats:
 class ScoreTable:
     """Accumulates per-tid similarity scores from ETI tid-lists."""
 
-    def __init__(self, threshold: float):
+    def __init__(self, threshold: float) -> None:
         """``threshold`` is ``w(u) · c``, the admission bar for new tids."""
         self.threshold = threshold
         self.scores: dict[int, float] = {}

@@ -10,6 +10,7 @@ Signature schemes follow §6.2's notation: ``Q_H`` (q-grams only) and
 from __future__ import annotations
 
 import enum
+from typing import Any
 from dataclasses import dataclass, replace
 
 
@@ -96,7 +97,7 @@ class MatchConfig:
     osc_conservative: bool = False
     seed: int = 2003
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.q < 1:
             raise ValueError("q must be positive")
         if self.signature_size < 0:
@@ -141,6 +142,6 @@ class MatchConfig:
         scale = num_columns / total
         return tuple(w * scale for w in self.column_weights)
 
-    def with_(self, **changes) -> "MatchConfig":
+    def with_(self, **changes: Any) -> "MatchConfig":
         """Return a copy with ``changes`` applied (convenience wrapper)."""
         return replace(self, **changes)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from typing import TYPE_CHECKING, Iterable, Sequence
 from dataclasses import dataclass, field, replace
 
 from repro.core.cache import CachingWeightFunction, MatcherCaches
@@ -44,6 +45,9 @@ from repro.core.weights import WeightFunction
 from repro.db.errors import DatabaseError, RecordNotFoundError
 from repro.eti.index import EtiIndex
 from repro.eti.signature import signature_entries_cached
+
+if TYPE_CHECKING:
+    from repro.db.pager import BufferPool
 
 
 @dataclass(frozen=True)
@@ -128,7 +132,7 @@ class _TokenInfo:
     weight: float
 
 
-def reference_version(reference) -> int | None:
+def reference_version(reference: object) -> int | None:
     """The reference relation's mutation version (None if untracked)."""
     return getattr(reference, "version", None)
 
@@ -203,7 +207,7 @@ class FuzzyMatcher:
         hasher: MinHasher | None = None,
         caches: MatcherCaches | None = None,
         resilience: ResiliencePolicy | None = None,
-    ):
+    ) -> None:
         self.reference = reference
         self.weights = weights
         self.config = config if config is not None else MatchConfig()
@@ -230,7 +234,7 @@ class FuzzyMatcher:
 
     def match(
         self,
-        values,
+        values: Sequence[str | None],
         k: int | None = None,
         min_similarity: float | None = None,
         strategy: str | None = None,
@@ -329,13 +333,13 @@ class FuzzyMatcher:
         result.stats.elapsed_seconds = time.perf_counter() - started
         return result
 
-    def _pool(self):
+    def _pool(self) -> BufferPool:
         """The buffer pool under the reference relation (fetch metering)."""
         return self.reference.relation.heap.pool
 
     def match_many(
         self,
-        batch,
+        batch: Iterable[Sequence[str | None]],
         k: int | None = None,
         min_similarity: float | None = None,
         strategy: str | None = None,
@@ -464,7 +468,11 @@ class FuzzyMatcher:
     # ------------------------------------------------------------------
 
     def _match_naive(
-        self, values, k: int, c: float, meter: BudgetMeter | None = None
+        self,
+        values: Sequence[str | None],
+        k: int,
+        c: float,
+        meter: BudgetMeter | None = None,
     ) -> MatchResult:
         result = MatchResult()
         stats = result.stats
@@ -513,7 +521,7 @@ class FuzzyMatcher:
 
     def _match_indexed(
         self,
-        values,
+        values: Sequence[str | None],
         k: int,
         c: float,
         use_osc: bool,

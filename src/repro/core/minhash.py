@@ -31,7 +31,7 @@ class MinHasher:
         the same signatures.
     """
 
-    def __init__(self, q: int, num_hashes: int, seed: int = 2003):
+    def __init__(self, q: int, num_hashes: int, seed: int = 2003) -> None:
         if q < 1:
             raise ValueError("q must be positive")
         if num_hashes < 0:

@@ -28,7 +28,7 @@ class ReferenceTable:
         db: Database,
         name: str,
         column_names: Sequence[str],
-    ):
+    ) -> None:
         if not column_names:
             raise ValueError("a reference relation needs at least one column")
         self.name = name

@@ -27,9 +27,14 @@ clean run, flagged degraded with a reason, a typed
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.debuglock import make_lock
+
+if TYPE_CHECKING:
+    from repro.db.pager import BufferPool
 
 DEGRADED_DEADLINE = "deadline"
 DEGRADED_PAGE_FETCHES = "page_fetches"
@@ -49,7 +54,7 @@ class QueryBudget:
     deadline: float | None = None
     max_page_fetches: int | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError("deadline must be positive")
         if self.max_page_fetches is not None and self.max_page_fetches < 0:
@@ -67,7 +72,7 @@ class QueryBudget:
     def unlimited(self) -> bool:
         return self.deadline is None and self.max_page_fetches is None
 
-    def start(self, pool=None) -> "BudgetMeter":
+    def start(self, pool: "BufferPool | None" = None) -> "BudgetMeter":
         """Begin metering one query (``pool`` supplies the read counter)."""
         return BudgetMeter(self, pool)
 
@@ -90,7 +95,7 @@ class BudgetMeter:
         "_max_fetches",
     )
 
-    def __init__(self, budget: QueryBudget, pool=None):
+    def __init__(self, budget: QueryBudget, pool: "BufferPool | None" = None) -> None:
         self.budget = budget
         self._pool_stats = pool.stats if pool is not None else None
         self._started = time.perf_counter()
@@ -141,14 +146,14 @@ class CircuitBreaker:
     engine's workers.
     """
 
-    def __init__(self, failure_threshold: int = 3, half_open_interval: int = 8):
+    def __init__(self, failure_threshold: int = 3, half_open_interval: int = 8) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if half_open_interval < 1:
             raise ValueError("half_open_interval must be >= 1")
         self.failure_threshold = failure_threshold
         self.half_open_interval = half_open_interval
-        self._lock = threading.Lock()
+        self._lock = make_lock("CircuitBreaker._lock")
         self._consecutive_failures = 0
         self._open = False
         self._denials = 0

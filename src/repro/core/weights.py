@@ -40,7 +40,7 @@ class WeightFunction(Protocol):
 class _BaseFrequencyCache:
     """Shared IDF arithmetic over a concrete frequency store."""
 
-    def __init__(self, num_tuples: int, num_columns: int):
+    def __init__(self, num_tuples: int, num_columns: int) -> None:
         if num_tuples < 1:
             raise ValueError("reference relation must be non-empty")
         self.num_tuples = num_tuples
@@ -115,7 +115,7 @@ class TokenFrequencyCache(_BaseFrequencyCache):
     (pair with :class:`repro.eti.maintenance.EtiMaintainer`).
     """
 
-    def __init__(self, num_tuples: int, num_columns: int):
+    def __init__(self, num_tuples: int, num_columns: int) -> None:
         super().__init__(num_tuples, num_columns)
         self._frequencies: dict[tuple[int, str], int] = {}
 
@@ -200,7 +200,7 @@ class HashedTokenFrequencyCache(_BaseFrequencyCache):
     fixed-size key; weights are bit-exact equal to the plain cache.
     """
 
-    def __init__(self, num_tuples: int, num_columns: int):
+    def __init__(self, num_tuples: int, num_columns: int) -> None:
         super().__init__(num_tuples, num_columns)
         self._frequencies: dict[tuple[int, bytes], int] = {}
 
@@ -236,7 +236,7 @@ class BoundedTokenFrequencyCache(_BaseFrequencyCache):
     preferred option; it exists here so the accuracy impact can be measured.
     """
 
-    def __init__(self, num_tuples: int, num_columns: int, max_entries: int):
+    def __init__(self, num_tuples: int, num_columns: int, max_entries: int) -> None:
         super().__init__(num_tuples, num_columns)
         if max_entries < 1:
             raise ValueError("max_entries must be positive")

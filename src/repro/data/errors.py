@@ -100,7 +100,7 @@ class ErrorModel:
         frequency_lookup: FrequencyLookup | None = None,
         name_column: int = 0,
         seed: int = 7,
-    ):
+    ) -> None:
         if method not in ("type1", "type2"):
             raise ValueError(f"unknown injection method {method!r}")
         if method == "type2" and frequency_lookup is None:

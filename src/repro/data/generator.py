@@ -63,7 +63,7 @@ class CustomerGenerator:
         business_fraction: float = 0.25,
         zipf_exponent: float = 1.1,
         extended_pools: bool = True,
-    ):
+    ) -> None:
         if not 0.0 <= business_fraction <= 1.0:
             raise ValueError("business_fraction must be in [0, 1]")
         self.seed = seed

@@ -69,7 +69,7 @@ class ProductTuple:
 class ProductGenerator:
     """Seeded generator of product tuples with near-unique part numbers."""
 
-    def __init__(self, seed: int = 77):
+    def __init__(self, seed: int = 77) -> None:
         self.seed = seed
         self._rng = random.Random(seed)
         self._adjective_weights = _zipf_weights(len(_ADJECTIVES))

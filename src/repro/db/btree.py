@@ -22,7 +22,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Any, Iterator
 
-from repro.db.errors import DuplicateKeyError, RecordNotFoundError
+from repro.db.errors import DuplicateKeyError, RecordNotFoundError, SortOrderError
 
 DEFAULT_ORDER = 64
 
@@ -30,7 +30,7 @@ DEFAULT_ORDER = 64
 class _Leaf:
     __slots__ = ("keys", "values", "next")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.keys: list[Any] = []
         self.values: list[Any] = []
         self.next: _Leaf | None = None
@@ -39,7 +39,7 @@ class _Leaf:
 class _Internal:
     __slots__ = ("keys", "children")
 
-    def __init__(self):
+    def __init__(self) -> None:
         # children[i] holds keys < keys[i]; children[i+1] holds keys >= keys[i].
         self.keys: list[Any] = []
         self.children: list[Any] = []
@@ -53,7 +53,7 @@ class BPlusTree:
     in insertion order and all surface in lookups and scans.
     """
 
-    def __init__(self, order: int = DEFAULT_ORDER, unique: bool = True):
+    def __init__(self, order: int = DEFAULT_ORDER, unique: bool = True) -> None:
         if order < 4:
             raise ValueError("B+-tree order must be at least 4")
         self.order = order
@@ -145,7 +145,9 @@ class BPlusTree:
         self._size -= removed
         return removed
 
-    def _insert(self, node, internal_key, value):
+    def _insert(
+        self, node: _Leaf | _Internal, internal_key: Any, value: Any
+    ) -> tuple[Any, _Leaf | _Internal] | None:
         """Recursive insert; returns ``(separator, new_right)`` on split."""
         if isinstance(node, _Leaf):
             index = bisect_left(node.keys, internal_key)
@@ -164,7 +166,7 @@ class BPlusTree:
                 return self._split_internal(node)
         return None
 
-    def _split_leaf(self, leaf: _Leaf):
+    def _split_leaf(self, leaf: _Leaf) -> tuple[Any, _Leaf]:
         mid = len(leaf.keys) // 2
         right = _Leaf()
         right.keys = leaf.keys[mid:]
@@ -175,7 +177,7 @@ class BPlusTree:
         leaf.next = right
         return right.keys[0], right
 
-    def _split_internal(self, node: _Internal):
+    def _split_internal(self, node: _Internal) -> tuple[Any, _Internal]:
         mid = len(node.keys) // 2
         sep = node.keys[mid]
         right = _Internal()
@@ -283,7 +285,7 @@ class BPlusTree:
             return tree
         for (a, _), (b, _) in zip(items, items[1:]):
             if a > b:
-                raise ValueError("bulk_load requires key-sorted items")
+                raise SortOrderError("bulk_load requires key-sorted items")
             if unique and a == b:
                 raise DuplicateKeyError(f"duplicate key {a!r} in bulk load")
         if unique:
@@ -356,7 +358,7 @@ class BPlusTree:
         assert seen == self._size, f"size mismatch: scanned {seen}, size {self._size}"
         self._check_node(self._root)
 
-    def _check_node(self, node) -> None:
+    def _check_node(self, node: _Leaf | _Internal) -> None:
         if isinstance(node, _Leaf):
             assert node.keys == sorted(node.keys), "unsorted leaf keys"
             assert len(node.keys) == len(node.values), "leaf key/value mismatch"

@@ -17,7 +17,7 @@ from repro.db.types import Column, Schema
 class Database:
     """A named collection of relations sharing a buffer pool."""
 
-    def __init__(self, pool: BufferPool | None = None, pool_capacity: int = 4096):
+    def __init__(self, pool: BufferPool | None = None, pool_capacity: int = 4096) -> None:
         self.pool = pool if pool is not None else BufferPool(capacity=pool_capacity)
         self._relations: dict[str, Relation] = {}
 
@@ -67,5 +67,5 @@ class Database:
     def __enter__(self) -> "Database":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

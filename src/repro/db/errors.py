@@ -25,6 +25,16 @@ class RelationError(DatabaseError):
     """Catalog-level problem: unknown or duplicate relation, bad index."""
 
 
+class SortOrderError(DatabaseError, ValueError):
+    """Rows arrived out of the sort order an operation requires.
+
+    Raised by order-dependent operations (B+-tree bulk load, sorted-input
+    aggregation) when their input breaks the ordering contract.  Also a
+    ``ValueError`` because out-of-order input is a caller bug, not a
+    storage failure — callers that validate arguments keep working.
+    """
+
+
 class BufferPoolError(DatabaseError):
     """The buffer pool could not satisfy a pin request."""
 
@@ -40,7 +50,7 @@ class TransientIOError(DatabaseError):
 class RetryExhaustedError(BufferPoolError):
     """A transient fault persisted through every configured retry."""
 
-    def __init__(self, message: str, page_no: int | None = None):
+    def __init__(self, message: str, page_no: int | None = None) -> None:
         super().__init__(message)
         self.page_no = page_no
 
@@ -53,6 +63,6 @@ class PageCorruptionError(DatabaseError):
     number so the operator knows exactly what is damaged.
     """
 
-    def __init__(self, message: str, page_no: int | None = None):
+    def __init__(self, message: str, page_no: int | None = None) -> None:
         super().__init__(message)
         self.page_no = page_no

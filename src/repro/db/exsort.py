@@ -37,7 +37,7 @@ class SortStats:
 class _RunWriter:
     """Append rows to a temp file as length-prefixed pickles."""
 
-    def __init__(self, directory: str | None):
+    def __init__(self, directory: str | None) -> None:
         fd, self.path = tempfile.mkstemp(prefix="repro-sortrun-", dir=directory)
         self._file = os.fdopen(fd, "wb")
 
@@ -77,7 +77,11 @@ def external_sort(
     breaks key ties by run sequence number.
     """
     if memory_limit < 2:
-        raise ValueError("memory_limit must be at least 2 rows")
+        # Argument validation: a bad limit is a caller bug, so ValueError
+        # is the narrowest correct type, not a DatabaseError.
+        raise ValueError(  # reprolint: disable=exception-taxonomy
+            "memory_limit must be at least 2 rows"
+        )
     if stats is None:
         stats = SortStats()
 

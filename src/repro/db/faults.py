@@ -23,9 +23,13 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.db.errors import TransientIOError
+
+if TYPE_CHECKING:
+    from repro.db.pager import StorageBackend
 
 
 @dataclass(frozen=True)
@@ -45,7 +49,7 @@ class FaultConfig:
     latency_seconds: float = 0.0
     max_faults: int | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for name in (
             "read_error_rate",
             "write_error_rate",
@@ -100,12 +104,12 @@ class FaultInjector:
 
     def __init__(
         self,
-        inner,
+        inner: "StorageBackend",
         config: FaultConfig | None = None,
         seed: int = 0,
         armed: bool = False,
-        sleep=time.sleep,
-    ):
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.inner = inner
         self.config = config if config is not None else FaultConfig()
         self.stats = FaultStats()

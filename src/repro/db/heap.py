@@ -27,7 +27,7 @@ class RecordId:
 class HeapFile:
     """A growable bag of byte records."""
 
-    def __init__(self, pool: BufferPool):
+    def __init__(self, pool: BufferPool) -> None:
         self.pool = pool
         self._page_numbers: list[int] = []
         self._record_count = 0

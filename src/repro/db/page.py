@@ -38,7 +38,7 @@ class Page:
 
     __slots__ = ("data", "dirty")
 
-    def __init__(self, data: bytes | bytearray | None = None):
+    def __init__(self, data: bytes | bytearray | None = None) -> None:
         if data is None:
             self.data = bytearray(PAGE_SIZE)
             self._write_header(0, PAGE_SIZE)

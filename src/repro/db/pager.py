@@ -25,11 +25,13 @@ Resilience (the online-service requirement the paper's §1 setting implies):
 from __future__ import annotations
 
 import os
-import threading
 import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.analysis.debuglock import assert_owned, make_rlock
 
 from repro.db.errors import (
     BufferPoolError,
@@ -45,10 +47,39 @@ def page_checksum(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
 
 
+class StorageBackend(Protocol):
+    """Structural protocol for page storage under a :class:`BufferPool`.
+
+    Implemented by :class:`InMemoryStorage`, :class:`FileStorage`, and the
+    chaos suite's :class:`~repro.db.faults.FaultInjector` wrapper.
+    """
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages allocated so far."""
+        ...
+
+    def allocate(self) -> int:
+        """Add a zeroed page and return its page number."""
+        ...
+
+    def read(self, page_no: int) -> bytes:
+        """Return the raw bytes of page ``page_no``."""
+        ...
+
+    def write(self, page_no: int, data: bytes) -> None:
+        """Overwrite page ``page_no`` with ``data``."""
+        ...
+
+    def close(self) -> None:
+        """Release any resources the backend holds."""
+        ...
+
+
 class InMemoryStorage:
     """Page storage backed by a list of byte buffers."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._pages: list[bytes] = []
 
     @property
@@ -86,7 +117,7 @@ class InMemoryStorage:
 class FileStorage:
     """Page storage backed by a single file on disk."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = path
         flags = os.O_RDWR | os.O_CREAT
         self._fd = os.open(path, flags, 0o644)
@@ -152,7 +183,7 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay: float = 0.05
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.base_delay < 0 or self.max_delay < 0:
@@ -211,12 +242,12 @@ class BufferPool:
 
     def __init__(
         self,
-        storage=None,
+        storage: StorageBackend | None = None,
         capacity: int = 1024,
         retry_policy: RetryPolicy | None = None,
         verify_checksums: bool = True,
-        sleep=time.sleep,
-    ):
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         if capacity < 1:
             raise BufferPoolError("buffer pool needs capacity >= 1")
         self.storage = storage if storage is not None else InMemoryStorage()
@@ -230,7 +261,7 @@ class BufferPool:
         # Even read-only page access reorders (and can evict from) the LRU
         # map, so concurrent readers — the parallel batch matcher — must
         # serialize around it.  Reentrant: _install runs under get_page.
-        self._lock = threading.RLock()
+        self._lock = make_rlock("BufferPool._lock")
 
     @property
     def num_pages(self) -> int:
@@ -310,8 +341,10 @@ class BufferPool:
     # Physical I/O with retry + verification
     # ------------------------------------------------------------------
 
-    def _read_verified(self, page_no: int) -> bytes:
+    # Caller holds self._lock (reentrant); verified dynamically below.
+    def _read_verified(self, page_no: int) -> bytes:  # reprolint: disable=lock-discipline
         """One logical read: retries transient faults, verifies the CRC."""
+        assert_owned(self._lock)
         policy = self.retry_policy
         expected = self._checksums.get(page_no) if self.verify_checksums else None
         last_error: Exception | None = None
@@ -343,8 +376,10 @@ class BufferPool:
             page_no=page_no,
         ) from last_error
 
-    def _write_page(self, page_no: int, data: bytes) -> None:
+    # Caller holds self._lock (reentrant); verified dynamically below.
+    def _write_page(self, page_no: int, data: bytes) -> None:  # reprolint: disable=lock-discipline
         """One logical write: ledger the CRC first, retry transient faults."""
+        assert_owned(self._lock)
         policy = self.retry_policy
         self._checksums[page_no] = page_checksum(data)
         last_error: Exception | None = None
@@ -365,7 +400,9 @@ class BufferPool:
             page_no=page_no,
         ) from last_error
 
-    def _install(self, page_no: int, page: Page) -> None:
+    # Caller holds self._lock (reentrant); verified dynamically below.
+    def _install(self, page_no: int, page: Page) -> None:  # reprolint: disable=lock-discipline
+        assert_owned(self._lock)
         while len(self._cache) >= self.capacity:
             evict_no, evicted = self._cache.popitem(last=False)
             self.stats.evictions += 1

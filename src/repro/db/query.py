@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.db.errors import SortOrderError
 from repro.db.exsort import SortStats, external_sort
 from repro.db.relation import Relation
 from repro.db.types import Row
@@ -35,7 +36,7 @@ class Operator:
 class SeqScan(Operator):
     """Full scan of a relation in heap order."""
 
-    def __init__(self, relation: Relation):
+    def __init__(self, relation: Relation) -> None:
         self.relation = relation
 
     @property
@@ -53,7 +54,9 @@ class IndexScan(Operator):
     queries like "all coordinates of one q-gram".
     """
 
-    def __init__(self, relation: Relation, index_name: str, lo=None, hi=None):
+    def __init__(
+        self, relation: Relation, index_name: str, lo: Any = None, hi: Any = None
+    ) -> None:
         self.relation = relation
         self.index_name = index_name
         self.lo = lo
@@ -71,7 +74,7 @@ class IndexScan(Operator):
 class Filter(Operator):
     """Rows of ``child`` satisfying ``predicate``."""
 
-    def __init__(self, child: Operator, predicate: Callable[[Row], bool]):
+    def __init__(self, child: Operator, predicate: Callable[[Row], bool]) -> None:
         self.child = child
         self.predicate = predicate
 
@@ -86,7 +89,7 @@ class Filter(Operator):
 class Project(Operator):
     """Column projection (by name)."""
 
-    def __init__(self, child: Operator, output_columns: Sequence[str]):
+    def __init__(self, child: Operator, output_columns: Sequence[str]) -> None:
         self.child = child
         self._output = tuple(output_columns)
         child_cols = child.columns
@@ -111,7 +114,7 @@ class Sort(Operator):
         key_columns: Sequence[str],
         memory_limit: int = 100_000,
         stats: SortStats | None = None,
-    ):
+    ) -> None:
         self.child = child
         self.key_columns = tuple(key_columns)
         self.memory_limit = memory_limit
@@ -147,7 +150,7 @@ class GroupAggregate(Operator):
         child: Operator,
         group_columns: Sequence[str],
         aggregates: Sequence[tuple[str, Callable[[list[Row]], Any]]],
-    ):
+    ) -> None:
         self.child = child
         self.group_columns = tuple(group_columns)
         self.aggregates = tuple(aggregates)
@@ -167,12 +170,12 @@ class GroupAggregate(Operator):
             key = tuple(row[p] for p in positions)
             if group and key != current_key:
                 if last_emitted is not None and current_key < last_emitted:
-                    raise ValueError("GroupAggregate input is not sorted")
+                    raise SortOrderError("GroupAggregate input is not sorted")
                 yield self._emit(current_key, group)
                 last_emitted = current_key
                 group = []
             if last_emitted is not None and key < last_emitted:
-                raise ValueError("GroupAggregate input is not sorted")
+                raise SortOrderError("GroupAggregate input is not sorted")
             current_key = key
             group.append(row)
         if group:
@@ -185,7 +188,7 @@ class GroupAggregate(Operator):
 class Limit(Operator):
     """First ``n`` rows of ``child``."""
 
-    def __init__(self, child: Operator, n: int):
+    def __init__(self, child: Operator, n: int) -> None:
         if n < 0:
             raise ValueError("limit must be non-negative")
         self.child = child
@@ -207,7 +210,7 @@ class Limit(Operator):
 class MemorySource(Operator):
     """Adapter exposing an in-memory row list as an operator (for tests)."""
 
-    def __init__(self, column_names: Sequence[str], rows: Iterable[Row]):
+    def __init__(self, column_names: Sequence[str], rows: Iterable[Row]) -> None:
         self._columns = tuple(column_names)
         self._rows = list(rows)
 

@@ -20,7 +20,7 @@ from repro.db.types import Row, Schema
 class _IndexSpec:
     __slots__ = ("name", "positions", "tree", "unique")
 
-    def __init__(self, name: str, positions: tuple[int, ...], unique: bool):
+    def __init__(self, name: str, positions: tuple[int, ...], unique: bool) -> None:
         self.name = name
         self.positions = positions
         self.unique = unique
@@ -35,7 +35,7 @@ class _IndexSpec:
 class Relation:
     """A named, schema-checked collection of rows with optional indexes."""
 
-    def __init__(self, name: str, schema: Schema, pool: BufferPool):
+    def __init__(self, name: str, schema: Schema, pool: BufferPool) -> None:
         self.name = name
         self.schema = schema
         self.heap = HeapFile(pool)

@@ -58,7 +58,7 @@ class Schema:
     columns: tuple[Column, ...]
     _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False)
 
-    def __init__(self, columns: Iterable[Column]):
+    def __init__(self, columns: Iterable[Column]) -> None:
         object.__setattr__(self, "columns", tuple(columns))
         names = [c.name for c in self.columns]
         if len(set(names)) != len(names):
@@ -135,7 +135,7 @@ class Schema:
 def _encode_varint(value: int) -> bytes:
     """Unsigned LEB128 varint."""
     if value < 0:
-        raise ValueError("varint encodes non-negative integers only")
+        raise SchemaError("varint encodes non-negative integers only")
     out = bytearray()
     while True:
         byte = value & 0x7F

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.config import MatchConfig
 from repro.core.fms import fms
@@ -88,7 +89,7 @@ class FuzzyDeduplicator:
         threshold: float = 0.85,
         neighbors: int = 5,
         config: MatchConfig | None = None,
-    ):
+    ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError("threshold must be in (0, 1]")
         if neighbors < 1:
@@ -149,9 +150,9 @@ class FuzzyDeduplicator:
     def _is_duplicate_pair(
         self,
         tid_u: int,
-        values_u,
+        values_u: Sequence[str | None],
         tid_v: int,
-        values_v,
+        values_v: Sequence[str | None],
         similarity_uv: float,
         weights: WeightFunction,
         tokenized: dict[int, TupleTokens],

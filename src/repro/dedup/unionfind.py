@@ -13,7 +13,7 @@ class UnionFind:
     amortized-constant operations.
     """
 
-    def __init__(self, items: Iterable[Hashable] = ()):
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
         self._parent: dict = {}
         self._size: dict = {}
         for item in items:
@@ -31,7 +31,7 @@ class UnionFind:
             self._parent[item] = item
             self._size[item] = 1
 
-    def find(self, item: Hashable):
+    def find(self, item: Hashable) -> Hashable:
         """Return the canonical representative of ``item``'s set."""
         self.add(item)
         root = item
@@ -42,7 +42,7 @@ class UnionFind:
             self._parent[item], item = root, self._parent[item]
         return root
 
-    def union(self, a: Hashable, b: Hashable):
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
         """Merge the sets of ``a`` and ``b``; returns the merged root."""
         root_a = self.find(a)
         root_b = self.find(b)

@@ -59,7 +59,7 @@ class EtiBuilder:
         config: MatchConfig,
         hasher: MinHasher | None = None,
         sort_memory_limit: int = 200_000,
-    ):
+    ) -> None:
         self.db = db
         self.config = config
         self.hasher = hasher if hasher is not None else MinHasher(

@@ -32,7 +32,7 @@ class EtiEntry:
 class EtiIndex:
     """Exact-match lookups against the ETI's clustered index."""
 
-    def __init__(self, relation: Relation):
+    def __init__(self, relation: Relation) -> None:
         self.relation = relation
         self.lookups = 0
 

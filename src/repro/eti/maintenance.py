@@ -26,7 +26,7 @@ that decision easy.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.core.config import MatchConfig
 from repro.core.minhash import MinHasher
@@ -36,6 +36,9 @@ from repro.db.errors import RecordNotFoundError
 from repro.eti.index import EtiIndex
 from repro.eti.schema import ETI_INDEX
 from repro.eti.signature import signature_entries
+
+if TYPE_CHECKING:
+    from repro.core.weights import TokenFrequencyCache
 
 
 class EtiMaintainer:
@@ -47,8 +50,8 @@ class EtiMaintainer:
         eti: EtiIndex,
         config: MatchConfig,
         hasher: MinHasher | None = None,
-        weights=None,
-    ):
+        weights: "TokenFrequencyCache | None" = None,
+    ) -> None:
         self.reference = reference
         self.eti = eti
         self.config = config
@@ -99,7 +102,9 @@ class EtiMaintainer:
     # Internals
     # ------------------------------------------------------------------
 
-    def _entries(self, values: Sequence[str | None]):
+    def _entries(
+        self, values: Sequence[str | None]
+    ) -> Iterator[tuple[str, int, int]]:
         tokens = TupleTokens.from_values(values)
         for column in range(tokens.num_columns):
             for token in tokens.column_tokens(column):

@@ -20,9 +20,13 @@ query processing, which is what makes lookups find what the builder wrote.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.config import MatchConfig, SignatureScheme
 from repro.core.minhash import MinHasher
+
+if TYPE_CHECKING:
+    from repro.core.cache import LRUCache
 
 TOKEN_COORDINATE = 0
 
@@ -68,7 +72,7 @@ def signature_entries(
 
 
 def signature_entries_cached(
-    token: str, hasher: MinHasher, config: MatchConfig, cache
+    token: str, hasher: MinHasher, config: MatchConfig, cache: "LRUCache | None"
 ) -> tuple[SignatureEntry, ...]:
     """:func:`signature_entries` memoized through a shared per-token cache.
 

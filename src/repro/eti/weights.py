@@ -29,7 +29,7 @@ class EtiWeightProvider:
     rejects at construction time.
     """
 
-    def __init__(self, eti: EtiIndex, num_tuples: int, num_columns: int):
+    def __init__(self, eti: EtiIndex, num_tuples: int, num_columns: int) -> None:
         if num_tuples < 1:
             raise ValueError("reference relation must be non-empty")
         self.eti = eti

@@ -56,7 +56,7 @@ def run_ed_vs_fms(workbench: Workbench, num_inputs: int = 100) -> FigureResult:
     config = workbench.base_config
     weights = workbench.weights
 
-    def fms_similarity(u, v):
+    def fms_similarity(u: Sequence[str | None], v: Sequence[str | None]) -> float:
         return fms(u, v, weights, config)
 
     result = FigureResult(

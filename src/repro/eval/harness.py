@@ -76,7 +76,7 @@ class Workbench:
         base_config: MatchConfig | None = None,
         dataset_names: tuple[str, ...] = ("D1", "D2", "D3"),
         business_fraction: float = 0.4,
-    ):
+    ) -> None:
         self.seed = seed
         self.num_inputs = num_inputs
         self.base_config = base_config if base_config is not None else MatchConfig()

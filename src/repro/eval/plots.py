@@ -7,7 +7,10 @@ figures it reproduces (and EXPERIMENTS.md can embed them).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.eval.figures import FigureResult
 
 DEFAULT_WIDTH = 50
 
@@ -86,7 +89,9 @@ def grouped_bar_chart(
     return "\n".join(lines)
 
 
-def figure_chart(figure_result, value_column: int = 1, width: int = DEFAULT_WIDTH) -> str:
+def figure_chart(
+    figure_result: "FigureResult", value_column: int = 1, width: int = DEFAULT_WIDTH
+) -> str:
     """Bar-chart one column of a :class:`~repro.eval.figures.FigureResult`."""
     labels = [str(row[0]) for row in figure_result.rows]
     values = [float(row[value_column]) for row in figure_result.rows]

@@ -1,0 +1,7 @@
+"""Fixture: signatures missing annotations under the strict-typing gate."""
+# reprolint: path=repro/fixture_mod.py
+
+
+def scale(value, factor=2):
+    """BAD: no parameter or return annotations."""
+    return value * factor

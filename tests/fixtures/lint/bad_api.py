@@ -1,0 +1,7 @@
+"""Fixture: ``__all__`` inconsistencies and a missing docstring."""
+
+__all__ = ["missing_name", "_private"]
+
+
+def helper() -> int:
+    return 3

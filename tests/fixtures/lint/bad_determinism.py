@@ -1,0 +1,15 @@
+"""Fixture: nondeterminism on the match path (fms-scoped module)."""
+# reprolint: path=repro/core/fms_fixture.py
+
+import random
+import time
+
+
+def jitter() -> float:
+    """BAD: unseeded RNG, wall clock, and raw set iteration."""
+    noise = random.random()
+    started = time.time()
+    total = 0.0
+    for gram in {"ab", "bc"}:
+        total += noise + started + len(gram)
+    return total

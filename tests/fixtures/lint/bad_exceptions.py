@@ -1,0 +1,17 @@
+"""Fixture: db-layer code raising builtins and swallowing exceptions."""
+# reprolint: path=repro/db/fixture_mod.py
+
+
+def lookup(table: dict[str, int], key: str) -> int:
+    """BAD: raises a bare builtin from inside the db layer."""
+    if key not in table:
+        raise KeyError(key)
+    return table[key]
+
+
+def swallow(action: object) -> None:
+    """BAD: a bare except hides typed DatabaseErrors."""
+    try:
+        action()  # type: ignore[operator]
+    except:  # noqa: E722
+        pass

@@ -1,0 +1,20 @@
+"""Fixture: a lock-guarded attribute read outside its lock."""
+
+import threading
+
+
+class Counter:
+    """Owns ``_total``, which is only ever mutated under ``_lock``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def bump(self):
+        """Guarded mutation: establishes ``_total`` as lock-guarded."""
+        with self._lock:
+            self._total += 1
+
+    def peek(self):
+        """BAD: reads the guarded attribute without taking the lock."""
+        return self._total

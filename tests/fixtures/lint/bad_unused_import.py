@@ -1,0 +1,9 @@
+"""Fixture: imports that nothing in the module ever uses."""
+
+import json
+from os import path
+
+
+def value() -> int:
+    """Return a constant (touching neither import)."""
+    return 3

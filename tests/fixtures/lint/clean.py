@@ -1,0 +1,13 @@
+"""Fixture: a module every reprolint rule passes, even db-scoped."""
+# reprolint: path=repro/db/clean_fixture.py
+
+from repro.db.errors import RecordNotFoundError
+
+__all__ = ["find"]
+
+
+def find(table: dict[str, int], key: str) -> int:
+    """Typed lookup raising the taxonomy's not-found error."""
+    if key not in table:
+        raise RecordNotFoundError(f"{key!r} is not stored")
+    return table[key]

@@ -1,0 +1,149 @@
+"""DebugLock: the dynamic half of the lock-discipline contract."""
+
+import threading
+
+import pytest
+
+from repro.analysis.debuglock import (
+    DebugLock,
+    ENV_FLAG,
+    LockOrderInversionError,
+    UnguardedAccessError,
+    assert_owned,
+    debug_locks_enabled,
+    held_locks,
+    lock_order_edges,
+    make_lock,
+    make_rlock,
+    reset_lock_order,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_order_graph():
+    reset_lock_order()
+    yield
+    reset_lock_order()
+
+
+def test_env_flag_gates_the_factories(monkeypatch):
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+    assert not debug_locks_enabled()
+    assert not isinstance(make_lock("A"), DebugLock)
+    assert not isinstance(make_rlock("A"), DebugLock)
+    monkeypatch.setenv(ENV_FLAG, "0")
+    assert not debug_locks_enabled()
+    monkeypatch.setenv(ENV_FLAG, "1")
+    assert debug_locks_enabled()
+    lock = make_lock("A")
+    rlock = make_rlock("A")
+    assert isinstance(lock, DebugLock) and not lock.reentrant
+    assert isinstance(rlock, DebugLock) and rlock.reentrant
+
+
+def test_context_manager_tracks_ownership():
+    lock = DebugLock("A")
+    assert not lock.owned and not lock.locked()
+    with lock:
+        assert lock.owned and lock.locked()
+        assert list(held_locks()) == ["A"]
+    assert not lock.owned and not lock.locked()
+    assert list(held_locks()) == []
+
+
+def test_lock_order_inversion_raises_before_deadlock():
+    a, b = DebugLock("A"), DebugLock("B")
+    with a:
+        with b:
+            pass
+    assert lock_order_edges() == {"A": ("B",)}
+    with b:
+        with pytest.raises(LockOrderInversionError):
+            a.acquire()
+    assert not a.locked()
+
+
+def test_reset_lock_order_forgets_edges():
+    a, b = DebugLock("A"), DebugLock("B")
+    with a:
+        with b:
+            pass
+    reset_lock_order()
+    assert lock_order_edges() == {}
+    with b:
+        with a:  # no longer an inversion
+            pass
+
+
+def test_order_graph_aggregates_by_name_across_instances():
+    """Names are type-level: two BufferPool instances share one node."""
+    with DebugLock("Pool._lock"):
+        with DebugLock("Cache._lock"):
+            pass
+    with DebugLock("Cache._lock"):
+        with pytest.raises(LockOrderInversionError):
+            DebugLock("Pool._lock").acquire()
+
+
+def test_non_reentrant_reacquire_raises_instead_of_deadlocking():
+    lock = DebugLock("A", reentrant=False)
+    with lock:
+        with pytest.raises(UnguardedAccessError):
+            lock.acquire()
+    assert not lock.locked()
+
+
+def test_reentrant_lock_nests():
+    lock = DebugLock("A", reentrant=True)
+    with lock:
+        with lock:
+            assert lock.owned
+        assert lock.owned
+    assert not lock.locked()
+
+
+def test_assert_owned_contract():
+    lock = DebugLock("A")
+    with pytest.raises(UnguardedAccessError):
+        lock.assert_owned()
+    with lock:
+        lock.assert_owned()
+        assert_owned(lock)
+    # The module-level helper is a no-op for plain locks.
+    assert_owned(threading.Lock())
+
+
+def test_release_by_non_owner_raises():
+    lock = DebugLock("A")
+    lock.acquire()
+    errors = []
+
+    def bad_release():
+        try:
+            lock.release()
+        except UnguardedAccessError as exc:
+            errors.append(exc)
+
+    thread = threading.Thread(target=bad_release)
+    thread.start()
+    thread.join()
+    lock.release()
+    assert len(errors) == 1
+
+
+def test_debug_locks_serialize_across_threads():
+    lock = DebugLock("A")
+    total = 0
+
+    def work():
+        nonlocal total
+        for _ in range(200):
+            with lock:
+                total += 1
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert total == 800

@@ -1,0 +1,168 @@
+"""reprolint: every rule fires on its bad fixture and the tree is clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import REGISTRY, run
+from repro.analysis.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+SRC_REPRO = Path(__file__).parent.parent / "src" / "repro"
+
+# (fixture file, rule name, fragments that must appear in the messages)
+BAD_FIXTURES = [
+    (
+        "bad_lock.py",
+        "lock-discipline",
+        ["Counter._total is lock-guarded", "without the lock in peek()"],
+    ),
+    (
+        "bad_exceptions.py",
+        "exception-taxonomy",
+        ["the db layer raises `KeyError`", "bare `except:`"],
+    ),
+    (
+        "bad_determinism.py",
+        "determinism",
+        ["`random.random(...)`", "`time.time()`", "iterates a set directly"],
+    ),
+    (
+        "bad_api.py",
+        "api-consistency",
+        [
+            "__all__ lists 'missing_name'",
+            "private name '_private'",
+            "public function 'helper' has no docstring",
+        ],
+    ),
+    (
+        "bad_unused_import.py",
+        "unused-import",
+        ["import 'json' is never used", "import 'path' is never used"],
+    ),
+    (
+        "bad_annotations.py",
+        "annotations",
+        [
+            "missing parameter annotations for: value, factor",
+            "missing a return annotation",
+        ],
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "fixture, rule, fragments",
+    BAD_FIXTURES,
+    ids=[rule for _, rule, _ in BAD_FIXTURES],
+)
+def test_rule_fires_on_bad_fixture(fixture, rule, fragments):
+    findings = run([FIXTURES / fixture], select=[rule])
+    assert findings, f"{rule} found nothing in {fixture}"
+    assert all(f.rule == rule for f in findings)
+    messages = "\n".join(f.message for f in findings)
+    for fragment in fragments:
+        assert fragment in messages
+
+
+@pytest.mark.parametrize(
+    "fixture, rule, fragments",
+    BAD_FIXTURES,
+    ids=[rule for _, rule, _ in BAD_FIXTURES],
+)
+def test_cli_exits_nonzero_on_bad_fixture(fixture, rule, fragments, capsys):
+    code = main([str(FIXTURES / fixture)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert f": {rule}: " in out
+
+
+def test_clean_fixture_has_zero_findings():
+    assert run([FIXTURES / "clean.py"]) == []
+
+
+def test_cli_exits_zero_on_clean_fixture(capsys):
+    assert main([str(FIXTURES / "clean.py")]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_source_tree_is_finding_free():
+    """The acceptance gate: reprolint is clean over the whole package."""
+    assert run([SRC_REPRO]) == []
+
+
+def test_finding_render_shape():
+    finding = run([FIXTURES / "bad_lock.py"], select=["lock-discipline"])[0]
+    rendered = finding.render()
+    assert rendered.startswith(f"{finding.path}:{finding.line}:{finding.col}: ")
+    assert ": lock-discipline: " in rendered
+
+
+def test_cli_parse_error_exits_2(capsys):
+    code = main([str(FIXTURES / "unparseable.py.broken")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert ": parse-error: " in captured.out
+
+
+def test_cli_unknown_rule_exits_2(capsys):
+    code = main(["--select", "no-such-rule", str(FIXTURES / "clean.py")])
+    assert code == 2
+    assert "no-such-rule" in capsys.readouterr().err
+
+
+def test_cli_missing_path_exits_2(capsys):
+    code = main([str(FIXTURES / "does_not_exist.py")])
+    assert code == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_list_rules_names_every_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in REGISTRY:
+        assert name in out
+
+
+def test_run_rejects_unknown_rule_names():
+    with pytest.raises(KeyError):
+        run([FIXTURES / "clean.py"], select=["bogus"])
+
+
+def test_disable_pragma_suppresses_finding(tmp_path):
+    source = (FIXTURES / "bad_unused_import.py").read_text()
+    suppressed = source.replace(
+        "import json", "import json  # reprolint: disable=unused-import"
+    ).replace(
+        "from os import path",
+        "from os import path  # reprolint: disable=unused-import",
+    )
+    target = tmp_path / "suppressed.py"
+    target.write_text(suppressed)
+    assert run([target], select=["unused-import"]) == []
+
+
+def test_path_pragma_opts_into_scoped_rules(tmp_path):
+    """Without the pragma the annotations rule skips non-package files."""
+    unscoped = tmp_path / "unscoped.py"
+    unscoped.write_text('"""Doc."""\n\n\ndef f(x):\n    """Doc."""\n    return x\n')
+    assert run([unscoped], select=["annotations"]) == []
+    scoped = tmp_path / "scoped.py"
+    scoped.write_text(
+        '"""Doc."""\n# reprolint: path=repro/scoped.py\n\n\n'
+        'def f(x):\n    """Doc."""\n    return x\n'
+    )
+    findings = run([scoped], select=["annotations"])
+    assert findings and findings[0].rule == "annotations"
+
+
+def test_registry_has_the_documented_rules():
+    assert set(REGISTRY) == {
+        "lock-discipline",
+        "exception-taxonomy",
+        "determinism",
+        "api-consistency",
+        "unused-import",
+        "annotations",
+    }
