@@ -1,13 +1,16 @@
 """Command-line interface.
 
-Six subcommands covering the full workflow:
+Eight subcommands covering the full workflow:
 
 - ``repro generate``  — write a synthetic Customer reference relation CSV;
 - ``repro corrupt``   — sample reference tuples and inject Table 4 errors;
-- ``repro match``     — build the ETI and fuzzy-match an input CSV;
+- ``repro match``     — build the ETI and fuzzy-match an input CSV
+  (``--db`` persists the warehouse and reuses it on later runs);
 - ``repro explain``   — trace one query's lookups and OSC decisions;
 - ``repro dedup``     — flag fuzzy duplicates inside a reference CSV;
-- ``repro evaluate``  — run the paper's experiment suite and print tables.
+- ``repro evaluate``  — run the paper's experiment suite and print tables;
+- ``repro fsck``      — check a persisted warehouse for corruption;
+- ``repro recover``   — replay a warehouse's write-ahead log and checkpoint.
 
 CSV conventions: the reference file's first column is the integer ``tid``;
 a dirty-input file may carry a ``target_tid`` first column (written by
@@ -19,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import os
 import sys
 import time
 from typing import Sequence
@@ -32,7 +36,10 @@ from repro.core.weights import build_frequency_cache
 from repro.data.datasets import DATASET_PRESETS, DatasetSpec, make_dataset
 from repro.data.generator import CUSTOMER_COLUMNS, generate_customers
 from repro.db.database import Database
+from repro.db.fsck import check_database
+from repro.db.snapshot import load_database, save_database
 from repro.eti.builder import BuildStats, build_eti
+from repro.eti.index import EtiIndex
 from repro.eval.harness import Workbench
 from repro.eval import figures as figure_drivers
 from repro.eval.metrics import accuracy
@@ -71,6 +78,37 @@ def _build_matcher(
     reference.load(rows)
     weights = build_frequency_cache(reference.scan_values(), reference.num_columns)
     eti, build_stats = build_eti(db, reference, config)
+    return FuzzyMatcher(reference, weights, config, eti), build_stats
+
+
+def _matcher_from_db(
+    db_path: str, reference_path: str, config: MatchConfig, wal: bool
+) -> tuple[FuzzyMatcher, BuildStats | None]:
+    """A matcher over a persisted warehouse (§6.2.2.1 ETI reuse).
+
+    If a snapshot exists at ``db_path``, the persisted reference + ETI
+    serve this batch directly (``BuildStats`` is ``None``); the ETI must
+    have been built with the same ``q``/``signature_size``/``scheme``.
+    Otherwise the warehouse is built from the reference CSV and
+    snapshotted for subsequent runs.
+    """
+    if os.path.exists(db_path + ".meta.json"):
+        db = load_database(db_path, wal=wal)
+        relation = db.relation("reference")
+        columns = [c.name for c in relation.schema.columns][1:]
+        reference = ReferenceTable.attach(db, "reference", columns)
+        weights = build_frequency_cache(
+            reference.scan_values(), reference.num_columns
+        )
+        eti = EtiIndex(db.relation("eti"))
+        return FuzzyMatcher(reference, weights, config, eti), None
+    columns, rows = _read_reference_csv(reference_path)
+    db = Database.on_disk(db_path, wal=wal)
+    reference = ReferenceTable(db, "reference", columns)
+    reference.load(rows)
+    weights = build_frequency_cache(reference.scan_values(), reference.num_columns)
+    eti, build_stats = build_eti(db, reference, config)
+    save_database(db, db_path)
     return FuzzyMatcher(reference, weights, config, eti), build_stats
 
 
@@ -134,12 +172,23 @@ def cmd_match(args: argparse.Namespace) -> int:
         use_osc=(args.strategy != "basic"),
     )
     started = time.perf_counter()
-    matcher, build_stats = _build_matcher(args.reference, config)
+    if args.db:
+        matcher, build_stats = _matcher_from_db(
+            args.db, args.reference, config, wal=args.wal
+        )
+    else:
+        matcher, build_stats = _build_matcher(args.reference, config)
     build_seconds = time.perf_counter() - started
-    print(
-        f"built ETI: {build_stats.eti_rows} rows in {build_seconds:.2f}s",
-        file=sys.stderr,
-    )
+    if build_stats is None:
+        print(
+            f"reused persisted ETI from {args.db} in {build_seconds:.2f}s",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"built ETI: {build_stats.eti_rows} rows in {build_seconds:.2f}s",
+            file=sys.stderr,
+        )
 
     with open(args.input, newline="") as handle:
         reader = csv.reader(handle)
@@ -270,6 +319,44 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """``repro fsck``: check a persisted warehouse for corruption.
+
+    Exit code 0 = clean, 1 = recoverable findings only (e.g. a torn log
+    tail recovery would discard), 2 = corruption.
+    """
+    report = check_database(args.db, eti_name=args.eti_name)
+    for line in report.lines():
+        print(line)
+    return report.exit_code
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """``repro recover``: replay a warehouse's log and checkpoint it."""
+    db = load_database(args.db)
+    wal = db.wal
+    assert wal is not None  # load_database(wal=True) always attaches one
+    recovery = wal.recovery
+    catalog_source = (
+        "recovered from log" if recovery.catalog_recovered else "from snapshot"
+    )
+    print(f"generation:      {wal.generation}")
+    print(f"committed txns:  {recovery.committed_txns}")
+    print(f"replayed pages:  {recovery.replayed_pages}")
+    print(f"torn bytes:      {recovery.torn_bytes}")
+    print(f"catalog:         {catalog_source}")
+    if args.dry_run:
+        # Report only: no checkpoint, no flush (a torn tail is still
+        # trimmed — that happens on every open).
+        db.pool.storage.close()
+        print("dry run: snapshot and log left as found")
+        return 0
+    save_database(db, args.db)
+    db.close()
+    print("checkpointed: log applied to the page file and emptied")
+    return 0
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """``repro evaluate``: run the paper's experiment suite."""
     workbench = Workbench(
@@ -370,6 +457,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort the whole batch on the first storage error instead of "
         "isolating it into that row's result",
     )
+    mat.add_argument(
+        "--db",
+        default=None,
+        help="page-file path of a persisted warehouse: built and "
+        "snapshotted on first use, the persisted ETI answers later runs "
+        "(build parameters must match)",
+    )
+    mat.add_argument(
+        "--wal",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="write-ahead logging for --db (--no-wal trades crash "
+        "safety for write-in-place speed)",
+    )
     mat.add_argument("--out", type=argparse.FileType("w"), default=sys.stdout)
     mat.set_defaults(func=cmd_match)
 
@@ -404,6 +505,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma list from: edfms,fig5,fig6,fig7,fig8,fig9,fig10 (default all)",
     )
     ev.set_defaults(func=cmd_evaluate)
+
+    fsk = sub.add_parser("fsck", help="check a persisted warehouse for corruption")
+    fsk.add_argument("db", help="page-file path (metadata and WAL live beside it)")
+    fsk.add_argument(
+        "--eti-name",
+        default="eti",
+        help="relation name of the ETI for referential checks",
+    )
+    fsk.set_defaults(func=cmd_fsck)
+
+    rec = sub.add_parser(
+        "recover", help="replay a warehouse's write-ahead log and checkpoint it"
+    )
+    rec.add_argument("db", help="page-file path (metadata and WAL live beside it)")
+    rec.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what recovery finds without checkpointing",
+    )
+    rec.set_defaults(func=cmd_recover)
     return parser
 
 

@@ -98,6 +98,10 @@ class MatchStats:
     ``"circuit_open"``, or ``"fallback:<ErrorType>"``."""
     fallback_from: str | None = None
     """The strategy originally requested, when a fallback answered."""
+    wal_tail_pages: int = 0
+    """Committed pages still waiting in the write-ahead log tail at the
+    end of this query (0 when the reference database has no WAL).  A
+    growing gauge across a batch signals an overdue checkpoint."""
 
 
 @dataclass
@@ -330,6 +334,9 @@ class FuzzyMatcher:
                     else f"fallback:{type(last_error).__name__}"
                 )
         self._record_cache_deltas(result.stats, counters_before)
+        wal = self._pool().wal
+        if wal is not None:
+            result.stats.wal_tail_pages = wal.tail_pages
         result.stats.elapsed_seconds = time.perf_counter() - started
         return result
 

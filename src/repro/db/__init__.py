@@ -25,6 +25,7 @@ from repro.db.btree import BPlusTree
 from repro.db.database import Database
 from repro.db.errors import (
     BufferPoolError,
+    CrashError,
     DatabaseError,
     DuplicateKeyError,
     PageCorruptionError,
@@ -34,9 +35,17 @@ from repro.db.errors import (
     RetryExhaustedError,
     SchemaError,
     TransientIOError,
+    WalError,
 )
 from repro.db.exsort import external_sort
-from repro.db.faults import FaultConfig, FaultInjector, FaultStats
+from repro.db.faults import (
+    CrashableStorage,
+    CrashableWalFile,
+    CrashPoint,
+    FaultConfig,
+    FaultInjector,
+    FaultStats,
+)
 from repro.db.heap import HeapFile, RecordId
 from repro.db.page import Page, PAGE_SIZE
 from repro.db.pager import (
@@ -48,6 +57,7 @@ from repro.db.pager import (
 )
 from repro.db.relation import Relation
 from repro.db.types import Column, ColumnType, Schema
+from repro.db.wal import RecoveryInfo, WalFile, WalStats, WalStorage
 
 __all__ = [
     "BPlusTree",
@@ -55,6 +65,10 @@ __all__ = [
     "BufferPoolError",
     "Column",
     "ColumnType",
+    "CrashableStorage",
+    "CrashableWalFile",
+    "CrashError",
+    "CrashPoint",
     "Database",
     "DatabaseError",
     "DuplicateKeyError",
@@ -72,6 +86,7 @@ __all__ = [
     "PageFullError",
     "RecordId",
     "RecordNotFoundError",
+    "RecoveryInfo",
     "Relation",
     "RelationError",
     "RetryExhaustedError",
@@ -79,4 +94,8 @@ __all__ = [
     "Schema",
     "SchemaError",
     "TransientIOError",
+    "WalError",
+    "WalFile",
+    "WalStats",
+    "WalStorage",
 ]

@@ -55,6 +55,24 @@ class RetryExhaustedError(BufferPoolError):
         self.page_no = page_no
 
 
+class WalError(DatabaseError):
+    """The write-ahead log is structurally unusable or misused.
+
+    Raised for a damaged log header, a generation that matches neither
+    the snapshot manifest nor its predecessor, or protocol misuse
+    (nested explicit transactions, checkpointing mid-transaction).  A
+    *torn tail* is never an error — recovery truncates it silently.
+    """
+
+
+class CrashError(DatabaseError):
+    """A simulated process death from the crash-point test harness.
+
+    Deliberately not a :class:`TransientIOError`: retries must not absorb
+    a crash, exactly as a real process death cannot be retried away.
+    """
+
+
 class PageCorruptionError(DatabaseError):
     """A page's bytes do not match its recorded CRC32 checksum.
 

@@ -10,13 +10,22 @@ failure modes an online matching service actually meets in production:
   recovers;
 - **torn writes**: only a prefix of the page reaches storage, leaving
   persistent corruption that a checksum must catch and no retry can fix;
-- **latency**: a configurable sleep per faulted operation, for exercising
-  query deadlines.
+- **latency**: a seeded-random sleep (up to a configurable bound) per
+  faulted operation, for exercising query deadlines.
 
 Everything is driven by one seeded :class:`random.Random`, so a chaos run
 is exactly reproducible from ``(workload, seed)``.  The injector starts
 *disarmed* — build your relations cleanly, then :meth:`arm` it for the
 phase under test.
+
+This module also hosts the **crash-point harness** used by the durability
+tests: a :class:`CrashPoint` counts durable operations (page writes,
+log appends, fsyncs) across a :class:`CrashableStorage` +
+:class:`CrashableWalFile` pair and kills the "process" — tearing the
+in-flight write at a seeded cut and raising
+:class:`~repro.db.errors.CrashError` — after a chosen count.  Sweeping
+that count over a workload visits every distinct on-disk state a real
+crash could leave behind.
 """
 
 from __future__ import annotations
@@ -26,10 +35,12 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from repro.db.errors import TransientIOError
+from repro.db.errors import CrashError, TransientIOError
+from repro.db.page import PAGE_SIZE
 
 if TYPE_CHECKING:
     from repro.db.pager import StorageBackend
+    from repro.db.wal import WalFileLike
 
 
 @dataclass(frozen=True)
@@ -146,7 +157,10 @@ class FaultInjector:
     def _maybe_sleep(self) -> None:
         if self._fire(self.config.latency_rate):
             self.stats.latency_injections += 1
-            self._sleep(self.config.latency_seconds)
+            # Jitter from the seeded RNG (latency_seconds is the upper
+            # bound), so chaos runs with latency stay reproducible from
+            # (workload, seed) like every other fault kind.
+            self._sleep(self.config.latency_seconds * self._rng.random())
 
     def allocate(self) -> int:
         """Allocate on the wrapped storage (never faulted)."""
@@ -184,6 +198,146 @@ class FaultInjector:
             return
         self.inner.write(page_no, data)
 
+    def sync(self) -> None:
+        """Sync the wrapped storage (never faulted)."""
+        self.inner.sync()
+
     def close(self) -> None:
         """Close the wrapped storage (never faulted)."""
+        self.inner.close()
+
+
+class CrashPoint:
+    """A countdown to simulated process death, shared across wrappers.
+
+    The first ``crash_after`` durable operations (page writes and
+    allocations, log appends, truncates, fsyncs) succeed; the next one
+    *tears* — only a seeded-random prefix of its bytes reaches storage —
+    and raises :class:`~repro.db.errors.CrashError`.  Every operation
+    after that raises too: a dead process issues no further I/O.
+
+    One :class:`CrashPoint` is shared by the :class:`CrashableStorage`
+    and :class:`CrashableWalFile` wrapping a database's two files, so the
+    count covers the *interleaved* durable-op sequence — exactly the
+    sequence a real crash would cut at an arbitrary point.
+    """
+
+    def __init__(self, crash_after: int, seed: int = 0) -> None:
+        if crash_after < 0:
+            raise ValueError("crash_after must be >= 0")
+        self.crash_after = crash_after
+        self.ops = 0
+        self.crashed = False
+        self._rng = random.Random(seed)
+
+    def check(self) -> None:
+        """Raise :class:`CrashError` if the process has already died."""
+        if self.crashed:
+            raise CrashError("simulated process is dead")
+
+    def count(self) -> bool:
+        """Account one durable op; True means this op is the fatal one."""
+        self.check()
+        if self.ops >= self.crash_after:
+            self.crashed = True
+            return True
+        self.ops += 1
+        return False
+
+    def cut(self, length: int) -> int:
+        """Seeded tear position for a fatal write of ``length`` bytes."""
+        return self._rng.randrange(length) if length > 0 else 0
+
+
+class CrashableStorage:
+    """A page-storage wrapper that dies at its :class:`CrashPoint`.
+
+    A fatal page write leaves a torn page — the seeded prefix of the new
+    image, zero-padded to a full page (the tail "never hit the disk").  A
+    fatal allocate or sync crashes before doing anything.  Reads on a
+    dead process raise; ``close`` never crashes (tests must clean up).
+    """
+
+    def __init__(self, inner: "StorageBackend", crash_point: CrashPoint) -> None:
+        self.inner = inner
+        self.crash_point = crash_point
+
+    @property
+    def num_pages(self) -> int:
+        return self.inner.num_pages
+
+    def allocate(self) -> int:
+        """Extend the file by one page, or die without extending it."""
+        if self.crash_point.count():
+            raise CrashError("crashed before page allocation")
+        return self.inner.allocate()
+
+    def read(self, page_no: int) -> bytes:
+        """Read a page (a dead process cannot)."""
+        self.crash_point.check()
+        return self.inner.read(page_no)
+
+    def write(self, page_no: int, data: bytes) -> None:
+        """Write a page, or die leaving a zero-padded torn prefix."""
+        if self.crash_point.count():
+            cut = self.crash_point.cut(len(data))
+            torn = data[:cut] + bytes(len(data) - cut)
+            self.inner.write(page_no, torn[:PAGE_SIZE])
+            raise CrashError(f"crashed tearing page {page_no} at byte {cut}")
+        self.inner.write(page_no, data)
+
+    def sync(self) -> None:
+        """fsync the inner storage, or die before it happens."""
+        if self.crash_point.count():
+            raise CrashError("crashed before page-file fsync")
+        self.inner.sync()
+
+    def close(self) -> None:
+        """Close the wrapped storage (never crashes: tests must clean up)."""
+        self.inner.close()
+
+
+class CrashableWalFile:
+    """A log-file wrapper that dies at its :class:`CrashPoint`.
+
+    A fatal append leaves only a seeded prefix of the record in the log
+    (recovery must detect and truncate the torn tail).  A fatal truncate
+    or sync crashes before taking effect.
+    """
+
+    def __init__(self, inner: "WalFileLike", crash_point: CrashPoint) -> None:
+        self.inner = inner
+        self.crash_point = crash_point
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    def append(self, data: bytes) -> int:
+        """Append bytes, or die leaving only a prefix of them."""
+        if self.crash_point.count():
+            cut = self.crash_point.cut(len(data))
+            self.inner.append(data[:cut])
+            raise CrashError(f"crashed tearing log append at byte {cut}")
+        return self.inner.append(data)
+
+    def pread(self, offset: int, length: int) -> bytes:
+        """Read log bytes (a dead process cannot)."""
+        self.crash_point.check()
+        return self.inner.pread(offset, length)
+
+    def sync(self) -> None:
+        """fsync the log, or die before it happens."""
+        if self.crash_point.count():
+            raise CrashError("crashed before log fsync")
+        self.inner.sync()
+
+    def truncate(self, size: int) -> None:
+        """Truncate the log, or die before it happens."""
+        if self.crash_point.count():
+            raise CrashError("crashed before log truncate")
+        self.inner.truncate(size)
+
+    def close(self) -> None:
+        """Close the wrapped log file (never crashes: tests must clean up)."""
         self.inner.close()

@@ -110,6 +110,37 @@ class Page:
         _SLOT.pack_into(self.data, slot_pos, 0, 0)
         self.dirty = True
 
+    def validate(self) -> list[str]:
+        """Structural problems with the slotted layout (empty list = sound).
+
+        Checks the invariants the mutation methods maintain: the slot
+        directory and the data area must not overlap, and every live slot
+        must point inside the data area.  Used by ``repro fsck`` on pages
+        whose checksum provenance is unknown.
+        """
+        problems: list[str] = []
+        num_slots, free_end = self._read_header()
+        front = _HEADER_SIZE + num_slots * _SLOT_SIZE
+        if front > PAGE_SIZE:
+            return [f"slot directory overruns the page ({num_slots} slots)"]
+        if not front <= free_end <= PAGE_SIZE:
+            problems.append(
+                f"free_end {free_end} outside [{front}, {PAGE_SIZE}]"
+            )
+            return problems
+        for slot in range(num_slots):
+            offset, length = _SLOT.unpack_from(
+                self.data, _HEADER_SIZE + slot * _SLOT_SIZE
+            )
+            if offset == 0:
+                continue  # deleted
+            if offset < free_end or offset + length > PAGE_SIZE:
+                problems.append(
+                    f"slot {slot} record [{offset}, {offset + length}) "
+                    f"outside data area [{free_end}, {PAGE_SIZE}]"
+                )
+        return problems
+
     def records(self) -> Iterator[tuple[int, bytes]]:
         """Yield ``(slot, record)`` for every live record on the page."""
         num_slots, _ = self._read_header()

@@ -40,6 +40,7 @@ from repro.db.errors import (
     TransientIOError,
 )
 from repro.db.page import Page, PAGE_SIZE
+from repro.db.wal import WalStorage
 
 
 def page_checksum(data: bytes) -> int:
@@ -69,6 +70,10 @@ class StorageBackend(Protocol):
 
     def write(self, page_no: int, data: bytes) -> None:
         """Overwrite page ``page_no`` with ``data``."""
+        ...
+
+    def sync(self) -> None:
+        """Flush written pages to stable storage (fsync for file backends)."""
         ...
 
     def close(self) -> None:
@@ -108,6 +113,9 @@ class InMemoryStorage:
                 f"page {page_no} out of range (storage has {len(self._pages)})"
             )
         self._pages[page_no] = bytes(data)
+
+    def sync(self) -> None:
+        """No-op: memory has no stable storage to sync to."""
 
     def close(self) -> None:
         """Release all pages."""
@@ -159,6 +167,10 @@ class FileStorage:
                 f"page {page_no} out of range (storage has {self._num_pages})"
             )
         os.pwrite(self._fd, data, page_no * PAGE_SIZE)
+
+    def sync(self) -> None:
+        """fsync the page file."""
+        os.fsync(self._fd)
 
     def close(self) -> None:
         """Close the backing file descriptor."""
@@ -313,12 +325,72 @@ class BufferPool:
             return dict(self._checksums)
 
     def flush(self) -> None:
-        """Write all dirty cached pages back to storage."""
+        """Write all dirty cached pages back to storage.
+
+        Over a :class:`~repro.db.wal.WalStorage` backend a flush is an
+        atomic durability point: the dirty pages land in the log and the
+        implicit transaction holding them is committed (fsync'd) —
+        either the whole flush survives a crash or none of it does.
+        """
         with self._lock:
             for page_no, page in self._cache.items():
                 if page.dirty:
                     self._write_page(page_no, bytes(page.data))
                     page.dirty = False
+            if isinstance(self.storage, WalStorage):
+                self.storage.flush_barrier()
+
+    @property
+    def wal(self) -> WalStorage | None:
+        """The write-ahead-log backend, when this pool has one."""
+        return self.storage if isinstance(self.storage, WalStorage) else None
+
+    def begin_transaction(self) -> None:
+        """Open an explicit WAL transaction (no-op without a WAL backend).
+
+        Until :meth:`commit_transaction`, page writes reaching storage —
+        flushes and LRU evictions alike — are staged in the log without a
+        commit record, so a crash discards them as a unit.
+        """
+        with self._lock:
+            wal = self.wal
+            if wal is not None:
+                wal.begin()
+
+    def commit_transaction(self, payload: bytes | None = None) -> None:
+        """Flush dirty pages into the open transaction and durably commit it.
+
+        ``payload`` (typically the catalog manifest) rides on the COMMIT
+        record so recovery can rebuild relations this transaction
+        reshaped.  Without a WAL backend this degrades to a plain flush.
+        """
+        with self._lock:
+            self.flush()
+            wal = self.wal
+            if wal is not None:
+                wal.commit(payload)
+
+    def abort_transaction(self) -> None:
+        """Discard the open WAL transaction and the pool's view of it.
+
+        Every cached page is dropped (dirty ones included) and the
+        checksum ledger is re-primed from committed storage, so reads
+        after the abort see the last committed images.  In-memory
+        structures above the pool (heap directories, B+-trees) are NOT
+        rolled back — after an aborted transaction the database object
+        should be reopened.
+        """
+        with self._lock:
+            wal = self.wal
+            if wal is None:
+                return
+            touched = wal.abort()
+            self._cache.clear()
+            for page_no in sorted(touched):
+                if page_no < self.storage.num_pages:
+                    self._checksums[page_no] = page_checksum(self.storage.read(page_no))
+                else:
+                    self._checksums.pop(page_no, None)
 
     def drop_cache(self) -> None:
         """Flush, then forget every cached page (forces physical re-reads).

@@ -7,42 +7,87 @@ does not change."  Page data already lives in the
 piece — the catalog metadata (schemas, heap page lists, index definitions)
 — so a built reference relation + ETI can be reopened without rebuilding.
 
-Indexes are re-created from heap scans on load.  That is a deliberate
-trade: B+-tree node serialization would roughly double the engine for a
-one-time linear cost at open (the ETI's clustered index bulk-rebuilds from
-already-sorted heap order).
+Durability protocol (v3 snapshots):
 
-The metadata file is JSON, next to the page file by default.
+- :func:`save_database` is a *checkpoint*: committed WAL page images are
+  applied to the page file (fsync'd), the metadata is written atomically
+  (temp file + ``os.replace``) carrying a **generation** number one past
+  the log's, and only then is the log emptied and stamped with the same
+  generation.  A crash at any point leaves a loadable pair.
+- :func:`load_database` verifies the triple agrees: a log whose
+  generation matches the metadata is a live tail and is replayed; a log
+  exactly one generation behind is a pre-checkpoint leftover and is
+  discarded; anything else is refused.  Page checksums are verified
+  against the metadata, except pages whose newest image lives in the log
+  (their record CRCs already vouched for them).
+
+The metadata file is JSON, next to the page file by default.  Version-2
+snapshots (no generation) and version-1 (no checksums) still load.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from typing import Callable
 
+from repro.db.catalog import apply_catalog, encode_catalog
 from repro.db.database import Database
 from repro.db.errors import DatabaseError, PageCorruptionError
-from repro.db.pager import BufferPool, FileStorage, page_checksum
-from repro.db.types import Column, ColumnType
+from repro.db.pager import BufferPool, FileStorage, StorageBackend, page_checksum
+from repro.db.wal import WalFile, WalFileLike, WalStorage
 
-_FORMAT_VERSION = 2
-# Version 1 snapshots (no page checksums) still load; they just cannot be
-# verified.
-_SUPPORTED_VERSIONS = (1, 2)
+_FORMAT_VERSION = 3
+# Version 1 snapshots (no page checksums) and version 2 (no generation)
+# still load; they just carry less to verify.
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _meta_path(page_path: str) -> str:
     return page_path + ".meta.json"
 
 
-def save_database(db: Database, page_path: str | None = None) -> str:
-    """Flush pages and write catalog metadata; returns the metadata path.
+def _wal_path(page_path: str) -> str:
+    return page_path + ".wal"
 
-    ``page_path`` defaults to the path of the database's file storage; an
-    in-memory database cannot be snapshotted (there is no page file to
-    reopen).
+
+def _previous_generation(meta_file: str) -> int:
+    """The generation recorded in an existing metadata file (0 if none)."""
+    if not os.path.exists(meta_file):
+        return 0
+    try:
+        with open(meta_file) as handle:
+            return int(json.load(handle).get("generation", 0))
+    except (OSError, ValueError):
+        return 0
+
+
+def _write_meta_atomic(path: str, meta: dict[str, object]) -> None:
+    """Write ``meta`` as JSON via temp file + ``os.replace`` + fsync.
+
+    A reader never observes a torn metadata file: it sees either the
+    previous complete snapshot or the new one.
     """
-    storage = db.pool.storage
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(meta, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def save_database(db: Database, page_path: str | None = None) -> str:
+    """Checkpoint the database and write catalog metadata atomically.
+
+    Returns the metadata path.  ``page_path`` defaults to the path of the
+    database's file storage; an in-memory database cannot be snapshotted
+    (there is no page file to reopen).  For a WAL-backed database this is
+    the checkpoint: the log's committed images migrate into the page
+    file, the metadata and the emptied log are stamped with the next
+    generation, and steady-state reads stop paying the log-tail merge.
+    """
+    wal = db.pool.wal
+    storage = wal.inner if wal is not None else db.pool.storage
     if page_path is None:
         if not isinstance(storage, FileStorage):
             raise DatabaseError(
@@ -50,7 +95,18 @@ def save_database(db: Database, page_path: str | None = None) -> str:
                 "Database.on_disk() first"
             )
         page_path = storage.path
-    db.pool.flush()
+    meta_file = _meta_path(page_path)
+
+    if wal is not None:
+        if wal.in_transaction:
+            raise DatabaseError("cannot snapshot inside an open transaction")
+        db.pool.flush()
+        wal.apply_committed()
+        generation = wal.generation + 1
+    else:
+        db.pool.flush()
+        generation = _previous_generation(meta_file) + 1
+
     ledger = db.pool.page_checksums()
     checksums = [
         ledger.get(page_no)
@@ -60,44 +116,46 @@ def save_database(db: Database, page_path: str | None = None) -> str:
     ]
     meta = {
         "version": _FORMAT_VERSION,
+        "generation": generation,
         "page_checksums": checksums,
-        "relations": [
-            {
-                "name": relation.name,
-                "columns": [
-                    [c.name, c.type.value, c.nullable]
-                    for c in relation.schema.columns
-                ],
-                "page_numbers": list(relation.heap._page_numbers),
-                "record_count": len(relation),
-                "indexes": [
-                    {
-                        "name": spec.name,
-                        "columns": [
-                            relation.schema.columns[p].name for p in spec.positions
-                        ],
-                        "unique": spec.unique,
-                    }
-                    for spec in relation._indexes.values()
-                ],
-            }
-            for relation in (db.relation(name) for name in db.relation_names())
-        ],
+        "relations": encode_catalog(db),
     }
-    path = _meta_path(page_path)
-    with open(path, "w") as handle:
-        json.dump(meta, handle)
-    return path
+    _write_meta_atomic(meta_file, meta)
+
+    if wal is not None:
+        wal.reset(generation)
+    else:
+        # A leftover log from an earlier WAL-enabled run is now stale in a
+        # way the generation rules cannot always prove — remove it.
+        stale = _wal_path(page_path)
+        if os.path.exists(stale):
+            os.remove(stale)
+    return meta_file
 
 
-def load_database(page_path: str, pool_capacity: int = 4096) -> Database:
-    """Reopen a snapshotted database from its page file + metadata.
+def load_database(
+    page_path: str,
+    pool_capacity: int = 4096,
+    wal: bool = True,
+    storage_wrap: Callable[[StorageBackend], StorageBackend] | None = None,
+    wal_wrap: Callable[[WalFileLike], WalFileLike] | None = None,
+) -> Database:
+    """Reopen a snapshotted database from its page file + metadata + log.
 
-    Version-2 snapshots carry per-page CRC32 checksums; every page is
-    verified before any row is deserialized, and a mismatch raises
+    With ``wal=True`` (the default) an existing write-ahead log is
+    recovered first: committed transactions landed after the snapshot are
+    replayed (the newest committed catalog manifest supersedes the
+    snapshot's), torn tails are discarded, and generation agreement
+    between log and metadata is enforced.  Every page is verified before
+    any row is deserialized — against the snapshot checksums, or for
+    log-resident pages against their record CRCs — and a mismatch raises
     :class:`PageCorruptionError` naming the offending page.  The verified
-    checksums also prime the reopened pool's ledger, so later physical
-    re-reads of those pages stay verified.
+    checksums prime the reopened pool's ledger, so later physical
+    re-reads stay verified.
+
+    ``storage_wrap`` / ``wal_wrap`` interpose on the page backend and the
+    log file respectively — the crash-simulation harness's injection
+    points.
     """
     meta_file = _meta_path(page_path)
     if not os.path.exists(meta_file):
@@ -106,23 +164,68 @@ def load_database(page_path: str, pool_capacity: int = 4096) -> Database:
         meta = json.load(handle)
     if meta.get("version") not in _SUPPORTED_VERSIONS:
         raise DatabaseError(f"unsupported snapshot version {meta.get('version')!r}")
+    generation = int(meta.get("generation", 0))
 
-    storage = FileStorage(page_path)
+    storage: StorageBackend = FileStorage(page_path)
+    if storage_wrap is not None:
+        storage = storage_wrap(storage)
+    wal_storage: WalStorage | None = None
+    effective: StorageBackend = storage
+    if wal:
+        wal_file: WalFileLike = WalFile(_wal_path(page_path))
+        if wal_wrap is not None:
+            wal_file = wal_wrap(wal_file)
+        wal_storage = WalStorage(storage, wal_file)
+        if wal_storage.was_empty:
+            wal_storage.reset(generation)
+        elif wal_storage.generation == generation:
+            pass  # live tail: the scan already replayed it
+        elif generation == wal_storage.generation + 1:
+            # The crash landed between the checkpoint's metadata write and
+            # its log reset: every logged image is already in the page
+            # file, so the tail is stale — discard it.
+            wal_storage.reset(generation)
+        else:
+            wal_storage.close()
+            raise DatabaseError(
+                f"WAL generation {wal_storage.generation} does not match "
+                f"snapshot generation {generation} for {page_path}"
+            )
+        effective = wal_storage
+
     checksums = meta.get("page_checksums")
     ledger: dict[int, int] = {}
     if checksums is not None:
-        if len(checksums) != storage.num_pages:
-            storage.close()
+        if len(checksums) > effective.num_pages:
+            effective.close()
             raise DatabaseError(
                 f"snapshot metadata lists {len(checksums)} pages but "
-                f"{page_path} holds {storage.num_pages}"
+                f"{page_path} holds {effective.num_pages}"
             )
-        for page_no, expected in enumerate(checksums):
-            if expected is None:
+        wal_pages = (
+            frozenset(wal_storage.committed_pages()) if wal_storage is not None else frozenset()
+        )
+        for page_no in range(effective.num_pages):
+            actual = page_checksum(effective.read(page_no))
+            if page_no in wal_pages:
+                # The newest image lives in the log; its record CRC was
+                # verified during the recovery scan.  Ledger the actual.
+                ledger[page_no] = actual
                 continue
-            actual = page_checksum(storage.read(page_no))
+            if page_no >= len(checksums):
+                # Pages past the snapshot's count are legitimate only as
+                # log-resident allocations (handled above).
+                effective.close()
+                raise DatabaseError(
+                    f"snapshot metadata lists {len(checksums)} pages but "
+                    f"{page_path} holds {effective.num_pages}"
+                )
+            expected = checksums[page_no]
+            if expected is None:
+                ledger[page_no] = actual
+                continue
             if actual != expected:
-                storage.close()
+                effective.close()
                 raise PageCorruptionError(
                     f"snapshot page {page_no} of {page_path} is corrupt "
                     f"(expected CRC {expected:#010x}, got {actual:#010x})",
@@ -130,19 +233,15 @@ def load_database(page_path: str, pool_capacity: int = 4096) -> Database:
                 )
             ledger[page_no] = expected
 
-    pool = BufferPool(storage, capacity=pool_capacity)
+    pool = BufferPool(effective, capacity=pool_capacity)
     pool.prime_checksums(ledger)
     db = Database(pool)
-    for relation_meta in meta["relations"]:
-        columns = [
-            Column(name, ColumnType(type_value), nullable)
-            for name, type_value, nullable in relation_meta["columns"]
-        ]
-        relation = db.create_relation(relation_meta["name"], columns)
-        relation.heap._page_numbers = list(relation_meta["page_numbers"])
-        relation.heap._record_count = relation_meta["record_count"]
-        for index_meta in relation_meta["indexes"]:
-            relation.create_index(
-                index_meta["name"], index_meta["columns"], unique=index_meta["unique"]
-            )
+    relations_meta = meta["relations"]
+    if wal_storage is not None and wal_storage.recovered_catalog is not None:
+        # Committed transactions landed after the snapshot; their catalog
+        # manifest supersedes the snapshot's.
+        relations_meta = json.loads(
+            wal_storage.recovered_catalog.decode("utf-8")
+        )["relations"]
+    apply_catalog(db, relations_meta)
     return db

@@ -1,0 +1,518 @@
+"""Write-ahead logging: crash-safe durability for the page store.
+
+The paper's setting is an *online* operation over a persisted ETI
+(§6.2.2.1): the index is "a standard indexed relation" that outlives the
+process serving queries.  PR 2 made reads resilient; this module makes
+writes survivable.  The protocol is the classic redo-only, page-image WAL
+(the shape SQLite's WAL mode and ARIES' redo pass share):
+
+- Every page write is appended to an auxiliary log file as a full
+  after-image inside a ``BEGIN … PAGE … COMMIT`` record group; the main
+  page file is *never* written on the mutation path.
+- ``COMMIT`` carries an optional payload (the catalog manifest, so a
+  recovered database knows its relations) and is followed by ``fsync`` —
+  the durability point.
+- A *checkpoint* copies the latest committed image of every logged page
+  into the main page file, fsyncs it, and truncates the log.  Crashing
+  anywhere inside a checkpoint is safe: the log still holds the images
+  and replay is idempotent.
+- On open, the log is scanned front to back; every record's CRC32 is
+  verified, complete ``BEGIN … COMMIT`` groups are replayed (into an
+  in-memory page index — reads merge log tail over page file), and a
+  torn tail (short or CRC-corrupt record, or a group missing its
+  ``COMMIT``) is discarded by truncating the file.
+
+Log record format (all little-endian)::
+
+    header:  [magic "REPROWAL"][version: u32][generation: u64]
+    record:  [type: u8][txn: u64][payload_len: u32][payload][crc32: u32]
+    PAGE payload:   [page_no: u64][page bytes]
+    COMMIT payload: opaque bytes (catalog manifest JSON), may be empty
+    BEGIN payload:  empty
+
+The ``generation`` ties the log to its snapshot manifest: a checkpoint
+bumps both in lock-step, so :func:`~repro.db.snapshot.load_database` can
+tell a live tail (replay it) from a stale pre-checkpoint log (discard it)
+from a foreign one (refuse).
+
+Thread-safety: :class:`WalStorage` is *not* internally locked — every
+call arrives under the owning :class:`~repro.db.pager.BufferPool` lock
+(physical I/O is already serialized there), which also orders log appends
+against concurrent readers.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol
+
+from repro.db.errors import BufferPoolError, WalError
+from repro.db.page import PAGE_SIZE
+
+if TYPE_CHECKING:
+    from repro.db.pager import StorageBackend
+
+WAL_MAGIC = b"REPROWAL"
+WAL_VERSION = 1
+
+_HEADER = struct.Struct("<8sIQ")  # magic, version, generation
+_RECORD = struct.Struct("<BQI")  # type, txn id, payload length
+_CRC = struct.Struct("<I")
+_PAGE_NO = struct.Struct("<Q")
+
+HEADER_SIZE = _HEADER.size
+
+REC_BEGIN = 1
+REC_PAGE = 2
+REC_COMMIT = 3
+
+#: Largest payload a scan will accept — one page image plus its page
+#: number, with headroom for catalog manifests.  Anything bigger is a
+#: corrupt length field, not a real record.
+MAX_PAYLOAD = 4 * (PAGE_SIZE + _PAGE_NO.size)
+
+
+def _record_crc(kind: int, txn: int, payload: bytes) -> int:
+    """CRC32 over a record's header fields and payload."""
+    crc = zlib.crc32(_RECORD.pack(kind, txn, len(payload)))
+    return zlib.crc32(payload, crc) & 0xFFFFFFFF
+
+
+class WalFileLike(Protocol):
+    """Byte-level log file interface (real file or a fault wrapper)."""
+
+    @property
+    def size(self) -> int:
+        """Current logical size of the log in bytes."""
+        ...
+
+    def append(self, data: bytes) -> int:
+        """Append ``data`` at the end; return the offset it was written at."""
+        ...
+
+    def pread(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` (short reads allowed at EOF)."""
+        ...
+
+    def sync(self) -> None:
+        """Flush appended bytes to stable storage (fsync)."""
+        ...
+
+    def truncate(self, size: int) -> None:
+        """Cut the file down to ``size`` bytes."""
+        ...
+
+    def close(self) -> None:
+        """Release the underlying file resources."""
+        ...
+
+
+class WalFile:
+    """The real append-oriented log file on disk."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        self._size = os.fstat(self._fd).st_size
+
+    @property
+    def size(self) -> int:
+        """Current logical size of the log in bytes."""
+        return self._size
+
+    def append(self, data: bytes) -> int:
+        """Append ``data`` at the end; return the offset it was written at."""
+        offset = self._size
+        os.pwrite(self._fd, data, offset)
+        self._size += len(data)
+        return offset
+
+    def pread(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` (short reads allowed at EOF)."""
+        return os.pread(self._fd, length, offset)
+
+    def sync(self) -> None:
+        """fsync the log file."""
+        os.fsync(self._fd)
+
+    def truncate(self, size: int) -> None:
+        """Cut the file down to ``size`` bytes."""
+        os.ftruncate(self._fd, size)
+        self._size = size
+
+    def close(self) -> None:
+        """Close the log's file descriptor."""
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+
+@dataclass
+class WalStats:
+    """Operation counters for one :class:`WalStorage` lifetime."""
+
+    appends: int = 0
+    page_images: int = 0
+    commits: int = 0
+    syncs: int = 0
+    wal_reads: int = 0
+    checkpoints: int = 0
+
+
+@dataclass
+class RecoveryInfo:
+    """What the open-time scan of an existing log found and did."""
+
+    committed_txns: int = 0
+    replayed_pages: int = 0
+    torn_bytes: int = 0
+    generation: int = 0
+    catalog_recovered: bool = False
+
+
+@dataclass
+class _Scan:
+    """Raw result of one front-to-back log scan."""
+
+    generation: int = 0
+    valid_end: int = HEADER_SIZE
+    committed: dict[int, int] = field(default_factory=dict)
+    committed_txns: int = 0
+    max_page_no: int = -1
+    catalog: bytes | None = None
+    was_empty: bool = False
+
+
+def scan_wal(wal_file: WalFileLike) -> _Scan:
+    """Scan a log: verify records, collect committed state, find the torn tail.
+
+    Returns the scan result; never raises on a torn/corrupt *tail* (the
+    ``valid_end`` marks where the good prefix ends), but a damaged header
+    raises :class:`WalError` — that is not recoverable tearing, it is the
+    wrong file.
+    """
+    result = _Scan()
+    if wal_file.size < HEADER_SIZE:
+        # Genuinely empty, or a header torn by a crash inside a reset —
+        # headers are only (re)written when the log is logically empty,
+        # so either way it holds nothing recoverable.
+        result.was_empty = True
+        return result
+    header = wal_file.pread(0, HEADER_SIZE)
+    magic, version, generation = _HEADER.unpack(header)
+    if magic != WAL_MAGIC:
+        raise WalError(f"bad WAL magic {magic!r} (expected {WAL_MAGIC!r})")
+    if version != WAL_VERSION:
+        raise WalError(f"unsupported WAL version {version}")
+    result.generation = generation
+
+    offset = HEADER_SIZE
+    pending: dict[int, int] | None = None
+    pending_txn = 0
+    pending_max_page = -1
+    while True:
+        head = wal_file.pread(offset, _RECORD.size)
+        if len(head) < _RECORD.size:
+            break  # clean EOF or a torn record header
+        kind, txn, length = _RECORD.unpack(head)
+        if kind not in (REC_BEGIN, REC_PAGE, REC_COMMIT) or length > MAX_PAYLOAD:
+            break  # garbage — treat as torn tail
+        body = wal_file.pread(offset + _RECORD.size, length + _CRC.size)
+        if len(body) < length + _CRC.size:
+            break  # payload or CRC torn off
+        payload, crc_bytes = body[:length], body[length:]
+        if _CRC.unpack(crc_bytes)[0] != _record_crc(kind, txn, payload):
+            break  # corrupt record
+        if kind == REC_BEGIN:
+            pending = {}
+            pending_txn = txn
+            pending_max_page = -1
+        elif kind == REC_PAGE:
+            if pending is None or txn != pending_txn:
+                break  # page image outside its transaction frame
+            if length != _PAGE_NO.size + PAGE_SIZE:
+                break
+            page_no = _PAGE_NO.unpack_from(payload)[0]
+            pending[page_no] = offset + _RECORD.size + _PAGE_NO.size
+            pending_max_page = max(pending_max_page, page_no)
+        else:  # REC_COMMIT
+            if pending is None or txn != pending_txn:
+                break
+            result.committed.update(pending)
+            result.committed_txns += 1
+            result.max_page_no = max(result.max_page_no, pending_max_page)
+            if payload:
+                result.catalog = payload
+            pending = None
+            result.valid_end = offset + _RECORD.size + length + _CRC.size
+        offset += _RECORD.size + length + _CRC.size
+    return result
+
+
+class WalStorage:
+    """A write-ahead-logged view over a page storage backend.
+
+    Implements the :class:`~repro.db.pager.StorageBackend` protocol.
+    Writes append page images to the log; reads merge the committed log
+    tail over the inner backend; :meth:`commit` is the durability point;
+    checkpointing (:meth:`apply_committed` + :meth:`reset`) migrates the
+    tail into the inner backend and empties the log.
+
+    On construction the existing log is scanned: committed transactions
+    are replayed (their page images become readable), a torn tail is
+    truncated away, and :attr:`recovery` reports what happened.
+    """
+
+    def __init__(
+        self,
+        inner: "StorageBackend",
+        wal_file: WalFileLike,
+        sync_on_commit: bool = True,
+    ) -> None:
+        self.inner = inner
+        self.wal_file = wal_file
+        self.sync_on_commit = sync_on_commit
+        self.stats = WalStats()
+        scan = scan_wal(wal_file)
+        self.was_empty = scan.was_empty
+        self._generation = scan.generation
+        self._committed: dict[int, int] = dict(scan.committed)
+        self._committed_num_pages = max(inner.num_pages, scan.max_page_no + 1)
+        self._catalog = scan.catalog
+        torn = wal_file.size - scan.valid_end if not scan.was_empty else 0
+        if scan.was_empty:
+            self._write_header()
+        elif torn > 0:
+            wal_file.truncate(scan.valid_end)
+        self.recovery = RecoveryInfo(
+            committed_txns=scan.committed_txns,
+            replayed_pages=len(scan.committed),
+            torn_bytes=max(torn, 0),
+            generation=self._generation,
+            catalog_recovered=scan.catalog is not None,
+        )
+        self._txn: dict[int, int] | None = None
+        self._txn_id = scan.committed_txns
+        self._txn_num_pages = self._committed_num_pages
+        self._explicit = False
+
+    # ------------------------------------------------------------------
+    # StorageBackend protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Pages visible through this backend (committed + staged allocs)."""
+        return max(self._committed_num_pages, self._txn_num_pages)
+
+    def allocate(self) -> int:
+        """Stage a zeroed page in the current transaction; return its number.
+
+        The inner backend is *not* extended here — that happens at
+        checkpoint, so a crash cannot leave the page file longer than the
+        committed state it represents.
+        """
+        page_no = self.num_pages
+        self._txn_num_pages = max(self._txn_num_pages, page_no + 1)
+        self.write(page_no, bytes(PAGE_SIZE))
+        return page_no
+
+    def read(self, page_no: int) -> bytes:
+        """Read the newest visible image: txn staging, log tail, then inner."""
+        if self._txn is not None:
+            offset = self._txn.get(page_no)
+            if offset is not None:
+                self.stats.wal_reads += 1
+                return self.wal_file.pread(offset, PAGE_SIZE)
+        offset = self._committed.get(page_no)
+        if offset is not None:
+            self.stats.wal_reads += 1
+            return self.wal_file.pread(offset, PAGE_SIZE)
+        if page_no >= self.inner.num_pages:
+            raise BufferPoolError(
+                f"page {page_no} out of range (storage has {self.num_pages})"
+            )
+        return self.inner.read(page_no)
+
+    def write(self, page_no: int, data: bytes) -> None:
+        """Append a page after-image to the log inside the open transaction."""
+        if len(data) != PAGE_SIZE:
+            raise BufferPoolError("page write with wrong size")
+        if not 0 <= page_no < self.num_pages:
+            raise BufferPoolError(
+                f"page {page_no} out of range (storage has {self.num_pages})"
+            )
+        self._ensure_txn()
+        assert self._txn is not None
+        offset = self._append(REC_PAGE, _PAGE_NO.pack(page_no) + data)
+        self._txn[page_no] = offset + _RECORD.size + _PAGE_NO.size
+        self.stats.page_images += 1
+
+    def sync(self) -> None:
+        """fsync the log file (the inner backend syncs at checkpoint)."""
+        self.wal_file.sync()
+        self.stats.syncs += 1
+
+    def close(self) -> None:
+        """Close the log file and the inner backend."""
+        self.wal_file.close()
+        self.inner.close()
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The checkpoint generation stamped in the log header."""
+        return self._generation
+
+    @property
+    def tail_pages(self) -> int:
+        """Committed pages whose newest image still lives in the log tail."""
+        return len(self._committed)
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while an explicit transaction is open."""
+        return self._explicit
+
+    @property
+    def recovered_catalog(self) -> bytes | None:
+        """The newest committed catalog manifest, if any transaction logged one."""
+        return self._catalog
+
+    def committed_pages(self) -> tuple[int, ...]:
+        """Page numbers whose newest committed image lives in the log tail."""
+        return tuple(self._committed)
+
+    def begin(self) -> None:
+        """Open an explicit transaction (flushes any implicit one first)."""
+        if self._explicit:
+            raise WalError("a WAL transaction is already open")
+        if self._txn is not None:
+            self.commit()
+        self._explicit = True
+
+    def commit(self, payload: bytes | None = None) -> None:
+        """Durably commit the open transaction (no-op when nothing is staged).
+
+        ``payload`` rides on the COMMIT record — the catalog manifest that
+        lets recovery reconstruct relations mutated by this transaction.
+        """
+        if self._txn is None and payload is None:
+            self._explicit = False
+            return
+        self._ensure_txn()
+        assert self._txn is not None
+        self._append(REC_COMMIT, payload if payload is not None else b"")
+        if self.sync_on_commit:
+            self.sync()
+        self._committed.update(self._txn)
+        self._committed_num_pages = max(
+            self._committed_num_pages, self._txn_num_pages
+        )
+        if payload is not None:
+            self._catalog = payload
+        self._txn = None
+        self._explicit = False
+        self.stats.commits += 1
+
+    def flush_barrier(self) -> None:
+        """Commit the implicit transaction, if one is open.
+
+        Called by :meth:`~repro.db.pager.BufferPool.flush` so a flush is
+        an atomic durability point; inside an explicit transaction this is
+        a no-op (the explicit commit is the barrier).
+        """
+        if not self._explicit:
+            self.commit()
+
+    def abort(self) -> set[int]:
+        """Discard the open transaction's staged pages; return their numbers.
+
+        The staged records become dead bytes in the log (the next BEGIN
+        supersedes them; recovery ignores commit-less groups).  Note this
+        rolls back *storage* only — in-memory structures built over the
+        aborted pages (heap directories, B+-trees) are the caller's
+        problem; the safe move after an aborted transaction is to reopen
+        the database.
+        """
+        touched = set(self._txn) if self._txn is not None else set()
+        self._txn = None
+        self._txn_num_pages = self._committed_num_pages
+        self._explicit = False
+        return touched
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def apply_committed(self) -> int:
+        """Copy every committed log image into the inner backend and fsync it.
+
+        Returns the number of pages applied.  Idempotent: crashing midway
+        leaves the log intact, so the next recovery replays the same
+        images.  The log itself is emptied separately by :meth:`reset`,
+        *after* the caller has persisted whatever manifest ties the new
+        page-file state together.
+        """
+        if self._explicit:
+            raise WalError("cannot checkpoint inside an open transaction")
+        self.flush_barrier()
+        applied = 0
+        for page_no in sorted(self._committed):
+            while self.inner.num_pages <= page_no:
+                self.inner.allocate()
+            self.inner.write(page_no, self.wal_file.pread(self._committed[page_no], PAGE_SIZE))
+            applied += 1
+        if applied:
+            self.inner.sync()
+        self.stats.checkpoints += 1
+        return applied
+
+    def reset(self, generation: int) -> None:
+        """Empty the log and stamp a new generation (the checkpoint epoch).
+
+        Discards the committed-tail index — callers must have applied it
+        first (:meth:`apply_committed`) or must intend to discard it (a
+        stale pre-checkpoint log detected at load time).
+        """
+        if self._explicit:
+            raise WalError("cannot reset the WAL inside an open transaction")
+        self._txn = None
+        self._committed.clear()
+        self._catalog = None
+        self._generation = generation
+        self._committed_num_pages = self.inner.num_pages
+        self._txn_num_pages = self._committed_num_pages
+        self.wal_file.truncate(0)
+        self._write_header()
+        self.wal_file.sync()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        self.wal_file.truncate(0)
+        self.wal_file.append(_HEADER.pack(WAL_MAGIC, WAL_VERSION, self._generation))
+
+    def _ensure_txn(self) -> None:
+        if self._txn is None:
+            self._txn_id += 1
+            self._append(REC_BEGIN, b"")
+            self._txn = {}
+
+    def _append(self, kind: int, payload: bytes) -> int:
+        record = (
+            _RECORD.pack(kind, self._txn_id, len(payload))
+            + payload
+            + _CRC.pack(_record_crc(kind, self._txn_id, payload))
+        )
+        offset = self.wal_file.append(record)
+        self.stats.appends += 1
+        return offset

@@ -20,13 +20,22 @@ Token *weights* can be maintained in lock-step: pass the plain
 maintainer calls its ``add_tuple`` / ``remove_tuple`` on every mutation,
 keeping IDF weights exact.  Without it, the cache drifts benignly (unseen
 tokens already fall back to column-average weights); heavy churn then
-warrants a periodic rebuild, and the maintainer counts mutations to make
-that decision easy.
+warrants a periodic rebuild, and the maintainer counts both mutations and
+un-mirrored weight drift (:attr:`EtiMaintainer.weight_drift`) to make
+that decision easy — :attr:`EtiMaintainer.rebuild_hint` turns true once
+the mutation count crosses ``rebuild_threshold``.
+
+Crash atomicity: pass the owning :class:`~repro.db.database.Database` as
+``database`` and every mutation runs inside one WAL transaction — the
+multi-row ETI update, the reference-heap change, and the catalog manifest
+commit together, so a crash mid-mutation recovers to the state before or
+after the whole tuple, never a half-indexed one.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Sequence
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, ContextManager, Iterator, Sequence
 
 from repro.core.config import MatchConfig
 from repro.core.minhash import MinHasher
@@ -39,6 +48,7 @@ from repro.eti.signature import signature_entries
 
 if TYPE_CHECKING:
     from repro.core.weights import TokenFrequencyCache
+    from repro.db.database import Database
 
 
 class EtiMaintainer:
@@ -51,6 +61,8 @@ class EtiMaintainer:
         config: MatchConfig,
         hasher: MinHasher | None = None,
         weights: "TokenFrequencyCache | None" = None,
+        database: "Database | None" = None,
+        rebuild_threshold: int | None = None,
     ) -> None:
         self.reference = reference
         self.eti = eti
@@ -68,39 +80,87 @@ class EtiMaintainer:
                 "weights must support add_tuple/remove_tuple (use the plain "
                 "TokenFrequencyCache) or be None"
             )
+        if rebuild_threshold is not None and rebuild_threshold < 1:
+            raise ValueError("rebuild_threshold must be >= 1 (or None)")
+        self.database = database
+        self.rebuild_threshold = rebuild_threshold
         self.mutations = 0
+        self.weight_drift = 0
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
     def insert_tuple(self, tid: int, values: Sequence[str | None]) -> None:
-        """Add a reference tuple and index all its signature entries."""
-        self.reference.insert(tid, values)
-        for gram, coordinate, column in self._entries(values):
-            self._index_add(gram, coordinate, column, tid)
-        if self.weights is not None:
-            self.weights.add_tuple(values)
-        self.mutations += 1
+        """Add a reference tuple and index all its signature entries.
+
+        With a ``database`` attached, the heap insert and every ETI row it
+        touches commit as one WAL transaction.
+        """
+        with self._transaction():
+            self.reference.insert(tid, values)
+            for gram, coordinate, column in self._entries(values):
+                self._index_add(gram, coordinate, column, tid)
+            self._account(values, add=True)
 
     def delete_tuple(self, tid: int) -> tuple[str | None, ...]:
-        """Remove a reference tuple and unindex its signature entries."""
-        values = self.reference.delete(tid)
-        for gram, coordinate, column in self._entries(values):
-            self._index_remove(gram, coordinate, column, tid)
-        if self.weights is not None:
-            self.weights.remove_tuple(values)
-        self.mutations += 1
+        """Remove a reference tuple and unindex its signature entries.
+
+        With a ``database`` attached, the heap delete and every ETI row it
+        touches commit as one WAL transaction.
+        """
+        with self._transaction():
+            values = self.reference.delete(tid)
+            for gram, coordinate, column in self._entries(values):
+                self._index_remove(gram, coordinate, column, tid)
+            self._account(values, add=False)
         return values
 
     def update_tuple(self, tid: int, values: Sequence[str | None]) -> None:
-        """Replace a reference tuple's attribute values."""
-        self.delete_tuple(tid)
-        self.insert_tuple(tid, values)
+        """Replace a reference tuple's attribute values.
+
+        With a ``database`` attached this is *one* transaction — the
+        delete and re-insert commit together (transactions nest; only the
+        outermost commits).
+        """
+        with self._transaction():
+            self.delete_tuple(tid)
+            self.insert_tuple(tid, values)
+
+    @property
+    def rebuild_hint(self) -> bool:
+        """True once accumulated mutations warrant a from-scratch rebuild.
+
+        Always False without a ``rebuild_threshold``; the hint never
+        resets on its own — rebuild, then construct a fresh maintainer.
+        """
+        return (
+            self.rebuild_threshold is not None
+            and self.mutations >= self.rebuild_threshold
+        )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _transaction(self) -> ContextManager[None]:
+        """One crash-atomic scope per mutation (a no-op without a database)."""
+        if self.database is not None:
+            return self.database.transaction()
+        return nullcontext()
+
+    def _account(self, values: Sequence[str | None], add: bool) -> None:
+        """Bookkeeping shared by insert and delete paths."""
+        if self.weights is not None:
+            if add:
+                self.weights.add_tuple(values)
+            else:
+                self.weights.remove_tuple(values)
+        else:
+            # No live cache to mirror into: IDF weights drift one tuple
+            # further from the stored frequencies.
+            self.weight_drift += 1
+        self.mutations += 1
 
     def _entries(
         self, values: Sequence[str | None]

@@ -219,11 +219,110 @@ class TestEvaluate:
         assert "Q+T_3" in output
 
 
+class TestPersistedWarehouse:
+    def _match(self, tmp_path, reference_csv, dirty_csv, db_path, extra=()):
+        out = tmp_path / "warehouse-matches.csv"
+        run_cli(
+            [
+                "match",
+                "--reference", str(reference_csv),
+                "--input", str(dirty_csv),
+                "--q", "3",
+                "--db", str(db_path),
+                *extra,
+                "--out", str(out),
+            ]
+        )
+        return out
+
+    def test_first_run_builds_second_reuses(
+        self, tmp_path, reference_csv, dirty_csv, capsys
+    ):
+        db_path = tmp_path / "warehouse.pages"
+        first = self._match(tmp_path, reference_csv, dirty_csv, db_path)
+        assert "built ETI" in capsys.readouterr().err
+        assert db_path.exists()
+        assert (tmp_path / "warehouse.pages.meta.json").exists()
+        assert (tmp_path / "warehouse.pages.wal").exists()
+
+        second = self._match(tmp_path, reference_csv, dirty_csv, db_path)
+        assert "reused persisted ETI" in capsys.readouterr().err
+        assert first.read_text() == second.read_text()
+
+    def test_no_wal_leaves_no_log(self, tmp_path, reference_csv, dirty_csv):
+        db_path = tmp_path / "nolog.pages"
+        self._match(tmp_path, reference_csv, dirty_csv, db_path, ("--no-wal",))
+        assert db_path.exists()
+        assert not (tmp_path / "nolog.pages.wal").exists()
+
+    def test_fsck_clean_warehouse(self, tmp_path, reference_csv, dirty_csv, capsys):
+        db_path = tmp_path / "clean.pages"
+        self._match(tmp_path, reference_csv, dirty_csv, db_path)
+        capsys.readouterr()
+        assert run_cli(["fsck", str(db_path), "--eti-name", "eti"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_fsck_flags_corruption(self, tmp_path, reference_csv, dirty_csv, capsys):
+        db_path = tmp_path / "damaged.pages"
+        self._match(tmp_path, reference_csv, dirty_csv, db_path)
+        with open(db_path, "r+b") as handle:  # flip one byte mid-file
+            handle.seek(db_path.stat().st_size // 2)
+            byte = handle.read(1)
+            handle.seek(-1, 1)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        capsys.readouterr()
+        assert run_cli(["fsck", str(db_path)]) == 2
+        assert "checksum mismatch" in capsys.readouterr().out
+
+    def test_fsck_warns_on_torn_tail(self, tmp_path, reference_csv, dirty_csv, capsys):
+        db_path = tmp_path / "torn.pages"
+        self._match(tmp_path, reference_csv, dirty_csv, db_path)
+        from repro.db.snapshot import load_database
+
+        db = load_database(str(db_path))
+        with db.transaction():
+            db.relation("reference").insert((999_999, "Torn", "X", "YY", "00000"))
+        db.pool.storage.close()
+        with open(str(db_path) + ".wal", "ab") as handle:
+            handle.write(b"\x01torn-begin-record-prefix")
+        capsys.readouterr()
+        assert run_cli(["fsck", str(db_path)]) == 1
+        assert "torn tail" in capsys.readouterr().out
+
+    def test_recover_checkpoints_the_log(
+        self, tmp_path, reference_csv, dirty_csv, capsys
+    ):
+        db_path = tmp_path / "recoverable.pages"
+        self._match(tmp_path, reference_csv, dirty_csv, db_path)
+        from repro.db.snapshot import load_database
+        from repro.db.wal import HEADER_SIZE
+
+        db = load_database(str(db_path))
+        with db.transaction():
+            db.relation("reference").insert((999_998, "Late", "X", "YY", "00000"))
+        db.pool.storage.close()
+        wal_path = tmp_path / "recoverable.pages.wal"
+        assert wal_path.stat().st_size > HEADER_SIZE  # a live tail to replay
+
+        capsys.readouterr()
+        assert run_cli(["recover", str(db_path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "committed txns:  1" in out
+        assert wal_path.stat().st_size > HEADER_SIZE  # dry run kept the tail
+
+        assert run_cli(["recover", str(db_path)]) == 0
+        assert "checkpointed" in capsys.readouterr().out
+        assert wal_path.stat().st_size == HEADER_SIZE  # emptied by checkpoint
+        assert run_cli(["fsck", str(db_path)]) == 0
+
+
 class TestParser:
     def test_all_subcommands_present(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("generate", "corrupt", "match", "dedup", "evaluate"):
+        for command in (
+            "generate", "corrupt", "match", "dedup", "evaluate", "fsck", "recover"
+        ):
             assert command in text
 
     def test_unknown_command_rejected(self):

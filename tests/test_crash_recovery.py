@@ -1,0 +1,278 @@
+"""Deterministic crash-point recovery sweeps.
+
+The harness kills a simulated process after the N-th durable operation
+(page write, log append, fsync — see
+:class:`~repro.db.faults.CrashPoint`), tearing the fatal write at a
+seeded cut.  Sweeping N over a transactional maintenance workload visits
+every distinct on-disk state a real crash could leave behind, and for
+each one asserts the three durability invariants:
+
+1. the recovered reference relation is a *consistent prefix* of the
+   applied operations (never a half-applied tuple),
+2. the recovered ETI equals a from-scratch rebuild over that prefix, and
+3. fuzzy-match answers over the recovered index are identical to the
+   rebuild's.
+
+Scale the sweep with ``REPRO_CRASH_SEEDS`` (default 2 tear seeds; CI
+runs 12).  The sweep itself carries the ``crash`` marker.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.core.config import MatchConfig
+from repro.core.matcher import FuzzyMatcher
+from repro.core.reference import ReferenceTable
+from repro.core.weights import build_frequency_cache
+from repro.db.database import Database
+from repro.db.errors import CrashError, DatabaseError
+from repro.db.faults import CrashableStorage, CrashableWalFile, CrashPoint
+from repro.db.fsck import check_database
+from repro.db.snapshot import load_database, save_database
+from repro.eti.builder import build_eti
+from repro.eti.index import EtiIndex
+from repro.eti.maintenance import EtiMaintainer
+
+from tests.conftest import ORG_COLUMNS, ORG_ROWS
+
+CONFIG = MatchConfig(q=3, signature_size=2)
+
+SEEDS = range(int(os.environ.get("REPRO_CRASH_SEEDS", "2")))
+
+# Maintenance operations applied after the template snapshot.  Each runs
+# in its own WAL transaction, so every crash must land the database on a
+# prefix of this sequence; all six prefix states are pairwise distinct.
+OPS = (
+    ("insert", 10, ("Boing Corp", "Kent", "WA", "98032")),
+    ("insert", 11, ("Cascade Couriers", "Renton", "WA", "98055")),
+    ("delete", 2, None),
+    ("insert", 12, ("Bon Voyage Company", "Tacoma", "WA", "98402")),
+    ("delete", 10, None),
+)
+
+QUERIES = (
+    ("Beoing Company", "Seattle", "WA", "98004"),
+    ("Bon Corporaton", "Seattle", "WA", "98014"),
+    ("Cascade Couriers", "Renton", "WA", "98055"),
+)
+
+
+def eti_as_dict(eti):
+    """Materialize an ETI as ``{key: (frequency, tid_list)}`` (layout-free)."""
+    return {
+        (row[0], row[1], row[2]): (
+            row[3],
+            tuple(row[4]) if row[4] is not None else None,
+        )
+        for row in eti.relation.scan()
+    }
+
+
+def expected_state(k):
+    """Reference rows after the first ``k`` operations."""
+    rows = {tid: tuple(values) for tid, values in ORG_ROWS}
+    for kind, tid, values in OPS[:k]:
+        if kind == "insert":
+            rows[tid] = tuple(values)
+        else:
+            del rows[tid]
+    return rows
+
+
+def copy_template(template_dir, dest_dir):
+    """Clone the template's page/meta/wal files; return the page path."""
+    for name in os.listdir(template_dir):
+        shutil.copy(os.path.join(template_dir, name), os.path.join(dest_dir, name))
+    return str(dest_dir / "db.pages")
+
+
+def run_workload(page_path, crash_point=None):
+    """Load the database, apply every op transactionally, checkpoint.
+
+    With a :class:`CrashPoint`, both the page file and the log are
+    wrapped so the countdown covers their interleaved durable-op
+    sequence, and the simulated death surfaces as :class:`CrashError`.
+    """
+    kwargs = {}
+    if crash_point is not None:
+        kwargs = {
+            "storage_wrap": lambda s: CrashableStorage(s, crash_point),
+            "wal_wrap": lambda w: CrashableWalFile(w, crash_point),
+        }
+    db = load_database(page_path, **kwargs)
+    try:
+        reference = ReferenceTable.attach(db, "orgs", list(ORG_COLUMNS))
+        eti = EtiIndex(db.relation("eti"))
+        maintainer = EtiMaintainer(reference, eti, CONFIG, database=db)
+        for kind, tid, values in OPS:
+            if kind == "insert":
+                maintainer.insert_tuple(tid, values)
+            else:
+                maintainer.delete_tuple(tid)
+        # Explicit path: the crash wrappers hide the FileStorage underneath.
+        save_database(db, page_path)
+    finally:
+        # Not db.close(): closing flushes, and a dead process must not
+        # issue further I/O.  Release the file descriptors only.
+        db.pool.storage.close()
+
+
+def verify_recovered(page_path):
+    """Assert all three durability invariants; return the recovered prefix."""
+    report = check_database(page_path)
+    assert report.ok, report.errors
+
+    db = load_database(page_path)
+    try:
+        reference = ReferenceTable.attach(db, "orgs", list(ORG_COLUMNS))
+        got = {tid: tuple(values) for tid, values in reference.scan()}
+        prefixes = [k for k in range(len(OPS) + 1) if expected_state(k) == got]
+        assert prefixes, f"recovered state matches no op prefix: {sorted(got)}"
+        k = prefixes[0]
+
+        fresh_db = Database.in_memory()
+        fresh_ref = ReferenceTable(fresh_db, "orgs", list(ORG_COLUMNS))
+        fresh_ref.load(sorted(got.items()))
+        fresh_eti, _ = build_eti(fresh_db, fresh_ref, CONFIG)
+        recovered_eti = EtiIndex(db.relation("eti"))
+        assert eti_as_dict(recovered_eti) == eti_as_dict(fresh_eti), (
+            f"recovered ETI diverges from a rebuild over prefix {k}"
+        )
+
+        weights = build_frequency_cache(
+            reference.scan_values(), reference.num_columns
+        )
+        fresh_weights = build_frequency_cache(
+            fresh_ref.scan_values(), fresh_ref.num_columns
+        )
+        matcher = FuzzyMatcher(reference, weights, CONFIG, recovered_eti)
+        fresh_matcher = FuzzyMatcher(fresh_ref, fresh_weights, CONFIG, fresh_eti)
+        for query in QUERIES:
+            recovered_answer = [
+                (m.tid, m.similarity) for m in matcher.match(query).matches
+            ]
+            rebuilt_answer = [
+                (m.tid, m.similarity) for m in fresh_matcher.match(query).matches
+            ]
+            assert recovered_answer == rebuilt_answer, (query, k)
+        fresh_db.close()
+        return k
+    finally:
+        db.close()
+
+
+@pytest.fixture(scope="module")
+def template_dir(tmp_path_factory):
+    """A snapshotted reference + ETI warehouse, cloned per crash run."""
+    base = tmp_path_factory.mktemp("crash-template")
+    db = Database.on_disk(str(base / "db.pages"))
+    reference = ReferenceTable(db, "orgs", list(ORG_COLUMNS))
+    reference.load(ORG_ROWS)
+    build_eti(db, reference, CONFIG)
+    save_database(db)
+    db.close()
+    return base
+
+
+@pytest.fixture(scope="module")
+def total_ops(template_dir, tmp_path_factory):
+    """Durable-op count of one crash-free workload (the sweep's range)."""
+    work = tmp_path_factory.mktemp("crash-dryrun")
+    page_path = copy_template(template_dir, work)
+    probe = CrashPoint(crash_after=10**9)
+    run_workload(page_path, probe)
+    assert not probe.crashed
+    return probe.ops
+
+
+class TestCrashFree:
+    def test_workload_without_crash_applies_every_op(self, template_dir, tmp_path):
+        page_path = copy_template(template_dir, tmp_path)
+        run_workload(page_path)
+        assert verify_recovered(page_path) == len(OPS)
+
+    def test_workload_has_enough_crash_points(self, total_ops):
+        # The sweep must cover every transaction boundary and the
+        # checkpoint's apply/meta/reset phases.
+        assert total_ops > 4 * len(OPS)
+
+
+class TestCrashSweep:
+    @pytest.mark.crash
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_crash_point_recovers_consistently(
+        self, template_dir, total_ops, tmp_path, seed
+    ):
+        recovered_prefixes = set()
+        for crash_after in range(total_ops):
+            work = tmp_path / f"run-{crash_after}"
+            work.mkdir()
+            page_path = copy_template(template_dir, work)
+            crash_point = CrashPoint(crash_after, seed=seed)
+            with pytest.raises(CrashError):
+                run_workload(page_path, crash_point)
+            recovered_prefixes.add(verify_recovered(page_path))
+            shutil.rmtree(work)  # keep the sweep's disk footprint flat
+        # The sweep must actually traverse the workload: the earliest
+        # crash recovers the template, the latest recovers everything.
+        assert 0 in recovered_prefixes
+        assert len(OPS) in recovered_prefixes
+
+    def test_crash_during_checkpoint_loses_nothing(
+        self, template_dir, total_ops, tmp_path
+    ):
+        # The final durable ops belong to save_database; dying there must
+        # still recover every committed operation.
+        page_path = copy_template(template_dir, tmp_path)
+        crash_point = CrashPoint(total_ops - 1, seed=0)
+        with pytest.raises(CrashError):
+            run_workload(page_path, crash_point)
+        assert verify_recovered(page_path) == len(OPS)
+
+
+class TestTornAndForeignLogs:
+    def test_torn_tail_is_discarded(self, template_dir, tmp_path):
+        page_path = copy_template(template_dir, tmp_path)
+        db = load_database(page_path)
+        reference = ReferenceTable.attach(db, "orgs", list(ORG_COLUMNS))
+        eti = EtiIndex(db.relation("eti"))
+        maintainer = EtiMaintainer(reference, eti, CONFIG, database=db)
+        maintainer.insert_tuple(10, ("Boing Corp", "Kent", "WA", "98032"))
+        db.pool.storage.close()
+
+        with open(page_path + ".wal", "ab") as handle:
+            handle.write(b"\x02garbage-from-a-torn-append")
+
+        reopened = load_database(page_path)
+        assert reopened.wal.recovery.torn_bytes > 0
+        assert 10 in ReferenceTable.attach(reopened, "orgs", list(ORG_COLUMNS))
+        reopened.close()
+
+    def test_foreign_generation_is_refused(self, template_dir, tmp_path):
+        page_path = copy_template(template_dir, tmp_path)
+        db = load_database(page_path)
+        # Forge a log from a different lineage: bump its generation far
+        # past the snapshot's.
+        db.wal.reset(db.wal.generation + 7)
+        db.pool.storage.close()
+        with pytest.raises(DatabaseError, match="generation"):
+            load_database(page_path)
+
+    def test_stale_pre_checkpoint_log_is_discarded(self, template_dir, tmp_path):
+        # A log exactly one generation behind the snapshot is the
+        # checkpoint-crash leftover: its images are already in the page
+        # file, so load must discard it and still answer correctly.
+        page_path = copy_template(template_dir, tmp_path)
+        db = load_database(page_path)
+        db.wal.reset(db.wal.generation - 1)
+        db.pool.storage.close()
+        reopened = load_database(page_path)
+        assert reopened.wal.generation == reopened.wal.recovery.generation + 1
+        assert sorted(
+            tid for tid, _ in ReferenceTable.attach(
+                reopened, "orgs", list(ORG_COLUMNS)
+            ).scan()
+        ) == [1, 2, 3]
+        reopened.close()

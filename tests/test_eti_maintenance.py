@@ -161,6 +161,104 @@ class TestStopQGrams:
             assert row.tid_list is None
 
 
+class TestStopQGramDeletes:
+    def test_stop_qgram_stays_stopped_after_deletes(self, org_db, org_reference):
+        """Deleting below the threshold must NOT resurrect a tid-list.
+
+        The list was discarded when the gram stopped; it cannot be
+        reconstructed incrementally, so the row keeps a NULL list (at a
+        decayed frequency) until a full rebuild.
+        """
+        config = MatchConfig(
+            q=3, signature_size=2, scheme=SignatureScheme.QGRAMS,
+            stop_qgram_threshold=2,
+        )
+        hasher = MinHasher(config.q, config.signature_size, config.seed)
+        eti, build_stats = build_eti(org_db, org_reference, config, hasher=hasher)
+        assert build_stats.stop_qgrams > 0
+        maintainer = EtiMaintainer(org_reference, eti, config, hasher)
+        stop_key = next(
+            (row[0], row[1], row[2])
+            for row in eti.relation.scan()
+            if row[4] is None
+        )
+        # Deleting two of the three Seattle tuples sinks the frequency to
+        # 1, well below the threshold of 2 — the list must stay NULL.
+        maintainer.delete_tuple(2)
+        maintainer.delete_tuple(3)
+        row = eti.lookup(*stop_key)
+        assert row.frequency == 1
+        assert row.tid_list is None
+
+    def test_stopped_row_vanishes_at_frequency_zero(self, org_db, org_reference):
+        config = MatchConfig(
+            q=3, signature_size=2, scheme=SignatureScheme.QGRAMS,
+            stop_qgram_threshold=2,
+        )
+        hasher = MinHasher(config.q, config.signature_size, config.seed)
+        eti, _ = build_eti(org_db, org_reference, config, hasher=hasher)
+        maintainer = EtiMaintainer(org_reference, eti, config, hasher)
+        stop_key = next(
+            (row[0], row[1], row[2])
+            for row in eti.relation.scan()
+            if row[4] is None
+        )
+        for tid in (1, 2, 3):
+            maintainer.delete_tuple(tid)
+        assert eti.lookup(*stop_key) is None  # row deleted with its last tid
+
+
+class TestRebuildBookkeeping:
+    def test_weight_drift_counts_unmirrored_mutations(self, maintained):
+        assert maintained.weights is None
+        assert maintained.weight_drift == 0
+        maintained.insert_tuple(10, ("Drift Co", "Olympia", "WA", "98501"))
+        maintained.delete_tuple(10)
+        assert maintained.weight_drift == 2
+        assert maintained.mutations == 2
+
+    def test_no_drift_with_live_weight_cache(
+        self, org_db, org_reference, org_weights, paper_config
+    ):
+        eti, _ = build_eti(
+            org_db, org_reference, paper_config, eti_name="eti_drift"
+        )
+        maintainer = EtiMaintainer(
+            org_reference, eti, paper_config, weights=org_weights
+        )
+        maintainer.insert_tuple(10, ("Mirror Inc", "Olympia", "WA", "98501"))
+        assert maintainer.weight_drift == 0
+        assert maintainer.mutations == 1
+
+    def test_rebuild_hint_crosses_threshold(self, org_db, org_reference, paper_config):
+        eti, _ = build_eti(
+            org_db, org_reference, paper_config, eti_name="eti_hint"
+        )
+        maintainer = EtiMaintainer(
+            org_reference, eti, paper_config, rebuild_threshold=2
+        )
+        assert not maintainer.rebuild_hint
+        maintainer.insert_tuple(10, ("One Co", "Olympia", "WA", "98501"))
+        assert not maintainer.rebuild_hint
+        maintainer.update_tuple(10, ("Two Co", "Olympia", "WA", "98501"))
+        # update = delete + insert = 2 mutations, crossing the threshold.
+        assert maintainer.mutations == 3
+        assert maintainer.rebuild_hint
+
+    def test_rebuild_hint_off_without_threshold(self, maintained):
+        maintained.insert_tuple(10, ("Any Co", "Olympia", "WA", "98501"))
+        assert not maintained.rebuild_hint
+
+    def test_rebuild_threshold_validated(self, org_db, org_reference, paper_config):
+        eti, _ = build_eti(
+            org_db, org_reference, paper_config, eti_name="eti_bad"
+        )
+        with pytest.raises(ValueError, match="rebuild_threshold"):
+            EtiMaintainer(
+                org_reference, eti, paper_config, rebuild_threshold=0
+            )
+
+
 class TestWeightDriftStory:
     def test_new_tokens_fall_back_to_average_weight(
         self, maintained, org_weights, paper_config

@@ -26,7 +26,9 @@ from tests.conftest import ORG_COLUMNS, ORG_ROWS
 class TestStorageCorruption:
     def test_truncated_page_file_rejected(self, tmp_path):
         path = tmp_path / "trunc.pages"
-        db = Database.on_disk(str(path))
+        # wal=False so pages land in the page file itself (with a log they
+        # stay in the tail until a checkpoint and the file would be empty).
+        db = Database.on_disk(str(path), wal=False)
         rel = db.create_relation("t", [Column("v", ColumnType.INT)])
         rel.insert((1,))
         db.close()
@@ -34,7 +36,7 @@ class TestStorageCorruption:
         with open(path, "r+b") as handle:
             handle.truncate(os.path.getsize(path) - 100)
         with pytest.raises(BufferPoolError, match="aligned"):
-            Database.on_disk(str(path))
+            Database.on_disk(str(path), wal=False)
 
     def test_corrupt_record_bytes_fail_decode(self):
         schema = Schema([Column("s", ColumnType.STR)])

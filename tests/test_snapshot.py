@@ -78,6 +78,63 @@ class TestSnapshotBasics:
         reopened.close()
 
 
+class TestAtomicMetaWrite:
+    def test_crash_mid_meta_write_keeps_previous_snapshot(self, tmp_path, monkeypatch):
+        """Dying inside the metadata dump must not destroy the old snapshot.
+
+        Regression: save_database used to rewrite the metadata file in
+        place, so a crash mid-``json.dump`` left a torn, unloadable file.
+        The temp-file + ``os.replace`` protocol keeps the previous
+        complete snapshot visible until the new one is fully on disk.
+        """
+        import json as json_module
+
+        path = str(tmp_path / "db.pages")
+        db = Database.on_disk(path)
+        rel = db.create_relation("t", [Column("k", ColumnType.INT)])
+        rel.insert((1,))
+        save_database(db)
+
+        # Second snapshot attempt dies mid-dump, after bytes have been
+        # emitted (a partial JSON document reaches the temp file).
+        with db.transaction():
+            rel.insert((2,))
+        real_dump = json_module.dump
+
+        def dying_dump(obj, handle, **kwargs):
+            handle.write('{"version": 3, "torn": ')
+            raise OSError("simulated crash during metadata write")
+
+        monkeypatch.setattr("repro.db.snapshot.json.dump", dying_dump)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_database(db)
+        monkeypatch.setattr("repro.db.snapshot.json.dump", real_dump)
+        db.pool.storage.close()
+
+        # The original metadata still parses, and the committed-but-not-
+        # checkpointed row is recovered from the log.
+        reopened = load_database(path)
+        assert sorted(reopened.relation("t").scan()) == [(1,), (2,)]
+        reopened.close()
+
+    def test_failed_meta_write_leaves_wal_intact(self, tmp_path, monkeypatch):
+        """The log must not be reset when the checkpoint never completed."""
+        path = str(tmp_path / "db.pages")
+        db = Database.on_disk(path)
+        rel = db.create_relation("t", [Column("k", ColumnType.INT)])
+        with db.transaction():
+            rel.insert((1,))
+        generation_before = db.wal.generation
+
+        def dying_dump(obj, handle, **kwargs):
+            raise OSError("simulated crash during metadata write")
+
+        monkeypatch.setattr("repro.db.snapshot.json.dump", dying_dump)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_database(db)
+        assert db.wal.generation == generation_before  # reset never ran
+
+
 class TestEtiReuse:
     def test_persisted_eti_answers_queries(self, tmp_path):
         """§6.2.2.1: the persisted ETI serves subsequent input batches."""
