@@ -33,9 +33,9 @@ from typing import Callable
 
 from repro.db.catalog import apply_catalog, encode_catalog
 from repro.db.database import Database
-from repro.db.errors import DatabaseError, PageCorruptionError
+from repro.db.errors import DatabaseError, PageCorruptionError, WalError
 from repro.db.pager import BufferPool, FileStorage, StorageBackend, page_checksum
-from repro.db.wal import WalFile, WalFileLike, WalStorage
+from repro.db.wal import WalFile, WalFileLike, WalStorage, scan_wal
 
 _FORMAT_VERSION = 3
 # Version 1 snapshots (no page checksums) and version 2 (no generation)
@@ -66,7 +66,11 @@ def _write_meta_atomic(path: str, meta: dict[str, object]) -> None:
     """Write ``meta`` as JSON via temp file + ``os.replace`` + fsync.
 
     A reader never observes a torn metadata file: it sees either the
-    previous complete snapshot or the new one.
+    previous complete snapshot or the new one.  The parent directory is
+    fsync'd after the rename so the replacement itself is durable — the
+    checkpoint's next step (``wal.reset``) stamps the log with the new
+    generation, and a crash must not be able to pair that log with the
+    *old* metadata (a generation mismatch no accepted load branch covers).
     """
     tmp = path + ".tmp"
     with open(tmp, "w") as handle:
@@ -74,6 +78,11 @@ def _write_meta_atomic(path: str, meta: dict[str, object]) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    dir_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def save_database(db: Database, page_path: str | None = None) -> str:
@@ -133,6 +142,37 @@ def save_database(db: Database, page_path: str | None = None) -> str:
     return meta_file
 
 
+def _refuse_live_wal_tail(page_path: str, generation: int) -> None:
+    """Refuse a ``wal=False`` open that would shadow committed log data.
+
+    A non-empty log whose generation matches the snapshot's holds
+    committed-but-uncheckpointed transactions; opening without WAL
+    recovery would silently serve the stale pre-tail state — and a later
+    :func:`save_database` on that handle deletes the log, making the loss
+    permanent.  A stale log (one generation behind) or an unparseable one
+    holds nothing recoverable and is ignored, as before.
+    """
+    wal_path = _wal_path(page_path)
+    if not os.path.exists(wal_path):
+        return
+    log = WalFile(wal_path)
+    try:
+        scan = scan_wal(log)
+    except WalError:
+        return  # not one of our logs — nothing committed to lose
+    finally:
+        log.close()
+    if scan.was_empty or scan.generation != generation:
+        return
+    if scan.committed_txns > 0:
+        raise DatabaseError(
+            f"{wal_path} holds {scan.committed_txns} committed "
+            f"transaction(s) not yet checkpointed into {page_path}; "
+            "opening with wal=False would silently discard them — reopen "
+            "with wal=True (or run 'repro recover') to replay the log first"
+        )
+
+
 def load_database(
     page_path: str,
     pool_capacity: int = 4096,
@@ -146,7 +186,9 @@ def load_database(
     recovered first: committed transactions landed after the snapshot are
     replayed (the newest committed catalog manifest supersedes the
     snapshot's), torn tails are discarded, and generation agreement
-    between log and metadata is enforced.  Every page is verified before
+    between log and metadata is enforced.  With ``wal=False`` the open is
+    refused while the log holds committed-but-uncheckpointed
+    transactions (see :func:`_refuse_live_wal_tail`).  Every page is verified before
     any row is deserialized — against the snapshot checksums, or for
     log-resident pages against their record CRCs — and a mismatch raises
     :class:`PageCorruptionError` naming the offending page.  The verified
@@ -166,6 +208,8 @@ def load_database(
         raise DatabaseError(f"unsupported snapshot version {meta.get('version')!r}")
     generation = int(meta.get("generation", 0))
 
+    if not wal:
+        _refuse_live_wal_tail(page_path, generation)
     storage: StorageBackend = FileStorage(page_path)
     if storage_wrap is not None:
         storage = storage_wrap(storage)

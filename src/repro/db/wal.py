@@ -69,12 +69,6 @@ REC_BEGIN = 1
 REC_PAGE = 2
 REC_COMMIT = 3
 
-#: Largest payload a scan will accept — one page image plus its page
-#: number, with headroom for catalog manifests.  Anything bigger is a
-#: corrupt length field, not a real record.
-MAX_PAYLOAD = 4 * (PAGE_SIZE + _PAGE_NO.size)
-
-
 def _record_crc(kind: int, txn: int, payload: bytes) -> int:
     """CRC32 over a record's header fields and payload."""
     crc = zlib.crc32(_RECORD.pack(kind, txn, len(payload)))
@@ -124,9 +118,23 @@ class WalFile:
         return self._size
 
     def append(self, data: bytes) -> int:
-        """Append ``data`` at the end; return the offset it was written at."""
+        """Append ``data`` at the end; return the offset it was written at.
+
+        ``os.pwrite`` may write fewer bytes than asked; looping until the
+        whole record lands keeps ``_size`` honest — advancing it past a
+        short write would leave a gap that commit() then reports durable.
+        """
         offset = self._size
-        os.pwrite(self._fd, data, offset)
+        view = memoryview(data)
+        written = 0
+        while written < len(data):
+            n = os.pwrite(self._fd, view[written:], offset + written)
+            if n <= 0:
+                raise WalError(
+                    f"short write appending {len(data)} bytes to {self.path} "
+                    f"at offset {offset} ({written} written)"
+                )
+            written += n
         self._size += len(data)
         return offset
 
@@ -218,8 +226,14 @@ def scan_wal(wal_file: WalFileLike) -> _Scan:
         if len(head) < _RECORD.size:
             break  # clean EOF or a torn record header
         kind, txn, length = _RECORD.unpack(head)
-        if kind not in (REC_BEGIN, REC_PAGE, REC_COMMIT) or length > MAX_PAYLOAD:
+        if kind not in (REC_BEGIN, REC_PAGE, REC_COMMIT):
             break  # garbage — treat as torn tail
+        if offset + _RECORD.size + length + _CRC.size > wal_file.size:
+            # The record claims to run past EOF: either a torn append or a
+            # corrupt length field.  No payload-size heuristic beyond this —
+            # COMMIT payloads (catalog manifests) grow with the catalog, and
+            # the length field is already covered by the record CRC.
+            break
         body = wal_file.pread(offset + _RECORD.size, length + _CRC.size)
         if len(body) < length + _CRC.size:
             break  # payload or CRC torn off

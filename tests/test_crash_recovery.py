@@ -17,6 +17,7 @@ Scale the sweep with ``REPRO_CRASH_SEEDS`` (default 2 tear seeds; CI
 runs 12).  The sweep itself carries the ``crash`` marker.
 """
 
+import json
 import os
 import shutil
 
@@ -30,7 +31,10 @@ from repro.db.database import Database
 from repro.db.errors import CrashError, DatabaseError
 from repro.db.faults import CrashableStorage, CrashableWalFile, CrashPoint
 from repro.db.fsck import check_database
+from repro.db.page import PAGE_SIZE
+from repro.db.pager import InMemoryStorage
 from repro.db.snapshot import load_database, save_database
+from repro.db.wal import WalFile, WalStorage
 from repro.eti.builder import build_eti
 from repro.eti.index import EtiIndex
 from repro.eti.maintenance import EtiMaintainer
@@ -230,6 +234,55 @@ class TestCrashSweep:
         with pytest.raises(CrashError):
             run_workload(page_path, crash_point)
         assert verify_recovered(page_path) == len(OPS)
+
+
+class TestWalRecordIntegrity:
+    def test_large_commit_payload_survives_reopen(self, tmp_path):
+        # Regression: the scan used to reject any record whose payload
+        # exceeded ~32 KiB as a corrupt length field, so a committed
+        # catalog manifest past that size (a few thousand heap/ETI pages'
+        # worth of page_numbers) was fsync'd, reported durable, and then
+        # silently truncated away — transaction and all — on the next open.
+        wal_path = str(tmp_path / "big.wal")
+        storage = WalStorage(InMemoryStorage(), WalFile(wal_path))
+        storage.allocate()
+        storage.write(0, b"\x07" * PAGE_SIZE)
+        manifest = json.dumps({"page_numbers": list(range(40_000))}).encode()
+        assert len(manifest) > 200_000
+        storage.commit(manifest)
+        storage.close()
+
+        reopened = WalStorage(InMemoryStorage(), WalFile(wal_path))
+        assert reopened.recovery.torn_bytes == 0
+        assert reopened.recovery.committed_txns == 1
+        assert reopened.recovered_catalog == manifest
+        assert reopened.read(0) == b"\x07" * PAGE_SIZE
+        reopened.close()
+
+    def test_short_pwrite_appends_whole_record(self, tmp_path, monkeypatch):
+        # Regression: WalFile.append ignored os.pwrite's return value, so
+        # a short write left a gap in the log that commit() still reported
+        # durable; the transaction then vanished as a torn tail on reopen.
+        real_pwrite = os.pwrite
+
+        def trickle_pwrite(fd, data, offset):
+            return real_pwrite(fd, bytes(data)[:7], offset)
+
+        monkeypatch.setattr("repro.db.wal.os.pwrite", trickle_pwrite)
+        wal_path = str(tmp_path / "trickle.wal")
+        storage = WalStorage(InMemoryStorage(), WalFile(wal_path))
+        storage.allocate()
+        storage.write(0, b"\x03" * PAGE_SIZE)
+        storage.commit(b"manifest")
+        storage.close()
+        monkeypatch.undo()
+
+        reopened = WalStorage(InMemoryStorage(), WalFile(wal_path))
+        assert reopened.recovery.torn_bytes == 0
+        assert reopened.recovery.committed_txns == 1
+        assert reopened.recovered_catalog == b"manifest"
+        assert reopened.read(0) == b"\x03" * PAGE_SIZE
+        reopened.close()
 
 
 class TestTornAndForeignLogs:

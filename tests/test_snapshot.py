@@ -135,6 +135,41 @@ class TestAtomicMetaWrite:
         assert db.wal.generation == generation_before  # reset never ran
 
 
+class TestNoWalOpenSafety:
+    def test_no_wal_open_refuses_live_committed_tail(self, tmp_path):
+        """``wal=False`` must not silently serve stale pre-tail state.
+
+        Regression: opening without WAL recovery while the log held
+        committed-but-uncheckpointed transactions served the old snapshot
+        (its checksums verify fine), and a later save_database on that
+        handle deleted the log — making the loss permanent and silent.
+        """
+        path = str(tmp_path / "db.pages")
+        db = Database.on_disk(path)
+        rel = db.create_relation("t", [Column("k", ColumnType.INT)])
+        rel.insert((1,))
+        save_database(db)
+        db.close()
+
+        reopened = load_database(path)
+        with reopened.transaction():
+            reopened.relation("t").insert((2,))
+        reopened.pool.storage.close()  # die with a committed, live tail
+
+        with pytest.raises(DatabaseError, match="wal=False"):
+            load_database(path, wal=False)
+
+        # WAL recovery replays the tail; once checkpointed, the no-WAL
+        # engine opens the complete state.
+        recovered = load_database(path)
+        assert sorted(recovered.relation("t").scan()) == [(1,), (2,)]
+        save_database(recovered)
+        recovered.close()
+        plain = load_database(path, wal=False)
+        assert sorted(plain.relation("t").scan()) == [(1,), (2,)]
+        plain.close()
+
+
 class TestEtiReuse:
     def test_persisted_eti_answers_queries(self, tmp_path):
         """§6.2.2.1: the persisted ETI serves subsequent input batches."""
