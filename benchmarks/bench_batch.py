@@ -11,6 +11,10 @@ between distinct tuples:
   caches and batch deduplication, one thread.
 - ``cached_jobs4``: :class:`repro.core.batch.BatchMatcher` with
   ``jobs=4`` worker threads over the shared read-only ETI.
+- ``process_jobs4``: the same engine with ``executor="process"`` — four
+  worker *processes*, each owning a private interpreter (no GIL
+  contention).  Worth it only on multicore hardware; the recorded
+  ``cpus`` field says what the numbers were measured on.
 
 Every mode runs the same batch and must produce bit-identical matches
 (asserted).  Results — throughput, speedups, and cache hit-rate counters —
@@ -128,9 +132,27 @@ def run_modes(reference, weights, config, eti, batch):
         modes.append(
             {
                 "name": "cached_jobs4",
+                "executor": engine.executor,
                 "seconds": parallel_seconds,
                 "queries_per_second": len(batch) / parallel_seconds,
                 "cache_counters": engine.cache_counters(),
+                "deduplicated_queries": engine.last_report.deduplicated_queries,
+            }
+        )
+
+    with BatchMatcher(
+        reference, weights, config, eti, jobs=4, executor="process"
+    ) as engine:
+        started = time.perf_counter()
+        process_results = engine.match_many(batch)
+        process_seconds = time.perf_counter() - started
+        assert extract(process_results) == baseline, "process results diverged"
+        modes.append(
+            {
+                "name": "process_jobs4",
+                "executor": engine.executor,
+                "seconds": process_seconds,
+                "queries_per_second": len(batch) / process_seconds,
                 "deduplicated_queries": engine.last_report.deduplicated_queries,
             }
         )
@@ -151,6 +173,7 @@ def main() -> int:
 
     payload = {
         "benchmark": "batch_engine_throughput",
+        "cpus": os.cpu_count() or 1,
         "workload": {
             "reference_size": REFERENCE_SIZE,
             "batch_size": len(batch),
@@ -172,9 +195,7 @@ def main() -> int:
             f"  {mode['name']:>17}: {mode['queries_per_second']:8.1f} q/s "
             f"({mode['speedup_vs_seed']:.2f}x vs seed)"
         )
-    final = modes[-1]["speedup_vs_seed"]
-    cached = modes[1]["speedup_vs_seed"]
-    best = max(cached, final)
+    best = max(mode["speedup_vs_seed"] for mode in modes[1:])
     print(f"best speedup vs seed sequential: {best:.2f}x")
     if best < 2.0:
         print("WARNING: below the 2x acceptance target", file=sys.stderr)

@@ -4,8 +4,8 @@ The parity guarantees the batch engine and the chaos suite rely on —
 "bit-identical to the sequential run", "identical to the clean run" —
 only hold because fuzzy-match scoring is a pure function of its inputs.
 This rule guards the modules on that path (``core/fms*.py``,
-``core/osc.py``, and all of ``eti/``) against the three classic ways
-Python code goes nondeterministic:
+``core/kernels.py``, ``core/osc.py``, and all of ``eti/``) against the
+three classic ways Python code goes nondeterministic:
 
 - **unseeded randomness** — any ``random.*`` call except constructing an
   explicitly seeded ``random.Random(seed)``;
@@ -26,7 +26,9 @@ from typing import Iterator
 
 from repro.analysis.framework import Finding, Module, Rule, register
 
-_SCOPE_RE = re.compile(r"^repro/(core/fms[^/]*\.py|core/osc\.py|eti/)")
+_SCOPE_RE = re.compile(
+    r"^repro/(core/fms[^/]*\.py|core/kernels\.py|core/osc\.py|eti/)"
+)
 
 CLOCK_ATTRIBUTES = frozenset(
     {

@@ -212,8 +212,18 @@ def cmd_match(args: argparse.Namespace) -> int:
         resilience = ResiliencePolicy.with_budget(
             deadline_ms=args.deadline_ms, max_page_fetches=args.max_page_fetches
         )
+    executor = getattr(args, "executor", "auto")
+    if resilience is not None and executor == "process":
+        raise SystemExit(
+            "--executor process cannot be combined with per-query budgets "
+            "(--deadline-ms/--max-page-fetches); use --executor thread"
+        )
     engine = BatchMatcher.from_matcher(
-        matcher, jobs=args.jobs, resilience=resilience, fail_fast=args.fail_fast
+        matcher,
+        jobs=args.jobs,
+        resilience=resilience,
+        fail_fast=args.fail_fast,
+        executor=executor,
     )
     started = time.perf_counter()
     with engine:
@@ -253,6 +263,7 @@ def cmd_match(args: argparse.Namespace) -> int:
         f"matched {len(inputs)} tuples in {elapsed:.2f}s "
         f"({1000 * elapsed / max(len(inputs), 1):.1f} ms/tuple, "
         f"{report.queries_per_second:.1f} q/s, jobs={args.jobs}, "
+        f"executor={report.executor}, "
         f"{report.deduplicated_queries} deduplicated)",
         file=sys.stderr,
     )
@@ -436,7 +447,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker threads for batch matching (1 = sequential)",
+        help="batch-matching workers (1 = sequential)",
+    )
+    mat.add_argument(
+        "--executor",
+        choices=("auto", "thread", "process"),
+        default="auto",
+        help="worker pool flavour for --jobs > 1: 'thread' shares one "
+        "interpreter (GIL-bound), 'process' runs true multicore workers, "
+        "'auto' picks processes when safe and useful (default)",
     )
     mat.add_argument(
         "--deadline-ms",

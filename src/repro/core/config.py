@@ -73,6 +73,13 @@ class MatchConfig:
         Cost used when ``transposition_cost`` is CONSTANT.
     use_osc:
         Enable optimistic short circuiting in query processing (§4.3.2).
+    budgeted_verification:
+        Let candidate verification pass a transformation-cost budget
+        derived from the current K-th best similarity into the fms DP, so
+        provably-losing candidates are abandoned mid-computation (see
+        :func:`repro.core.fms.fms_budgeted`).  Never changes answers —
+        only how much DP work losing candidates cost; ``False`` restores
+        the always-exact behaviour for A/B measurement.
     osc_conservative:
         Use the provably-safe stopping bound instead of the paper's
         permissive score-space bound (see :mod:`repro.core.osc`).  Safer,
@@ -95,6 +102,7 @@ class MatchConfig:
     transposition_constant: float = 0.5
     use_osc: bool = True
     osc_conservative: bool = False
+    budgeted_verification: bool = True
     seed: int = 2003
 
     def __post_init__(self) -> None:

@@ -19,16 +19,69 @@ and every index-based guarantee carries over.
 
 fms is deliberately asymmetric: ``u`` is always the dirty input, ``v`` the
 clean reference.
+
+Two verification fast paths live here (see ``docs/INTERNALS.md``):
+
+- *Per-cell edit-distance cutoffs*: before comparing two tokens, the DP
+  already knows the cheapest way to reach the cell without a replacement;
+  the replacement only matters if ``ed`` lands below a cutoff derived from
+  that alternative, so the thresholded banded kernel
+  (:func:`repro.core.strings.bounded_edit_distance`) is asked only for a
+  verdict, not the exact distance.  Cell values are unchanged — the
+  shortcut is taken only when the kernel's certified lower bound proves
+  the replacement is dominated.
+- *Cost budgets*: the matcher's top-K loop knows that a candidate whose
+  transformation cost exceeds ``(1 − kth_best) · w(u)`` can never enter
+  the result, and passes that as a budget.  The DP abandons the candidate
+  as soon as the running row minimum plus an admissible lower bound on the
+  remaining tokens' cost exceeds the budget, returning a certified lower
+  bound instead of the exact cost.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.config import MatchConfig, TranspositionCost
-from repro.core.strings import cached_edit_distance
+from repro.core.strings import (
+    bounded_edit_distance,
+    cached_edit_distance,
+    exact_distance_memo,
+)
 from repro.core.tokens import TupleTokens
 from repro.core.weights import WeightFunction
+
+
+@dataclass
+class FmsCounters:
+    """Cumulative work counters for the transformation-cost DP.
+
+    ``dp_cells`` counts (input token × reference token) cells filled,
+    ``cutoff_prunes`` counts cells where the banded kernel's lower bound
+    proved the replacement dominated (no exact edit distance computed),
+    and ``budget_abandons`` counts DP runs that stopped early because the
+    running cost cleared the caller's budget.  Plain int increments:
+    concurrent queries may under-count, which only distorts reporting.
+    """
+
+    dp_cells: int = 0
+    cutoff_prunes: int = 0
+    budget_abandons: int = 0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """Counter values at this instant, for before/after deltas."""
+        return (self.dp_cells, self.cutoff_prunes, self.budget_abandons)
+
+    def reset(self) -> None:
+        """Zero every counter (benchmark bracketing)."""
+        self.dp_cells = 0
+        self.cutoff_prunes = 0
+        self.budget_abandons = 0
+
+
+#: Module-wide counters shared by every transformation-cost DP run.
+COUNTERS = FmsCounters()
 
 
 def _transposition_cost(w1: float, w2: float, config: MatchConfig) -> float:
@@ -42,6 +95,44 @@ def _transposition_cost(w1: float, w2: float, config: MatchConfig) -> float:
     return config.transposition_constant
 
 
+def _replace_cost(
+    prev_diag: float, alternative: float, token_u: str, token_v: str, weight_u: float
+) -> float:
+    """Cell value ``min(alternative, prev_diag + ed(t_u, t_v) · w_u)``.
+
+    The edit distance only matters when it is small enough for the
+    replacement to beat ``alternative`` (the best of delete/insert), so
+    the thresholded kernel is consulted first; its certified lower bound
+    discharges most comparisons without computing an exact distance.  The
+    returned cell value is exactly what the unbounded DP would produce.
+    """
+    if weight_u <= 0.0:
+        return alternative if alternative < prev_diag else prev_diag
+    gap = alternative - prev_diag
+    if gap <= 0.0:
+        # Even a free replacement cannot beat the alternative.
+        return alternative
+    # Fast path: a previously memoized exact distance settles the cell
+    # with one dict probe (the common case — candidates share tokens).
+    key = (token_u, token_v) if token_u <= token_v else (token_v, token_u)
+    memoized = exact_distance_memo.get(key)
+    if memoized is not None:
+        replace = prev_diag + memoized * weight_u
+        return replace if replace < alternative else alternative
+    distance, exact = bounded_edit_distance(token_u, token_v, gap / weight_u)
+    replace = prev_diag + distance * weight_u
+    if exact:
+        return replace if replace < alternative else alternative
+    if replace >= alternative:
+        # The lower bound alone proves the replacement is dominated.
+        COUNTERS.cutoff_prunes += 1
+        return alternative
+    # Float-boundary fallback: the bound was not decisive; pay for the
+    # exact distance (memoized) to keep the cell bit-identical.
+    replace = prev_diag + cached_edit_distance(token_u, token_v) * weight_u
+    return replace if replace < alternative else alternative
+
+
 def transformation_cost(
     input_tokens: Sequence[str],
     reference_tokens: Sequence[str],
@@ -49,12 +140,18 @@ def transformation_cost(
     weights: WeightFunction,
     config: MatchConfig,
     column_weight: float = 1.0,
+    budget: float | None = None,
 ) -> float:
     """``tc(u[i], v[i])``: minimum cost to transform one column's tokens.
 
     ``input_tokens`` / ``reference_tokens`` are the *ordered* token
     sequences of column ``column``.  ``column_weight`` scales every token
     weight (§5.2); 1.0 is plain fms.
+
+    ``budget`` (``None`` = unlimited) lets the DP abandon early: when the
+    minimum cost of any completion provably exceeds the budget, a
+    certified lower bound greater than the budget is returned instead of
+    the exact cost.  Results at or under the budget are always exact.
     """
     m = len(input_tokens)
     n = len(reference_tokens)
@@ -65,6 +162,7 @@ def transformation_cost(
         weights.weight(t, column) * column_weight for t in reference_tokens
     ]
     c_ins = config.token_insertion_factor
+    transpositions = config.allow_transpositions
 
     # DP over (i input tokens consumed, j reference tokens produced).
     previous = [0.0] * (n + 1)
@@ -75,16 +173,16 @@ def transformation_cost(
         current = [previous[0] + input_weights[i - 1]]
         token_u = input_tokens[i - 1]
         weight_u = input_weights[i - 1]
+        row_min = current[0]
         for j in range(1, n + 1):
             token_v = reference_tokens[j - 1]
-            best = previous[j - 1] + cached_edit_distance(token_u, token_v) * weight_u
             delete = previous[j] + weight_u
-            if delete < best:
-                best = delete
             insert = current[j - 1] + c_ins * reference_weights[j - 1]
-            if insert < best:
-                best = insert
-            if config.allow_transpositions and older is not None and i >= 2 and j >= 2:
+            alternative = delete if delete < insert else insert
+            best = _replace_cost(
+                previous[j - 1], alternative, token_u, token_v, weight_u
+            )
+            if transpositions and older is not None and i >= 2 and j >= 2:
                 # Transpose (u[i-2], u[i-1]) then replace each against its
                 # crossed counterpart — a transposition followed by token
                 # replacements is a legal transformation sequence, so the
@@ -100,6 +198,22 @@ def transformation_cost(
                 if swap < best:
                     best = swap
             current.append(best)
+            if best < row_min:
+                row_min = best
+        COUNTERS.dp_cells += n
+        if budget is not None and i < m:
+            # Admissible completion bound: input tokens i..m-1 remain.  If
+            # more remain than there are reference tokens, the surplus must
+            # be deleted no matter how the rest pair up, costing at least
+            # the smallest remaining weights.  (Transpositions only reorder
+            # tokens, so the surplus-deletion argument still holds.)
+            lower = row_min
+            surplus = (m - i) - n
+            if surplus > 0:
+                lower += sum(sorted(input_weights[i:])[:surplus])
+            if lower > budget:
+                COUNTERS.budget_abandons += 1
+                return lower
         older = previous
         previous = current
     return previous[n]
@@ -110,8 +224,16 @@ def tuple_transformation_cost(
     v: TupleTokens,
     weights: WeightFunction,
     config: MatchConfig,
+    budget: float | None = None,
 ) -> float:
-    """``tc(u, v)``: sum of per-column transformation costs."""
+    """``tc(u, v)``: sum of per-column transformation costs.
+
+    With a ``budget``, the per-column DPs run under the remaining budget
+    and the whole computation abandons (returning a certified lower bound
+    greater than the budget) as soon as the accumulated cost alone proves
+    the tuple cannot come in under it.  Results at or under the budget are
+    always exact.
+    """
     if u.num_columns != v.num_columns:
         raise ValueError("tuples must have the same number of columns")
     column_weights = config.normalized_column_weights(u.num_columns)
@@ -124,6 +246,7 @@ def tuple_transformation_cost(
             # DP here is the hot-path win (candidates usually agree on
             # most columns).
             continue
+        remaining = None if budget is None else budget - total
         total += transformation_cost(
             u_tokens,
             v_tokens,
@@ -131,7 +254,13 @@ def tuple_transformation_cost(
             weights,
             config,
             column_weight=column_weights[col],
+            budget=remaining,
         )
+        if budget is not None and total > budget:
+            # Either this column's DP abandoned (returning a lower bound
+            # above its remaining budget) or the exact running total
+            # crossed the line; both certify total cost > budget.
+            return total
     return total
 
 
@@ -165,6 +294,28 @@ def fms(
     config): a query verifying many candidates against one input tuple
     computes it once instead of per candidate.
     """
+    similarity, _ = fms_budgeted(u, v, weights, config, u_weight=u_weight)
+    return similarity
+
+
+def fms_budgeted(
+    u: TupleTokens | Sequence[str | None],
+    v: TupleTokens | Sequence[str | None],
+    weights: WeightFunction,
+    config: MatchConfig | None = None,
+    u_weight: float | None = None,
+    cost_budget: float | None = None,
+) -> tuple[float, bool]:
+    """:func:`fms` with an optional transformation-cost budget.
+
+    Returns ``(similarity, pruned)``.  With ``pruned=False`` the
+    similarity is exact.  With ``pruned=True`` (only possible when a
+    ``cost_budget`` is given) the DP proved the transformation cost
+    exceeds the budget and stopped; the returned value is an *upper
+    bound* on the true similarity and is strictly below
+    ``1 − cost_budget / w(u)`` — enough for a top-K loop to discard the
+    candidate, and nothing else.
+    """
     if config is None:
         config = MatchConfig()
     if not isinstance(u, TupleTokens):
@@ -175,6 +326,10 @@ def fms(
         u_weight if u_weight is not None else input_tuple_weight(u, weights, config)
     )
     if total_weight <= 0.0:
-        return 1.0 if v.token_count() == 0 else 0.0
-    cost = tuple_transformation_cost(u, v, weights, config)
-    return 1.0 - min(cost / total_weight, 1.0)
+        return (1.0 if v.token_count() == 0 else 0.0, False)
+    if cost_budget is not None and cost_budget >= total_weight:
+        # fms floors at 0 once cost reaches w(u): nothing left to prune.
+        cost_budget = None
+    cost = tuple_transformation_cost(u, v, weights, config, budget=cost_budget)
+    pruned = cost_budget is not None and cost > cost_budget
+    return (1.0 - min(cost / total_weight, 1.0), pruned)

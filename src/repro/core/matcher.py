@@ -30,7 +30,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.cache import CachingWeightFunction, MatcherCaches
 from repro.core.candidates import ScoreTable
 from repro.core.config import MatchConfig
-from repro.core.fms import fms, input_tuple_weight
+from repro.core.fms import fms, fms_budgeted, input_tuple_weight
 from repro.core.minhash import MinHasher
 from repro.core.osc import fetching_test, similarity_upper_bound, stopping_test
 from repro.core.reference import ReferenceTable
@@ -76,6 +76,11 @@ class MatchStats:
     tids_admitted: int = 0
     candidates_fetched: int = 0
     fms_evaluations: int = 0
+    verify_budget_prunes: int = 0
+    """Candidates whose budgeted verification proved they cannot displace
+    the current K-th best and stopped the transformation DP early
+    (:func:`repro.core.fms.fms_budgeted`); pruned candidates never enter
+    the result, so answers are unchanged."""
     osc_fetch_attempts: int = 0
     osc_succeeded: bool = False
     elapsed_seconds: float = 0.0
@@ -593,7 +598,7 @@ class FuzzyMatcher:
         # clear c once the adjustment is credited).  We admit against the
         # adjusted floor, which is consistent and still bounds table size.
         score_table = ScoreTable(max(threshold - full_adjustment, 0.0))
-        fms_cache: dict[int, tuple[float, tuple]] = {}
+        fms_cache: dict[int, tuple[float, tuple, bool]] = {}
         lookups_before = eti.lookups
 
         processed_weight = 0.0
@@ -642,6 +647,7 @@ class FuzzyMatcher:
                     f"outside cap {decision.outside_score_cap:.3f}"
                 )
             similarities = [
+                # No cost budget here: the stopping test needs exact fms.
                 self._verify(tid, input_tokens, input_weight, fms_cache, stats)[0]
                 for tid in decision.top_tids
             ]
@@ -714,9 +720,26 @@ class FuzzyMatcher:
                         f"displace K-th fms {verified[k - 1][0]:.3f}"
                     )
                 break
-            similarity, _ = self._verify(
-                tid, input_tokens, input_weight, fms_cache, stats
+            cost_budget = None
+            if self.config.budgeted_verification and len(verified) >= k:
+                # A candidate can only displace the K-th verified match if
+                # its transformation cost stays under (1 − kth) · w(u);
+                # later candidates see ever-tighter budgets as the top-K
+                # improves, so the DP abandons most losers mid-row.
+                cost_budget = (1.0 - verified[k - 1][0]) * input_weight
+            similarity, _, pruned = self._verify(
+                tid, input_tokens, input_weight, fms_cache, stats,
+                cost_budget=cost_budget,
             )
+            if pruned:
+                # Certified unable to displace the current top-K; the
+                # similarity is an upper bound, never a result.
+                if log:
+                    log(
+                        f"verify tid {tid}: score {score:.3f} -> budget-pruned "
+                        f"(cannot beat K-th fms {verified[k - 1][0]:.3f})"
+                    )
+                continue
             if log:
                 log(f"verify tid {tid}: score {score:.3f} -> fms {similarity:.3f}")
             if similarity >= c:
@@ -734,10 +757,17 @@ class FuzzyMatcher:
         tid: int,
         input_tokens: TupleTokens,
         input_weight: float,
-        fms_cache: dict[int, tuple[float, tuple]],
+        fms_cache: dict[int, tuple[float, tuple, bool]],
         stats: MatchStats,
-    ) -> tuple[float, tuple]:
-        """Fetch ``tid`` (once per query) and compute its exact fms (once).
+        cost_budget: float | None = None,
+    ) -> tuple[float, tuple, bool]:
+        """Fetch ``tid`` (once per query) and compute its fms (once).
+
+        Returns ``(similarity, reference_values, pruned)``.  With
+        ``pruned=False`` the similarity is exact; with ``pruned=True`` the
+        budgeted DP (:func:`repro.core.fms.fms_budgeted`) proved the
+        candidate cannot come in under ``cost_budget`` and the similarity
+        is only an upper bound — callers must discard it, never rank it.
 
         The fetch+tokenize goes through the cross-query reference-token
         cache, so a candidate verified by an earlier query costs neither a
@@ -751,22 +781,32 @@ class FuzzyMatcher:
         """
         cached = fms_cache.get(tid)
         if cached is not None:
-            return cached
+            # An exact entry answers every caller.  A pruned entry only
+            # answers budgeted callers: within one query the K-th best
+            # similarity never decreases, so budgets only tighten and
+            # "over budget before" implies "over budget now".  An exact
+            # caller (OSC stopping test) recomputes without a budget.
+            if not cached[2] or cost_budget is not None:
+                return cached
         try:
             reference_tokens, reference_values = self._reference_tokens(tid)
         except RecordNotFoundError:
-            fms_cache[tid] = (-1.0, ())
+            fms_cache[tid] = (-1.0, (), False)
             return fms_cache[tid]
-        stats.candidates_fetched += 1
-        similarity = fms(
+        if cached is None:
+            stats.candidates_fetched += 1
+        similarity, pruned = fms_budgeted(
             input_tokens,
             reference_tokens,
             self._weights,
             self.config,
             u_weight=input_weight,
+            cost_budget=cost_budget,
         )
         stats.fms_evaluations += 1
-        fms_cache[tid] = (similarity, reference_values)
+        if pruned:
+            stats.verify_budget_prunes += 1
+        fms_cache[tid] = (similarity, reference_values, pruned)
         return fms_cache[tid]
 
     def _finalize(

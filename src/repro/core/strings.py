@@ -10,41 +10,53 @@ The paper's definitions (Section 3):
   3-gram set of "boeing" = {boe, oei, ein, ing}.  For strings shorter than
   ``q`` we follow the paper's short-token convention and use the string
   itself as its only "gram".
+
+Distance computation is delegated to :mod:`repro.core.kernels`: the
+bit-parallel Myers kernel for everything but the tiniest operands, and the
+classic DP (with preallocated rows) as the small-operand fallback.  All
+kernels are exact and parity-tested, so callers never see a different
+number than the reference DP would produce.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import math
+
+from repro.core.kernels import MYERS_MIN_PATTERN, bounded_distance, classic_distance, myers_distance
+
+#: Bound on the exact and lower-bound memo sizes.  When a memo fills up it
+#: is simply cleared — the hot-path token vocabulary is far smaller than
+#: this, so in practice the memos never cycle; the cap only guards
+#: pathological adversarial workloads.  Cache policy never affects values.
+ED_CACHE_CAPACITY = 200_000
+
+# token-pair -> exact normalized distance (keys are canonically ordered).
+# Exposed read-only as ``exact_distance_memo`` so the fms DP's inner loop
+# can probe it with a single dict lookup; all writes happen here.
+_ED_CACHE: dict[tuple[str, str], float] = {}
+exact_distance_memo = _ED_CACHE
+# token-pair -> best *raw* lower bound proven so far by a thresholded call
+# that gave up before reaching the exact distance.
+_ED_LB_CACHE: dict[tuple[str, str], int] = {}
 
 
 def edit_distance_raw(s1: str, s2: str) -> int:
-    """Unnormalized Levenshtein distance between ``s1`` and ``s2``."""
+    """Unnormalized Levenshtein distance between ``s1`` and ``s2``.
+
+    Routed through the kernel layer: operands whose shorter side reaches
+    :data:`repro.core.kernels.MYERS_MIN_PATTERN` use the bit-parallel
+    Myers kernel; smaller ones use the classic DP fallback, which
+    preallocates its two row buffers and writes cells by index.
+    """
     if s1 == s2:
         return 0
     if not s1:
         return len(s2)
     if not s2:
         return len(s1)
-    # Keep the shorter string in the inner loop for the O(min) row.
-    if len(s2) < len(s1):
-        s1, s2 = s2, s1
-    previous = list(range(len(s1) + 1))
-    for row, c2 in enumerate(s2, start=1):
-        current = [row]
-        prev_diag = previous[0]
-        for col, c1 in enumerate(s1, start=1):
-            cost_sub = prev_diag + (c1 != c2)
-            cost_del = previous[col] + 1
-            cost_ins = current[col - 1] + 1
-            best = cost_sub
-            if cost_del < best:
-                best = cost_del
-            if cost_ins < best:
-                best = cost_ins
-            current.append(best)
-            prev_diag = previous[col]
-        previous = current
-    return previous[-1]
+    if min(len(s1), len(s2)) < MYERS_MIN_PATTERN:
+        return classic_distance(s1, s2)
+    return myers_distance(s1, s2)
 
 
 def edit_distance(s1: str, s2: str) -> float:
@@ -58,9 +70,10 @@ def edit_distance(s1: str, s2: str) -> float:
     return edit_distance_raw(s1, s2) / longest
 
 
-@lru_cache(maxsize=200_000)
-def _cached_edit_distance(s1: str, s2: str) -> float:
-    return edit_distance(s1, s2)
+def clear_edit_distance_caches() -> None:
+    """Drop the cross-query edit-distance memos (benchmark bracketing)."""
+    _ED_CACHE.clear()
+    _ED_LB_CACHE.clear()
 
 
 def cached_edit_distance(s1: str, s2: str) -> float:
@@ -73,7 +86,65 @@ def cached_edit_distance(s1: str, s2: str) -> float:
     """
     if s2 < s1:
         s1, s2 = s2, s1
-    return _cached_edit_distance(s1, s2)
+    key = (s1, s2)
+    value = _ED_CACHE.get(key)
+    if value is not None:
+        return value
+    value = edit_distance(s1, s2)
+    if len(_ED_CACHE) >= ED_CACHE_CAPACITY:
+        _ED_CACHE.clear()
+    _ED_CACHE[key] = value
+    return value
+
+
+def bounded_edit_distance(s1: str, s2: str, cutoff: float) -> tuple[float, bool]:
+    """Normalized edit distance, computed only up to ``cutoff``.
+
+    Returns ``(value, exact)``.  With ``exact=True``, ``value`` is the
+    exact normalized distance (and has been memoized alongside
+    :func:`cached_edit_distance`'s results).  With ``exact=False``,
+    ``value`` is a certified *lower bound* on the normalized distance —
+    the banded kernel proved the distance is at least that much and
+    stopped.  Callers that only need "is the distance below ``cutoff``"
+    (the budgeted fms DP) use the bound to discard the comparison without
+    paying for the full computation; anything else should fall back to
+    :func:`cached_edit_distance`.
+
+    A ``cutoff`` at or above 1.0 always computes exactly (normalized
+    distances never exceed 1.0, so no bound could prune anything).
+    """
+    if s2 < s1:
+        s1, s2 = s2, s1
+    key = (s1, s2)
+    value = _ED_CACHE.get(key)
+    if value is not None:
+        return (value, True)
+    longest = max(len(s1), len(s2))
+    if longest == 0:
+        return (0.0, True)
+    if cutoff >= 1.0:
+        return (cached_edit_distance(s1, s2), True)
+    # Raw distances strictly below ceil(cutoff·longest) can matter; the
+    # band limit is one less.  Float error in the product can only move
+    # the limit by one either way, and the caller re-checks the returned
+    # bound against its own threshold before acting on it, so a too-small
+    # limit costs a fallback computation, never a wrong answer.
+    limit = math.ceil(cutoff * longest) - 1
+    known = _ED_LB_CACHE.get(key)
+    if known is not None and known > limit:
+        return (known / longest, False)
+    raw = bounded_distance(s1, s2, limit)
+    if raw <= limit:
+        value = raw / longest
+        if len(_ED_CACHE) >= ED_CACHE_CAPACITY:
+            _ED_CACHE.clear()
+        _ED_CACHE[key] = value
+        return (value, True)
+    if known is None or raw > known:
+        if len(_ED_LB_CACHE) >= ED_CACHE_CAPACITY:
+            _ED_LB_CACHE.clear()
+        _ED_LB_CACHE[key] = raw
+    return (raw / longest, False)
 
 
 def qgram_set(s: str, q: int) -> frozenset[str]:
@@ -91,7 +162,7 @@ def qgram_set(s: str, q: int) -> frozenset[str]:
 
 
 def jaccard(set1: frozenset[str] | set, set2: frozenset[str] | set) -> float:
-    """Jaccard coefficient ``|S1 ∩ S2| / |S1 ∪ S2]`` (0 for two empty sets)."""
+    """Jaccard coefficient ``|S1 ∩ S2| / |S1 ∪ S2|`` (0 for two empty sets)."""
     if not set1 and not set2:
         return 0.0
     intersection = len(set1 & set2)

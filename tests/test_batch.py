@@ -129,6 +129,83 @@ class TestBatchMatcherParallel:
         )
 
 
+class TestProcessExecutor:
+    def test_bit_identical_to_sequential(self, world):
+        """Process workers return exactly the sequential answers, twice
+        (the second batch exercises the warm pool)."""
+        reference, weights, config, eti, batch = world
+        sequential = FuzzyMatcher(
+            reference, weights, config, eti, caches=MatcherCaches.disabled()
+        )
+        expected = result_view([sequential.match(values) for values in batch])
+        with BatchMatcher(
+            reference, weights, config, eti, jobs=2, executor="process"
+        ) as engine:
+            assert engine.executor == "process"
+            for _ in range(2):
+                results = engine.match_many(batch)
+                assert result_view(results) == expected
+            assert engine.last_report.executor == "process"
+
+    def test_thread_executor_recorded(self, world):
+        reference, weights, config, eti, batch = world
+        with BatchMatcher(reference, weights, config, eti, jobs=2) as engine:
+            engine.match_many(batch[:4])
+            assert engine.executor == "thread"
+            assert engine.last_report.executor == "thread"
+
+    def test_auto_with_resilience_resolves_to_thread(self, world):
+        from repro.core.resilience import ResiliencePolicy
+
+        reference, weights, config, eti, _ = world
+        engine = BatchMatcher(
+            reference, weights, config, eti,
+            jobs=4, executor="auto", resilience=ResiliencePolicy(),
+        )
+        assert engine.executor == "thread"
+        engine.close()
+
+    def test_process_with_resilience_rejected(self, world):
+        from repro.core.resilience import ResiliencePolicy
+
+        reference, weights, config, eti, _ = world
+        with pytest.raises(ValueError, match="resilience"):
+            BatchMatcher(
+                reference, weights, config, eti,
+                jobs=2, executor="process", resilience=ResiliencePolicy(),
+            )
+
+    def test_invalid_executor_rejected(self, world):
+        reference, weights, config, eti, _ = world
+        with pytest.raises(ValueError, match="executor"):
+            BatchMatcher(reference, weights, config, eti, executor="greenlet")
+
+    def test_worker_spec_pickle_rebuild_parity(self, world):
+        """The spawn-path recipe survives pickling and rebuilds a matcher
+        whose answers are bit-identical to the parent's."""
+        import pickle
+
+        from repro.core.batch import WorkerSpec
+
+        reference, weights, config, eti, batch = world
+        parent = FuzzyMatcher(reference, weights, config, eti)
+        spec = WorkerSpec(
+            columns=reference.column_names,
+            table="rebuilt",
+            build_index=eti is not None,
+            config=config,
+            weights=weights,
+            hasher=parent.hasher,
+            rows=tuple(reference.scan()),
+            fail_fast=True,
+        )
+        rebuilt = pickle.loads(pickle.dumps(spec)).build()
+        subset = batch[:10]
+        assert result_view([rebuilt.match(v) for v in subset]) == result_view(
+            [parent.match(v) for v in subset]
+        )
+
+
 class TestCliJobs:
     @pytest.fixture()
     def csv_pair(self, tmp_path):
@@ -160,6 +237,39 @@ class TestCliJobs:
             parallel_rows = list(csv.reader(handle))
         assert sequential_rows == parallel_rows
 
+    def test_executor_flag_matches_sequential_output(self, csv_pair, tmp_path):
+        reference, dirty = csv_pair
+        seq_out = tmp_path / "seq.csv"
+        proc_out = tmp_path / "proc.csv"
+        base = ["match", "--reference", str(reference), "--input", str(dirty)]
+        assert cli_main(base + ["--out", str(seq_out)]) == 0
+        assert (
+            cli_main(
+                base + ["--jobs", "2", "--executor", "process", "--out", str(proc_out)]
+            )
+            == 0
+        )
+        with open(seq_out, newline="") as handle:
+            sequential_rows = list(csv.reader(handle))
+        with open(proc_out, newline="") as handle:
+            process_rows = list(csv.reader(handle))
+        assert sequential_rows == process_rows
+
+    def test_executor_process_rejects_query_budget(self, csv_pair, tmp_path):
+        reference, dirty = csv_pair
+        with pytest.raises(SystemExit):
+            cli_main(
+                [
+                    "match",
+                    "--reference", str(reference),
+                    "--input", str(dirty),
+                    "--jobs", "2",
+                    "--executor", "process",
+                    "--deadline-ms", "50",
+                    "--out", str(tmp_path / "never.csv"),
+                ]
+            )
+
 
 def test_bench_batch_importable():
     """The throughput benchmark's module contract: modes + JSON targets."""
@@ -182,4 +292,6 @@ def test_bench_batch_importable():
         "seed_sequential",
         "cached_sequential",
         "cached_jobs4",
+        "process_jobs4",
     ]
+    assert payload["cpus"] >= 1

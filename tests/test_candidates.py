@@ -81,3 +81,52 @@ class TestTopAndCandidates:
 
     def test_negative_floor_returns_all(self):
         assert len(self.make_table().candidates(-5.0)) == 3
+
+
+class TestTopCache:
+    def make_table(self):
+        table = ScoreTable(threshold=0.0)
+        table.add_tid_list([1], weight=3.0, remaining_weight=10.0)
+        table.add_tid_list([2], weight=2.0, remaining_weight=7.0)
+        table.add_tid_list([3], weight=1.0, remaining_weight=5.0)
+        return table
+
+    def test_repeat_calls_hit_cache(self):
+        table = self.make_table()
+        first = table.top(2)
+        assert table.stats.top_cache_hits == 0
+        second = table.top(2)
+        assert second == first
+        assert table.stats.top_cache_hits == 1
+
+    def test_mutation_invalidates(self):
+        table = self.make_table()
+        assert table.top(2) == [(1, 3.0), (2, 2.0)]
+        table.add_tid_list([3], weight=4.0, remaining_weight=5.0)
+        assert table.top(2) == [(3, 5.0), (1, 3.0)]
+        assert table.stats.top_cache_hits == 0
+
+    def test_rejected_only_list_keeps_cache_valid(self):
+        # Every tid below the admission bound: nothing changed, so the
+        # cached ranking stays live.
+        table = ScoreTable(threshold=5.0)
+        table.add_tid_list([1, 2], weight=6.0, remaining_weight=9.0)
+        first = table.top(2)
+        table.add_tid_list([8, 9], weight=0.5, remaining_weight=1.0)
+        assert table.stats.tids_rejected == 2
+        assert table.top(2) == first
+        assert table.stats.top_cache_hits == 1
+
+    def test_different_count_recomputes(self):
+        table = self.make_table()
+        table.top(2)
+        assert table.top(3) == [(1, 3.0), (2, 2.0), (3, 1.0)]
+        assert table.stats.top_cache_hits == 0
+        table.top(3)
+        assert table.stats.top_cache_hits == 1
+
+    def test_returned_list_is_a_private_copy(self):
+        table = self.make_table()
+        first = table.top(2)
+        first.append((99, 0.0))
+        assert table.top(2) == [(1, 3.0), (2, 2.0)]
