@@ -1,0 +1,301 @@
+"""Serving-layer overhead and overload behaviour: ``BENCH_serve.json``.
+
+Measures the online serving story end to end against an in-process
+:class:`~repro.serve.server.MatchServer` over real TCP:
+
+- ``direct`` — the baseline: the same per-thread matcher the server's
+  workers use, called in a plain loop.  Its p50 is the floor the wire
+  path is judged against.
+- ``serve_1x`` — one closed-loop client: exactly one request in flight,
+  so nothing queues and the measured p50 is the direct path plus the
+  serving layer (wire, admission, deadline stamping, worker hand-off).
+  This is the level the overhead gate is judged on.
+- ``serve_2x`` / ``serve_10x`` — 2 and 10 closed-loop clients *per
+  server worker* (no think time), offered load well past service
+  capacity.  Each level records throughput, latency percentiles
+  (p50/p95/p99), and the outcome mix — completed / degraded / shed
+  rates.
+
+The acceptance gate: at 1x offered load the served p50 must be within
+10% plus a fixed 2ms wire allowance of the direct p50 (admission,
+deadline stamping, and the JSON protocol are cheap), and no request at
+any level may resolve to an untyped error.  The full run exits 1 when
+the gate fails; ``--smoke`` (the CI mode) still records the numbers but
+never fails on timing, only on correctness.
+
+Scale is environment-tunable::
+
+    REPRO_BENCH_SERVE_REFERENCE   reference relation size   (default 1500)
+    REPRO_BENCH_SERVE_DISTINCT    distinct dirty tuples     (default 60)
+    REPRO_BENCH_SERVE_REQUESTS    requests per client       (default 40)
+    REPRO_BENCH_SERVE_WORKERS     server worker threads     (default 4)
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.core.batch import BatchMatcher
+from repro.core.config import MatchConfig
+from repro.core.reference import ReferenceTable
+from repro.core.weights import build_frequency_cache
+from repro.data.datasets import DatasetSpec, make_dataset
+from repro.data.generator import CUSTOMER_COLUMNS, generate_customers
+from repro.db.database import Database
+from repro.eti.builder import build_eti
+from repro.serve.client import ServeClient
+from repro.serve.protocol import PRIORITY_BULK, PRIORITY_INTERACTIVE
+from repro.serve.server import MatchServer, ServeConfig
+
+REFERENCE_SIZE = int(os.environ.get("REPRO_BENCH_SERVE_REFERENCE", "1500"))
+DISTINCT_INPUTS = int(os.environ.get("REPRO_BENCH_SERVE_DISTINCT", "60"))
+REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "40"))
+WORKERS = int(os.environ.get("REPRO_BENCH_SERVE_WORKERS", "4"))
+SEED = 2003
+
+#: Fixed allowance for the wire itself (connect/JSON/syscalls), so the
+#: 10% relative gate stays meaningful when direct queries are sub-ms.
+WIRE_ALLOWANCE_S = 0.002
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATHS = (
+    REPO_ROOT / "BENCH_serve.json",
+    Path(__file__).resolve().parent / "results" / "BENCH_serve.json",
+)
+
+
+def build_world(reference_size, distinct_inputs):
+    customers = generate_customers(reference_size, seed=SEED, unique=True)
+    rows = [(c.tid, c.values) for c in customers]
+    db = Database.in_memory()
+    reference = ReferenceTable(db, "reference", list(CUSTOMER_COLUMNS))
+    reference.load(rows)
+    weights = build_frequency_cache(reference.scan_values(), reference.num_columns)
+    config = MatchConfig(q=4, signature_size=2, use_osc=True)
+    eti, _ = build_eti(db, reference, config)
+    dataset = make_dataset(
+        rows, DatasetSpec.preset("D2"), distinct_inputs, seed=SEED + 1
+    )
+    inputs = [dirty.values for dirty in dataset.inputs]
+    return db, reference, weights, config, eti, inputs
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))]
+
+
+def latency_summary(samples):
+    return {
+        "p50_ms": round(percentile(samples, 0.50) * 1000, 3),
+        "p95_ms": round(percentile(samples, 0.95) * 1000, 3),
+        "p99_ms": round(percentile(samples, 0.99) * 1000, 3),
+        "mean_ms": round(statistics.fmean(samples) * 1000, 3)
+        if samples
+        else 0.0,
+    }
+
+
+def run_direct(engine, inputs, requests):
+    """The baseline: the server worker's own code path, no wire."""
+    matcher = engine.worker_matcher()
+    rng = random.Random(SEED + 7)
+    for _ in range(min(10, requests)):  # warm caches like a live worker
+        matcher.match(inputs[rng.randrange(len(inputs))])
+    latencies = []
+    started = time.perf_counter()
+    for _ in range(requests):
+        values = inputs[rng.randrange(len(inputs))]
+        t0 = time.perf_counter()
+        matcher.match(values)
+        latencies.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - started
+    return {
+        "name": "direct",
+        "requests": requests,
+        "seconds": round(elapsed, 4),
+        "throughput_rps": round(requests / elapsed, 1),
+        "latency": latency_summary(latencies),
+    }
+
+
+def run_load_level(host, port, inputs, clients, requests_per_client, level_seed):
+    """Closed-loop clients hammering the server; returns the level record."""
+    latencies_lock = threading.Lock()
+    latencies = []
+    outcomes = {"completed": 0, "degraded": 0, "shed": 0, "error": 0}
+
+    def client_loop(worker_index):
+        rng = random.Random(level_seed * 1000 + worker_index)
+        local_latencies = []
+        local_outcomes = dict.fromkeys(outcomes, 0)
+        with ServeClient(host, port) as client:
+            for _ in range(requests_per_client):
+                values = inputs[rng.randrange(len(inputs))]
+                priority = (
+                    PRIORITY_BULK if rng.random() < 0.5 else PRIORITY_INTERACTIVE
+                )
+                t0 = time.perf_counter()
+                response = client.match(values, priority=priority)
+                local_latencies.append(time.perf_counter() - t0)
+                local_outcomes[response["outcome"]] += 1
+        with latencies_lock:
+            latencies.extend(local_latencies)
+            for key, count in local_outcomes.items():
+                outcomes[key] += count
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,))
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    total = clients * requests_per_client
+    answered = outcomes["completed"] + outcomes["degraded"]
+    return {
+        "clients": clients,
+        "requests": total,
+        "seconds": round(elapsed, 4),
+        "throughput_rps": round(answered / elapsed, 1),
+        "latency": latency_summary(latencies),
+        "outcomes": dict(outcomes),
+        "shed_rate": round(outcomes["shed"] / total, 4),
+        "degraded_rate": round(outcomes["degraded"] / total, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run for CI: records numbers, never fails on timing",
+    )
+    args = parser.parse_args(argv)
+
+    reference_size = 300 if args.smoke else REFERENCE_SIZE
+    distinct_inputs = 20 if args.smoke else DISTINCT_INPUTS
+    requests_per_client = 8 if args.smoke else REQUESTS_PER_CLIENT
+    workers = 2 if args.smoke else WORKERS
+
+    db, reference, weights, config, eti, inputs = build_world(
+        reference_size, distinct_inputs
+    )
+    engine = BatchMatcher(reference, weights, config, eti, jobs=workers)
+    serve_config = ServeConfig(
+        workers=workers,
+        queue_capacity=max(16, workers * 8),
+        default_deadline_ms=250.0,
+        degrade_p95_s=0.050,
+        recover_p95_s=0.010,
+        shed_p95_s=0.100,
+        stage_cooldown_s=0.25,
+    )
+    server = MatchServer(engine=engine, config=serve_config)
+    levels = {}
+    try:
+        direct = run_direct(
+            engine, inputs, workers * requests_per_client
+        )
+        host, port = server.start()
+        # 1x is a single in-flight request (no queueing, no GIL
+        # timeslicing between workers) so the gate measures the serving
+        # layer itself; the overload levels scale clients per worker.
+        for multiple, clients in ((1, 1), (2, workers * 2), (10, workers * 10)):
+            levels[f"serve_{multiple}x"] = run_load_level(
+                host,
+                port,
+                inputs,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                level_seed=multiple,
+            )
+        queue_max_depth = server.queue.max_depth
+        stage_trips = server.ladder.trips()
+    finally:
+        server.shutdown(drain_budget_s=10.0)
+        engine.close()
+        db.close()
+
+    direct_p50 = direct["latency"]["p50_ms"]
+    served_p50 = levels["serve_1x"]["latency"]["p50_ms"]
+    overhead_budget_ms = direct_p50 * 1.10 + WIRE_ALLOWANCE_S * 1000
+    overhead_ok = served_p50 <= overhead_budget_ms
+    errors = sum(level["outcomes"]["error"] for level in levels.values())
+
+    payload = {
+        "benchmark": "serve_overhead_and_overload",
+        "smoke": args.smoke,
+        "cpus": os.cpu_count() or 1,
+        "workload": {
+            "reference_size": reference_size,
+            "distinct_inputs": distinct_inputs,
+            "requests_per_client": requests_per_client,
+            "server_workers": workers,
+            "dataset_preset": "D2",
+            "default_deadline_ms": 250.0,
+        },
+        "direct": direct,
+        "levels": levels,
+        "queue_max_depth": queue_max_depth,
+        "queue_capacity": serve_config.queue_capacity,
+        "stage_trips": stage_trips,
+        "overhead": {
+            "direct_p50_ms": direct_p50,
+            "serve_1x_p50_ms": served_p50,
+            "budget_ms": round(overhead_budget_ms, 3),
+            "within_gate": overhead_ok,
+        },
+    }
+    for path in RESULT_PATHS:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(
+        f"direct: {direct['throughput_rps']:.0f} q/s, "
+        f"p50 {direct_p50:.2f}ms"
+    )
+    for name, level in levels.items():
+        print(
+            f"  {name:>9}: {level['throughput_rps']:7.0f} answered/s  "
+            f"p50 {level['latency']['p50_ms']:7.2f}ms  "
+            f"p95 {level['latency']['p95_ms']:7.2f}ms  "
+            f"p99 {level['latency']['p99_ms']:7.2f}ms  "
+            f"shed {100 * level['shed_rate']:5.1f}%  "
+            f"degraded {100 * level['degraded_rate']:5.1f}%"
+        )
+    print(
+        f"1x wire overhead: p50 {served_p50:.2f}ms vs budget "
+        f"{overhead_budget_ms:.2f}ms ({'OK' if overhead_ok else 'OVER'})"
+    )
+    if queue_max_depth > serve_config.queue_capacity:
+        print("ERROR: queue grew past capacity", file=sys.stderr)
+        return 1
+    if errors:
+        print(f"ERROR: {errors} requests resolved to errors", file=sys.stderr)
+        return 1
+    if not overhead_ok and not args.smoke:
+        print("WARNING: 1x p50 overhead above the gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

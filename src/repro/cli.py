@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands covering the full workflow:
+Ten subcommands covering the full workflow:
 
 - ``repro generate``  — write a synthetic Customer reference relation CSV;
 - ``repro corrupt``   — sample reference tuples and inject Table 4 errors;
@@ -10,7 +10,10 @@ Eight subcommands covering the full workflow:
 - ``repro dedup``     — flag fuzzy duplicates inside a reference CSV;
 - ``repro evaluate``  — run the paper's experiment suite and print tables;
 - ``repro fsck``      — check a persisted warehouse for corruption;
-- ``repro recover``   — replay a warehouse's write-ahead log and checkpoint.
+- ``repro recover``   — replay a warehouse's write-ahead log and checkpoint;
+- ``repro serve``     — run a long-lived match server over a warehouse
+  (admission control, deadlines, load shedding, graceful drain);
+- ``repro ping``      — query a running server's readiness.
 
 CSV conventions: the reference file's first column is the integer ``tid``;
 a dirty-input file may carry a ``target_tid`` first column (written by
@@ -22,7 +25,9 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import os
+import signal
 import sys
 import time
 from typing import Sequence
@@ -82,15 +87,17 @@ def _build_matcher(
 
 
 def _matcher_from_db(
-    db_path: str, reference_path: str, config: MatchConfig, wal: bool
-) -> tuple[FuzzyMatcher, BuildStats | None]:
+    db_path: str, reference_path: str | None, config: MatchConfig, wal: bool
+) -> tuple[FuzzyMatcher, BuildStats | None, Database]:
     """A matcher over a persisted warehouse (§6.2.2.1 ETI reuse).
 
     If a snapshot exists at ``db_path``, the persisted reference + ETI
     serve this batch directly (``BuildStats`` is ``None``); the ETI must
     have been built with the same ``q``/``signature_size``/``scheme``.
     Otherwise the warehouse is built from the reference CSV and
-    snapshotted for subsequent runs.
+    snapshotted for subsequent runs.  The returned :class:`Database` is
+    the open warehouse handle — long-lived callers (``repro serve``)
+    checkpoint it on drain.
     """
     if os.path.exists(db_path + ".meta.json"):
         db = load_database(db_path, wal=wal)
@@ -101,7 +108,12 @@ def _matcher_from_db(
             reference.scan_values(), reference.num_columns
         )
         eti = EtiIndex(db.relation("eti"))
-        return FuzzyMatcher(reference, weights, config, eti), None
+        return FuzzyMatcher(reference, weights, config, eti), None, db
+    if reference_path is None:
+        raise SystemExit(
+            f"{db_path}: no persisted warehouse found and no --reference "
+            "CSV given to build one"
+        )
     columns, rows = _read_reference_csv(reference_path)
     db = Database.on_disk(db_path, wal=wal)
     reference = ReferenceTable(db, "reference", columns)
@@ -109,7 +121,7 @@ def _matcher_from_db(
     weights = build_frequency_cache(reference.scan_values(), reference.num_columns)
     eti, build_stats = build_eti(db, reference, config)
     save_database(db, db_path)
-    return FuzzyMatcher(reference, weights, config, eti), build_stats
+    return FuzzyMatcher(reference, weights, config, eti), build_stats, db
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -173,7 +185,7 @@ def cmd_match(args: argparse.Namespace) -> int:
     )
     started = time.perf_counter()
     if args.db:
-        matcher, build_stats = _matcher_from_db(
+        matcher, build_stats, _db = _matcher_from_db(
             args.db, args.reference, config, wal=args.wal
         )
     else:
@@ -273,6 +285,19 @@ def cmd_match(args: argparse.Namespace) -> int:
             f"{report.failed_queries} failed",
             file=sys.stderr,
         )
+        breakdown = [
+            f"{reason}={count}"
+            for reason, count in sorted(report.degraded_reasons.items())
+        ] + [
+            f"error:{error_type}={count}"
+            for error_type, count in sorted(report.failed_types.items())
+        ]
+        if breakdown:
+            print("  reasons: " + ", ".join(breakdown), file=sys.stderr)
+    if args.report_json:
+        with open(args.report_json, "w") as handle:
+            handle.write(report.to_json(indent=2))
+            handle.write("\n")
     if has_target and predictions:
         print(f"accuracy: {accuracy(predictions):.3f}", file=sys.stderr)
     return 0
@@ -366,6 +391,131 @@ def cmd_recover(args: argparse.Namespace) -> int:
     db.close()
     print("checkpointed: log applied to the page file and emptied")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: a long-lived match server over a warehouse.
+
+    Binds immediately (``ping`` answers ``loading`` while the warehouse
+    builds or loads), then serves until SIGTERM/SIGINT.  SIGTERM during
+    load exits 1 without serving; SIGTERM while serving drains: admitted
+    work finishes within ``--drain-budget-s``, the rest is shed with a
+    typed reason, and the WAL is checkpointed before exit.
+    """
+    from repro.serve.server import MatchServer, ServeConfig
+
+    config = MatchConfig(
+        q=args.q,
+        signature_size=args.signature_size,
+        scheme=SignatureScheme(args.scheme),
+        k=args.k,
+        min_similarity=args.min_similarity,
+        use_osc=(args.strategy != "basic"),
+    )
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        default_deadline_ms=(
+            args.default_deadline_ms if args.default_deadline_ms > 0 else None
+        ),
+        max_page_fetches=args.max_page_fetches,
+        degrade_p95_s=args.degrade_p95_ms / 1000.0,
+        recover_p95_s=args.recover_p95_ms / 1000.0,
+        shed_p95_s=args.shed_p95_ms / 1000.0,
+        stage_cooldown_s=args.stage_cooldown_s,
+        drain_budget_s=args.drain_budget_s,
+        stuck_after_s=args.stuck_after_s,
+    )
+
+    def engine_factory() -> tuple[BatchMatcher, Database | None]:
+        matcher, build_stats, db = _matcher_from_db(
+            args.db, args.reference, config, wal=args.wal
+        )
+        if build_stats is None:
+            print(f"loaded persisted warehouse {args.db}", file=sys.stderr)
+        else:
+            print(
+                f"built warehouse {args.db}: {build_stats.eti_rows} ETI rows",
+                file=sys.stderr,
+            )
+        engine = BatchMatcher.from_matcher(
+            matcher,
+            jobs=args.workers,
+            resilience=ResiliencePolicy(),
+            fail_fast=False,
+            executor="thread",
+        )
+        return engine, db
+
+    on_bound = None
+    if args.port_file:
+
+        def write_port_file(host: str, port: int) -> None:
+            tmp = args.port_file + ".tmp"
+            with open(tmp, "w") as handle:
+                handle.write(f"{host} {port}\n")
+            os.replace(tmp, args.port_file)
+
+        on_bound = write_port_file
+
+    server = MatchServer(
+        engine_factory=engine_factory, config=serve_config, on_bound=on_bound
+    )
+
+    def handle_signal(signum: int, _frame: object) -> None:
+        if server.lifecycle.state == "loading":
+            # Nothing has been served and the snapshot write is atomic:
+            # dying now is cheaper and safer than a half-loaded drain.
+            raise SystemExit(1)
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, handle_signal)
+    signal.signal(signal.SIGINT, handle_signal)
+
+    host, port = server.start()
+    print(f"serving on {host}:{port}", file=sys.stderr)
+    server.serve_until_shutdown()
+    stats = server.stats.as_dict()
+    print(
+        f"drained: {stats['completed']} completed, {stats['degraded']} degraded, "
+        f"{stats['shed']} shed",
+        file=sys.stderr,
+    )
+    if server.checkpoint_error is not None:
+        print(f"checkpoint failed: {server.checkpoint_error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_ping(args: argparse.Namespace) -> int:
+    """``repro ping``: print a running server's readiness payload.
+
+    Exit codes: 0 = serving, 1 = any other state (loading, degraded,
+    draining), 2 = unreachable.
+    """
+    from repro.serve.client import ServeClient
+
+    host, port = args.host, args.port
+    if args.port_file:
+        try:
+            with open(args.port_file) as handle:
+                bound_host, bound_port = handle.read().split()
+        except (OSError, ValueError) as exc:
+            print(f"cannot read --port-file: {exc}", file=sys.stderr)
+            return 2
+        host, port = bound_host, int(bound_port)
+    if port is None:
+        raise SystemExit("ping needs --port or --port-file")
+    try:
+        with ServeClient(host, port, timeout_s=args.timeout_s) as client:
+            payload = client.ping()
+    except (OSError, ConnectionError) as exc:
+        print(f"ping failed: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if payload.get("state") == "serving" else 1
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -490,6 +640,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write-ahead logging for --db (--no-wal trades crash "
         "safety for write-in-place speed)",
     )
+    mat.add_argument(
+        "--report-json",
+        default=None,
+        help="also write the full batch report (counts, degradation "
+        "reasons, error types) as JSON to this path",
+    )
     mat.add_argument("--out", type=argparse.FileType("w"), default=sys.stdout)
     mat.set_defaults(func=cmd_match)
 
@@ -544,6 +700,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="report what recovery finds without checkpointing",
     )
     rec.set_defaults(func=cmd_recover)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run a long-lived match server over a persisted warehouse",
+    )
+    srv.add_argument(
+        "--db",
+        required=True,
+        help="page-file path of the warehouse (built from --reference "
+        "and snapshotted on first use)",
+    )
+    srv.add_argument(
+        "--reference",
+        default=None,
+        help="reference CSV for building the warehouse when --db does "
+        "not exist yet",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0, help="0 = OS-assigned")
+    srv.add_argument(
+        "--port-file",
+        default=None,
+        help="write 'host port' here once bound (for supervisors and "
+        "`repro ping --port-file`)",
+    )
+    srv.add_argument("--workers", type=int, default=4)
+    srv.add_argument("--queue-capacity", type=int, default=64)
+    srv.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=250.0,
+        help="end-to-end deadline for requests that name none "
+        "(<= 0 disables the default)",
+    )
+    srv.add_argument("--max-page-fetches", type=int, default=None)
+    srv.add_argument("--degrade-p95-ms", type=float, default=200.0)
+    srv.add_argument("--recover-p95-ms", type=float, default=50.0)
+    srv.add_argument("--shed-p95-ms", type=float, default=400.0)
+    srv.add_argument("--stage-cooldown-s", type=float, default=1.0)
+    srv.add_argument("--drain-budget-s", type=float, default=5.0)
+    srv.add_argument("--stuck-after-s", type=float, default=10.0)
+    srv.add_argument("--q", type=int, default=4)
+    srv.add_argument("--signature-size", type=int, default=2)
+    srv.add_argument("--scheme", choices=("Q", "Q+T"), default="Q+T")
+    srv.add_argument("--k", type=int, default=1)
+    srv.add_argument("--min-similarity", type=float, default=0.0)
+    srv.add_argument("--strategy", choices=("basic", "osc"), default="osc")
+    srv.add_argument(
+        "--wal", action=argparse.BooleanOptionalAction, default=True
+    )
+    srv.set_defaults(func=cmd_serve)
+
+    png = sub.add_parser("ping", help="query a running match server's readiness")
+    png.add_argument("--host", default="127.0.0.1")
+    png.add_argument("--port", type=int, default=None)
+    png.add_argument(
+        "--port-file", default=None, help="read host/port written by serve"
+    )
+    png.add_argument("--timeout-s", type=float, default=5.0)
+    png.set_defaults(func=cmd_ping)
     return parser
 
 

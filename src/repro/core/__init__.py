@@ -23,6 +23,7 @@ from repro.core.reference import ReferenceTable
 from repro.core.resilience import (
     BudgetMeter,
     CircuitBreaker,
+    Deadline,
     QueryBudget,
     ResiliencePolicy,
     fallback_chain,
@@ -45,6 +46,7 @@ __all__ = [
     "CacheStats",
     "CachingWeightFunction",
     "CircuitBreaker",
+    "Deadline",
     "LRUCache",
     "MatcherCaches",
     "edit_distance",

@@ -36,6 +36,7 @@ deterministic and independent, so execution order cannot change answers
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import threading
@@ -175,6 +176,13 @@ class BatchReport:
     parent-side sequential matcher: worker caches live in other
     processes and are not aggregated (per-query :class:`MatchStats`
     still ride along on every result).
+
+    ``degraded_reasons`` and ``failed_types`` break the two outcome
+    counters down by *why*: reason string (``"deadline"``,
+    ``"fallback:TransientIOError"``, …) → count and error class name →
+    count.  They survive :meth:`to_json`, so a ``fail_fast=False`` batch
+    run reports the same per-item degradation fields a server response
+    carries — not just the totals.
     """
 
     total_queries: int = 0
@@ -185,6 +193,8 @@ class BatchReport:
     cache_counters: dict = field(default_factory=dict)
     degraded_queries: int = 0
     failed_queries: int = 0
+    degraded_reasons: dict[str, int] = field(default_factory=dict)
+    failed_types: dict[str, int] = field(default_factory=dict)
 
     @property
     def deduplicated_queries(self) -> int:
@@ -195,6 +205,27 @@ class BatchReport:
         if self.elapsed_seconds <= 0.0:
             return 0.0
         return self.total_queries / self.elapsed_seconds
+
+    def as_dict(self) -> dict:
+        """The report as plain data, derived properties included."""
+        return {
+            "total_queries": self.total_queries,
+            "unique_queries": self.unique_queries,
+            "deduplicated_queries": self.deduplicated_queries,
+            "jobs": self.jobs,
+            "executor": self.executor,
+            "elapsed_seconds": self.elapsed_seconds,
+            "queries_per_second": self.queries_per_second,
+            "degraded_queries": self.degraded_queries,
+            "failed_queries": self.failed_queries,
+            "degraded_reasons": dict(sorted(self.degraded_reasons.items())),
+            "failed_types": dict(sorted(self.failed_types.items())),
+            "cache_counters": self.cache_counters,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON form of :meth:`as_dict` (keys in a stable order)."""
+        return json.dumps(self.as_dict(), indent=indent)
 
 
 class BatchMatcher:
@@ -347,7 +378,18 @@ class BatchMatcher:
             resilience=self.resilience,
         )
 
-    def _worker_matcher(self) -> FuzzyMatcher:
+    def worker_matcher(self) -> FuzzyMatcher:
+        """This thread's matcher over the shared relations (built lazily).
+
+        One matcher per calling thread, cached for the engine's lifetime:
+        private per-query counters and caches, shared read-only reference
+        + ETI, shared resilience policy.  The batch path uses this for
+        its pool workers, and the serving layer
+        (:class:`repro.serve.server.MatchServer`) reuses it so server
+        workers get exactly the batch engine's worker semantics — warm
+        caches across requests, one breaker for the whole fleet — instead
+        of a second pool implementation.
+        """
         matcher = getattr(self._local, "matcher", None)
         if matcher is None:
             matcher = self._build_matcher()
@@ -419,12 +461,12 @@ class BatchMatcher:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _warm_shared_state(
+    def warm_shared_state(
         self,
-        sample: Sequence[str | None] | None,
-        k: int | None,
-        min_similarity: float | None,
-        strategy: str | None,
+        sample: Sequence[str | None] | None = None,
+        k: int | None = None,
+        min_similarity: float | None = None,
+        strategy: str | None = None,
     ) -> None:
         """Force lazily-built shared structures before threads fan out.
 
@@ -496,7 +538,7 @@ class BatchMatcher:
             batch[indices[0]] for indices in groups.values()
         ] + [batch[i] for i, key in enumerate(keys) if key is None]
 
-        self._warm_shared_state(
+        self.warm_shared_state(
             unique_inputs[0] if unique_inputs else None, k, min_similarity, strategy
         )
 
@@ -520,7 +562,7 @@ class BatchMatcher:
 
             def run_query(values: Sequence[str | None]) -> MatchResult:
                 try:
-                    return self._worker_matcher().match(
+                    return self.worker_matcher().match(
                         values,
                         k=k,
                         min_similarity=min_similarity,
@@ -554,6 +596,17 @@ class BatchMatcher:
         started: float,
         results: Sequence[MatchResult | None] = (),
     ) -> None:
+        degraded_reasons: dict[str, int] = {}
+        failed_types: dict[str, int] = {}
+        for result in results:
+            if result is None:
+                continue
+            if result.stats.degraded:
+                reason = result.stats.degraded_reason or "unknown"
+                degraded_reasons[reason] = degraded_reasons.get(reason, 0) + 1
+            if result.failed:
+                error_type = result.error_type or "DatabaseError"
+                failed_types[error_type] = failed_types.get(error_type, 0) + 1
         self.last_report = BatchReport(
             total_queries=total,
             unique_queries=unique,
@@ -563,6 +616,8 @@ class BatchMatcher:
             cache_counters=self.cache_counters(),
             degraded_queries=sum(1 for r in results if r is not None and r.stats.degraded),
             failed_queries=sum(1 for r in results if r is not None and r.failed),
+            degraded_reasons=degraded_reasons,
+            failed_types=failed_types,
         )
 
     def cache_counters(self) -> dict:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.analysis.debuglock import make_lock
 
@@ -38,6 +38,57 @@ if TYPE_CHECKING:
 
 DEGRADED_DEADLINE = "deadline"
 DEGRADED_PAGE_FETCHES = "page_fetches"
+
+
+class Deadline:
+    """A fixed instant on a monotonic clock, shared by matcher and server.
+
+    Every wall-clock limit in the system — a query budget's deadline, a
+    request's end-to-end deadline carried over the wire, a server's drain
+    budget — is the same concept: "this work is worthless after instant
+    T".  This helper centralizes the arithmetic that used to be
+    duplicated as ad-hoc ``started + seconds`` / ``now >= threshold``
+    pairs: construct with :meth:`after`, poll with :meth:`expired`, and
+    hand the unspent remainder to a narrower scope with
+    :meth:`remaining` (deadline *propagation*: a request that waited
+    80 ms of its 100 ms deadline in a queue runs with a 20 ms compute
+    budget).
+
+    ``clock`` is injectable for deterministic tests; it defaults to
+    ``time.monotonic`` so deadlines survive wall-clock adjustments.
+    """
+
+    __slots__ = ("at", "_clock")
+
+    def __init__(
+        self, at: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self.at = at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """The deadline ``seconds`` from now on ``clock``."""
+        return cls(clock() + seconds, clock)
+
+    def remaining(self) -> float:
+        """Seconds left before the deadline, floored at ``0.0``."""
+        return max(0.0, self.at - self._clock())
+
+    def expired(self) -> bool:
+        """Has the instant passed?"""
+        return self._clock() >= self.at
+
+    def earliest(self, other: "Deadline | None") -> "Deadline":
+        """The tighter of two deadlines (``other=None`` means unlimited)."""
+        if other is None or self.at <= other.at:
+            return self
+        return other
+
+    def __repr__(self) -> str:
+        return f"Deadline(at={self.at:.6f}, remaining={self.remaining():.6f})"
 
 
 @dataclass(frozen=True)
@@ -68,6 +119,26 @@ class QueryBudget:
         deadline = None if deadline_ms is None else deadline_ms / 1000.0
         return cls(deadline=deadline, max_page_fetches=max_page_fetches)
 
+    @classmethod
+    def from_deadline(
+        cls,
+        deadline: Deadline,
+        max_page_fetches: int | None = None,
+        floor: float = 0.001,
+    ) -> "QueryBudget":
+        """The budget covering whatever of ``deadline`` is still unspent.
+
+        This is the deadline-propagation primitive: a request that waited
+        in a queue runs with only the remainder of its end-to-end
+        deadline as compute budget.  ``floor`` (seconds) keeps the budget
+        constructible when the remainder has raced to ~zero — such a
+        query degrades on its first poll instead of being rejected here.
+        """
+        return cls(
+            deadline=max(deadline.remaining(), floor),
+            max_page_fetches=max_page_fetches,
+        )
+
     @property
     def unlimited(self) -> bool:
         return self.deadline is None and self.max_page_fetches is None
@@ -91,21 +162,21 @@ class BudgetMeter:
         "_pool_stats",
         "_started",
         "_reads_at_start",
-        "_deadline_at",
+        "_deadline",
         "_max_fetches",
     )
 
     def __init__(self, budget: QueryBudget, pool: "BufferPool | None" = None) -> None:
         self.budget = budget
         self._pool_stats = pool.stats if pool is not None else None
-        self._started = time.perf_counter()
+        self._started = time.monotonic()
         self._reads_at_start = (
             self._pool_stats.physical_reads if self._pool_stats is not None else 0
         )
         # exhausted() runs once per index entry on the hot path; flatten
         # the budget into absolute thresholds so each poll is two compares.
-        self._deadline_at = (
-            None if budget.deadline is None else self._started + budget.deadline
+        self._deadline = (
+            None if budget.deadline is None else Deadline(self._started + budget.deadline)
         )
         self._max_fetches = (
             None
@@ -115,7 +186,12 @@ class BudgetMeter:
 
     @property
     def elapsed(self) -> float:
-        return time.perf_counter() - self._started
+        return time.monotonic() - self._started
+
+    @property
+    def deadline(self) -> Deadline | None:
+        """The absolute instant this query must stop at (``None`` = no cap)."""
+        return self._deadline
 
     @property
     def page_fetches(self) -> int:
@@ -125,7 +201,7 @@ class BudgetMeter:
 
     def exhausted(self) -> str | None:
         """The reason the budget is spent, or ``None`` while within it."""
-        if self._deadline_at is not None and time.perf_counter() >= self._deadline_at:
+        if self._deadline is not None and self._deadline.expired():
             return DEGRADED_DEADLINE
         if (
             self._max_fetches is not None
@@ -136,39 +212,74 @@ class BudgetMeter:
 
 
 class CircuitBreaker:
-    """A count-based breaker over the ETI (indexed) query path.
+    """A breaker over a protected path, with two half-open policies.
 
-    ``failure_threshold`` consecutive failures trip it open; while open,
-    :meth:`allow` denies the protected path except for one half-open
-    trial every ``half_open_interval`` denials.  A successful trial
-    closes the breaker, a failed one re-opens it.  Deterministic (no
-    clocks) and thread-safe: one breaker is shared across a batch
-    engine's workers.
+    ``failure_threshold`` consecutive failures trip it open.  While open,
+    :meth:`allow` denies the protected path except for half-open trials,
+    whose cadence depends on the configuration:
+
+    - **count-based** (``cooldown_s=None``, the historical behaviour):
+      one trial every ``half_open_interval`` denials.  Deterministic (no
+      clocks), right for batch runs where denials keep arriving.
+    - **time-based** (``cooldown_s`` set): after ``cooldown_s`` seconds
+      on the monotonic clock the breaker moves to ``half_open`` and
+      grants exactly *one* probe; further calls are denied until the
+      probe resolves.  :meth:`record_success` closes the breaker,
+      :meth:`record_failure` re-trips it and restarts the cooldown.
+      This is what a long-running server needs — a tripped breaker
+      recloses on its own once the outage passes, without a restart and
+      without depending on a steady stream of denials.
+
+    Thread-safe: one breaker is shared across a batch engine's workers
+    (or a server's worker pool).  ``clock`` is injectable for tests.
     """
 
-    def __init__(self, failure_threshold: int = 3, half_open_interval: int = 8) -> None:
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        half_open_interval: int = 8,
+        cooldown_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if half_open_interval < 1:
             raise ValueError("half_open_interval must be >= 1")
+        if cooldown_s is not None and cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
         self.failure_threshold = failure_threshold
         self.half_open_interval = half_open_interval
+        self.cooldown_s = cooldown_s
+        self._clock = clock
         self._lock = make_lock("CircuitBreaker._lock")
         self._consecutive_failures = 0
         self._open = False
+        self._half_open = False
+        self._opened_at: float | None = None
         self._denials = 0
         self.trips = 0
 
     @property
     def state(self) -> str:
+        """``"closed"``, ``"open"``, or (time-based only) ``"half_open"``."""
         with self._lock:
-            return "open" if self._open else "closed"
+            if not self._open:
+                return "closed"
+            return "half_open" if self._half_open else "open"
 
     def allow(self) -> bool:
         """May the protected path run now?"""
         with self._lock:
             if not self._open:
                 return True
+            if self.cooldown_s is not None:
+                if self._half_open:
+                    return False  # one probe in flight; deny the rest
+                assert self._opened_at is not None
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._half_open = True
+                    return True  # the half-open probe
+                return False
             self._denials += 1
             if self._denials % self.half_open_interval == 0:
                 return True  # half-open trial
@@ -179,14 +290,28 @@ class CircuitBreaker:
         with self._lock:
             self._consecutive_failures = 0
             self._open = False
+            self._half_open = False
+            self._opened_at = None
             self._denials = 0
 
     def record_failure(self) -> None:
-        """A protected-path failure; trips the breaker at the threshold."""
+        """A protected-path failure; trips (or re-trips) the breaker.
+
+        At ``failure_threshold`` consecutive failures a closed breaker
+        opens.  In time-based mode a failure while ``half_open`` — the
+        probe itself failed — re-trips: the breaker goes back to fully
+        open and the cooldown restarts from now.
+        """
         with self._lock:
             self._consecutive_failures += 1
+            if self._half_open:
+                self._half_open = False
+                self._opened_at = self._clock()
+                self.trips += 1
+                return
             if self._consecutive_failures >= self.failure_threshold and not self._open:
                 self._open = True
+                self._opened_at = self._clock()
                 self.trips += 1
 
 

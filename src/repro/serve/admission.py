@@ -1,0 +1,272 @@
+"""Admission control: a bounded, priority-aware request queue.
+
+The first rung of the overload ladder.  A server that queues unboundedly
+converts overload into latency (every request eventually times out) and
+memory growth (the queue *is* the leak); admission control converts it
+into honest, typed refusal at the door.  The queue here enforces three
+policies:
+
+- **Bounded capacity.**  ``offer`` never blocks and never grows the
+  queue past ``capacity``; at capacity it raises
+  :class:`~repro.serve.protocol.SheddedError` instead.
+- **Priority classes.**  ``interactive`` work dequeues before ``bulk``
+  work, and an interactive arrival at a full queue *displaces* the
+  newest queued bulk item (shed with reason ``displaced``) rather than
+  being turned away — lowest-priority work is always shed first.
+- **Wait accounting.**  Dequeue records each item's queue wait into a
+  bounded ring; :meth:`p95_wait` over that ring is the signal the
+  degradation ladder and the bulk-shedding governor act on.
+
+Thread-safe; a counting semaphore hands items to whichever worker has
+been waiting, and workers poll with a timeout so lifecycle transitions
+never need to wake them explicitly.  After :meth:`close`, offers are
+refused (``draining``) but takes continue — draining means *finish* the
+admitted work, not abandon it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.analysis.debuglock import make_lock
+from repro.core.matcher import MatchResult
+from repro.core.resilience import Deadline
+from repro.serve.protocol import (
+    PRIORITY_BULK,
+    PRIORITY_INTERACTIVE,
+    Request,
+    SHED_DISPLACED,
+    SHED_DRAINING,
+    SHED_QUEUE_FULL,
+    SheddedError,
+)
+
+#: How many recent queue waits the p95 estimate is computed over.
+WAIT_WINDOW = 256
+
+
+class WorkItem:
+    """One admitted match request on its way through the server.
+
+    The connection handler that submitted the item blocks on
+    :attr:`done`; exactly one of :meth:`complete`, :meth:`fail`, or
+    :meth:`shed` resolves it.  All resolution fields are written before
+    the event is set and read only after it fires, so the item needs no
+    lock of its own.
+    """
+
+    __slots__ = (
+        "request",
+        "deadline",
+        "enqueued_at",
+        "queue_wait",
+        "done",
+        "result",
+        "requested_strategy",
+        "effective_strategy",
+        "stage",
+        "shed_reason",
+        "error_type",
+        "error_message",
+    )
+
+    def __init__(
+        self,
+        request: Request,
+        deadline: Deadline | None,
+        enqueued_at: float,
+    ) -> None:
+        self.request = request
+        self.deadline = deadline
+        self.enqueued_at = enqueued_at
+        self.queue_wait = 0.0
+        self.done = threading.Event()
+        self.result: MatchResult | None = None
+        self.requested_strategy = ""
+        self.effective_strategy = ""
+        self.stage = ""
+        self.shed_reason: str | None = None
+        self.error_type: str | None = None
+        self.error_message: str | None = None
+
+    def complete(
+        self,
+        result: MatchResult,
+        requested_strategy: str,
+        effective_strategy: str,
+        stage: str,
+    ) -> None:
+        """The engine ran (possibly degraded); attach the result."""
+        self.result = result
+        self.requested_strategy = requested_strategy
+        self.effective_strategy = effective_strategy
+        self.stage = stage
+        self.done.set()
+
+    def fail(self, error_type: str, message: str) -> None:
+        """A typed failure the engine could not absorb."""
+        self.error_type = error_type
+        self.error_message = message
+        self.done.set()
+
+    def shed(self, reason: str) -> None:
+        """The server refused to run this item; the engine was untouched."""
+        self.shed_reason = reason
+        self.done.set()
+
+
+class AdmissionQueue:
+    """Bounded two-class FIFO with displacement and wait accounting."""
+
+    def __init__(
+        self,
+        capacity: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = make_lock("AdmissionQueue._lock")
+        self._interactive: deque[WorkItem] = deque()
+        self._bulk: deque[WorkItem] = deque()
+        self._available = threading.Semaphore(0)
+        self._closed = False
+        self._max_depth = 0
+        self._waits: deque[float] = deque(maxlen=WAIT_WINDOW)
+
+    # ------------------------------------------------------------------
+    # Producer side (connection handlers)
+    # ------------------------------------------------------------------
+
+    def offer(self, item: WorkItem) -> None:
+        """Admit ``item`` or raise :class:`SheddedError`; never blocks.
+
+        At capacity, an interactive arrival displaces the newest queued
+        bulk item (which is shed with reason ``displaced``); a bulk
+        arrival — or an interactive one with no bulk to displace — is
+        refused with ``queue_full``.  After :meth:`close`, every offer
+        is refused with ``draining``.
+        """
+        displaced: WorkItem | None = None
+        with self._lock:
+            if self._closed:
+                raise SheddedError(SHED_DRAINING, "server is draining")
+            depth = len(self._interactive) + len(self._bulk)
+            if depth >= self.capacity:
+                if (
+                    item.request.priority == PRIORITY_INTERACTIVE
+                    and self._bulk
+                ):
+                    # Shed lowest-priority-first: the newest bulk item has
+                    # waited least, so evicting it wastes the least work.
+                    displaced = self._bulk.pop()
+                else:
+                    raise SheddedError(
+                        SHED_QUEUE_FULL,
+                        f"admission queue at capacity ({self.capacity})",
+                    )
+            if item.request.priority == PRIORITY_BULK:
+                self._bulk.append(item)
+            else:
+                self._interactive.append(item)
+            depth = len(self._interactive) + len(self._bulk)
+            if depth > self._max_depth:
+                self._max_depth = depth
+        if displaced is not None:
+            # The displaced item's semaphore token is inherited by the
+            # new item, so the count still matches the queue contents.
+            displaced.shed(SHED_DISPLACED)
+        else:
+            self._available.release()
+
+    # ------------------------------------------------------------------
+    # Consumer side (server workers)
+    # ------------------------------------------------------------------
+
+    def take(self, timeout: float) -> WorkItem | None:
+        """The next item, best class first, or ``None`` on timeout.
+
+        Records the item's queue wait into the p95 ring.  A semaphore
+        token without a matching item (its item was shed out of the
+        queue by the governor) is treated as a timeout.
+        """
+        if not self._available.acquire(timeout=timeout):
+            return None
+        with self._lock:
+            if self._interactive:
+                item = self._interactive.popleft()
+            elif self._bulk:
+                item = self._bulk.popleft()
+            else:
+                return None
+            item.queue_wait = max(0.0, self._clock() - item.enqueued_at)
+            self._waits.append(item.queue_wait)
+        return item
+
+    def shed_bulk(self, reason: str) -> list[WorkItem]:
+        """Remove every queued bulk item; the caller sheds them.
+
+        The overload governor's lever: when queue-wait p95 crosses the
+        shed threshold, the lowest-priority class goes first — before
+        any interactive request is refused.
+        """
+        with self._lock:
+            victims = list(self._bulk)
+            self._bulk.clear()
+        for victim in victims:
+            victim.shed(reason)
+        return victims
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse all future offers (takes continue until empty)."""
+        with self._lock:
+            self._closed = True
+
+    def drain_remaining(self) -> list[WorkItem]:
+        """Empty the queue (both classes), returning the unrun items.
+
+        Called when the drain budget runs out: whatever is still queued
+        is shed by the caller instead of executed.
+        """
+        with self._lock:
+            victims = list(self._interactive) + list(self._bulk)
+            self._interactive.clear()
+            self._bulk.clear()
+        return victims
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def depth(self) -> int:
+        """Items currently queued (both classes)."""
+        with self._lock:
+            return len(self._interactive) + len(self._bulk)
+
+    @property
+    def max_depth(self) -> int:
+        """High-water mark of :attr:`depth` — provably <= capacity."""
+        with self._lock:
+            return self._max_depth
+
+    def p95_wait(self) -> float:
+        """95th-percentile queue wait (seconds) over the recent window."""
+        with self._lock:
+            waits = sorted(self._waits)
+        if not waits:
+            return 0.0
+        return waits[min(len(waits) - 1, int(0.95 * (len(waits) - 1)))]

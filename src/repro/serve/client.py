@@ -1,0 +1,112 @@
+"""A minimal blocking client for the serve wire protocol.
+
+Used by ``repro ping``, the serve tests, and the serve benchmark; also
+a reference implementation for anyone writing a client in another
+language (the protocol is one JSON object per line in each direction).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Sequence
+
+from repro.serve.protocol import (
+    PRIORITY_INTERACTIVE,
+    ProtocolError,
+    encode_line,
+)
+
+
+class ServeClient:
+    """One TCP connection to a :class:`~repro.serve.server.MatchServer`.
+
+    Not thread-safe: requests and responses are strictly paired on the
+    wire, so give each thread its own client (connections are cheap and
+    the server handles each on its own thread).
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout_s: float | None = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request object, return the decoded response object."""
+        self._sock.sendall(encode_line(payload))
+        raw = self._reader.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(raw)
+        if not isinstance(response, dict):
+            raise ProtocolError("server response was not a JSON object")
+        return response
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        values: Sequence[str | None],
+        request_id: str | None = None,
+        k: int | None = None,
+        min_similarity: float | None = None,
+        strategy: str | None = None,
+        deadline_ms: float | None = None,
+        priority: str = PRIORITY_INTERACTIVE,
+    ) -> dict[str, Any]:
+        """Send one match request and return the decoded response object."""
+        payload: dict[str, Any] = {
+            "op": "match",
+            "values": list(values),
+            "priority": priority,
+        }
+        if request_id is not None:
+            payload["id"] = request_id
+        if k is not None:
+            payload["k"] = k
+        if min_similarity is not None:
+            payload["min_similarity"] = min_similarity
+        if strategy is not None:
+            payload["strategy"] = strategy
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.request(payload)
+
+    def ping(self) -> dict[str, Any]:
+        """Return the server's readiness payload."""
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        """Return the server's outcome counters."""
+        return self.request({"op": "stats"})
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection; safe to call twice."""
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["ServeClient"]

@@ -1,0 +1,248 @@
+"""Server lifecycle: readiness states, worker health, degradation ladder.
+
+Three small, separately testable machines that together keep a
+long-running match server honest about its own condition:
+
+- :class:`Lifecycle` — the readiness state machine
+  (``loading → serving → draining → stopped``).  Transitions are
+  validated; every response and every ``repro ping`` carries the current
+  state, so orchestration (and humans) can tell "slow" from "going
+  away".
+- :class:`WorkerHealth` — heartbeat registry behind the watchdog thread.
+  Workers beat before and after each request; a worker that has been
+  *busy* and silent for longer than ``stuck_after_s`` is reported stuck.
+  Python threads cannot be killed, so detection surfaces the condition
+  (readiness degrades, the counter rises) instead of pretending to cure
+  it.
+- :class:`DegradationLadder` — the overload governor.  One
+  :class:`~repro.core.resilience.CircuitBreaker` per *stage boundary*
+  (``osc→basic`` and ``basic→naive``), each in time-based half-open
+  mode: when queue-wait p95 crosses the degrade threshold the innermost
+  closed breaker trips and every request runs one stage cheaper; after
+  ``cooldown_s`` the breaker half-opens and grants a single probe
+  request at the better stage — completing it cleanly while p95 is back
+  under the recover threshold recloses the breaker, blowing its deadline
+  re-trips it.  Recovery is therefore automatic, rate-limited, and needs
+  no restart — exactly the property the time-based breaker was built
+  for.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.analysis.debuglock import make_lock
+from repro.core.resilience import CircuitBreaker
+from repro.serve.protocol import ServeError
+
+STATE_LOADING = "loading"
+STATE_SERVING = "serving"
+STATE_DRAINING = "draining"
+STATE_STOPPED = "stopped"
+
+STATES = (STATE_LOADING, STATE_SERVING, STATE_DRAINING, STATE_STOPPED)
+
+_ALLOWED_TRANSITIONS: dict[str, frozenset[str]] = {
+    STATE_LOADING: frozenset({STATE_SERVING, STATE_STOPPED}),
+    STATE_SERVING: frozenset({STATE_DRAINING}),
+    STATE_DRAINING: frozenset({STATE_STOPPED}),
+    STATE_STOPPED: frozenset(),
+}
+
+#: The degradation stages, most capable first (mirrors the resilience
+#: layer's fallback chain).
+STAGES = ("osc", "basic", "naive")
+
+
+class LifecycleError(ServeError):
+    """An illegal lifecycle transition was requested."""
+
+
+class Lifecycle:
+    """Validated readiness state machine with uptime accounting."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = make_lock("Lifecycle._lock")
+        self._state = STATE_LOADING
+        self._started_at = clock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def uptime(self) -> float:
+        """Seconds since construction (monotonic)."""
+        return self._clock() - self._started_at
+
+    def transition(self, target: str) -> None:
+        """Move to ``target``; raises :class:`LifecycleError` if illegal."""
+        with self._lock:
+            if target not in STATES:
+                raise LifecycleError(f"unknown lifecycle state {target!r}")
+            if target == self._state:
+                return  # idempotent: shutdown paths may race benignly
+            if target not in _ALLOWED_TRANSITIONS[self._state]:
+                raise LifecycleError(
+                    f"illegal transition {self._state!r} -> {target!r}"
+                )
+            self._state = target
+
+    def is_serving(self) -> bool:
+        """True while the server accepts match work."""
+        with self._lock:
+            return self._state == STATE_SERVING
+
+    def is_stopped(self) -> bool:
+        """True once the server has fully shut down."""
+        with self._lock:
+            return self._state == STATE_STOPPED
+
+
+class WorkerHealth:
+    """Heartbeat registry: which workers are alive, busy, or stuck."""
+
+    def __init__(
+        self,
+        stuck_after_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if stuck_after_s <= 0:
+            raise ValueError("stuck_after_s must be positive")
+        self.stuck_after_s = stuck_after_s
+        self._clock = clock
+        self._lock = make_lock("WorkerHealth._lock")
+        # worker name -> (last beat instant, busy?)
+        self._beats: dict[str, tuple[float, bool]] = {}
+
+    def beat(self, worker: str, busy: bool) -> None:
+        """Record a liveness beat (workers call this around each item)."""
+        with self._lock:
+            self._beats[worker] = (self._clock(), busy)
+
+    def deregister(self, worker: str) -> None:
+        """A worker exited cleanly; stop tracking it."""
+        with self._lock:
+            self._beats.pop(worker, None)
+
+    def stuck_workers(self) -> tuple[str, ...]:
+        """Workers that were busy and silent for over ``stuck_after_s``.
+
+        An *idle* silent worker is fine — it is parked on the queue poll;
+        only a worker that started an item and never came back is stuck.
+        """
+        now = self._clock()
+        with self._lock:
+            return tuple(
+                sorted(
+                    name
+                    for name, (last, busy) in self._beats.items()
+                    if busy and now - last > self.stuck_after_s
+                )
+            )
+
+    def workers(self) -> int:
+        """Number of registered (heartbeating) workers."""
+        with self._lock:
+            return len(self._beats)
+
+    def busy_workers(self) -> int:
+        """Workers currently executing an item (last beat was busy)."""
+        with self._lock:
+            return sum(1 for _, busy in self._beats.values() if busy)
+
+
+class DegradationLadder:
+    """Overload-driven strategy degradation with probe-based recovery.
+
+    ``observe(p95)`` trips one stage per call while p95 stays over
+    ``degrade_at_s`` (osc→basic first, then basic→naive);
+    :meth:`stage_for_request` returns the stage a request should run at,
+    plus the breaker to report back to when the request is a half-open
+    recovery probe.  :meth:`stage` is the read-only view used by
+    responses and readiness.
+    """
+
+    def __init__(
+        self,
+        degrade_at_s: float,
+        recover_at_s: float,
+        cooldown_s: float,
+        dwell_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if recover_at_s > degrade_at_s:
+            raise ValueError("recover_at_s must be <= degrade_at_s (hysteresis)")
+        self.degrade_at_s = degrade_at_s
+        self.recover_at_s = recover_at_s
+        # Minimum time between successive trips, so a newly degraded
+        # stage gets a chance to pull p95 down before the ladder
+        # escalates again (defaults to the recovery cooldown).
+        self.dwell_s = cooldown_s if dwell_s is None else dwell_s
+        self._clock = clock
+        self._last_trip: float | None = None
+        self._lock = make_lock("DegradationLadder._lock")
+        # One breaker per stage boundary, keyed by the stage it guards.
+        self._breakers: tuple[tuple[str, CircuitBreaker], ...] = tuple(
+            (
+                stage,
+                CircuitBreaker(
+                    failure_threshold=1, cooldown_s=cooldown_s, clock=clock
+                ),
+            )
+            for stage in STAGES[:-1]
+        )
+
+    def stage(self) -> str:
+        """The current stage (read-only; never grants probes)."""
+        for stage, breaker in self._breakers:
+            if breaker.state == "closed":
+                return stage
+        return STAGES[-1]
+
+    def stage_for_request(self) -> tuple[str, CircuitBreaker | None]:
+        """``(stage, probe)`` for one request about to execute.
+
+        ``probe`` is non-``None`` when this request was granted a
+        breaker's single half-open trial at a better stage than the
+        steady state would allow: the worker must call
+        ``probe.record_success()`` or ``probe.record_failure()`` after
+        running it, or the breaker stays half-open.
+        """
+        with self._lock:
+            for stage, breaker in self._breakers:
+                state = breaker.state
+                if state == "closed":
+                    return stage, None
+                if breaker.allow():
+                    return stage, breaker
+            return STAGES[-1], None
+
+    def observe(self, p95_wait_s: float) -> str | None:
+        """Feed one p95 sample; returns the stage just tripped, if any."""
+        if p95_wait_s < self.degrade_at_s:
+            return None
+        with self._lock:
+            now = self._clock()
+            if self._last_trip is not None and now - self._last_trip < self.dwell_s:
+                return None
+            for stage, breaker in self._breakers:
+                if breaker.state == "closed":
+                    breaker.record_failure()
+                    self._last_trip = now
+                    return stage
+        return None
+
+    def probe_succeeded(self, p95_wait_s: float) -> bool:
+        """Is the system calm enough for a clean probe to reclose?"""
+        return p95_wait_s <= self.recover_at_s
+
+    def trips(self) -> int:
+        """Total breaker trips across all stage boundaries."""
+        return sum(breaker.trips for _, breaker in self._breakers)
+
+    def breaker_states(self) -> dict[str, str]:
+        """Stage boundary -> breaker state, for readiness reporting."""
+        return {stage: breaker.state for stage, breaker in self._breakers}

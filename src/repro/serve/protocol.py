@@ -1,0 +1,274 @@
+"""The serve wire protocol: newline-delimited JSON over TCP.
+
+One request per line, one response per line, UTF-8.  The protocol is
+deliberately boring — any language's socket + JSON library is a client —
+because the interesting contract is semantic, not syntactic: every
+``match`` request resolves to exactly one of the overload trichotomy's
+outcomes, and the response says which.
+
+Request (``op`` selects the verb)::
+
+    {"op": "match", "id": "q1", "values": ["Beoing Company", "Seattle",
+     "WA", "98004"], "k": 1, "min_similarity": 0.0, "strategy": "osc",
+     "deadline_ms": 100.0, "priority": "interactive"}
+    {"op": "ping"}
+    {"op": "stats"}
+
+Response ``outcome`` values for ``op=match``:
+
+- ``"completed"`` — exact answer, bit-identical to the offline matcher.
+- ``"degraded"`` — best-effort answer: the request's deadline ran out
+  mid-query, a storage fault forced the fallback chain, or the server's
+  overload ladder forced a cheaper strategy than requested.
+  ``degraded_reason`` says which; ``stage`` is the ladder stage it ran
+  at.
+- ``"shed"`` — the server refused to spend compute on the request.
+  ``shed_reason`` is one of the ``SHED_*`` constants below; no partial
+  answer is attached, the engine was never touched.
+- ``"error"`` — a typed failure (``error_type``/``error``), either a
+  malformed request (:class:`ProtocolError`) or a
+  :class:`~repro.db.errors.DatabaseError` the resilience layer could not
+  absorb.
+
+Every response also carries the server's lifecycle ``state`` and current
+degradation ``stage``, so clients see overload coming before they are
+shed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.matcher import MatchResult
+
+#: Protocol verbs.
+OPS = ("match", "ping", "stats")
+
+#: Request priority classes, best first.  ``interactive`` requests are
+#: dequeued before ``bulk`` ones and may displace queued bulk work when
+#: the admission queue is full.
+PRIORITY_INTERACTIVE = "interactive"
+PRIORITY_BULK = "bulk"
+PRIORITIES = (PRIORITY_INTERACTIVE, PRIORITY_BULK)
+
+#: Shed reasons (the typed vocabulary of refusal).
+SHED_QUEUE_FULL = "queue_full"
+"""The bounded admission queue was at capacity and nothing lower-priority
+could be displaced."""
+SHED_DISPLACED = "displaced"
+"""A queued bulk request was evicted to admit an interactive one."""
+SHED_DEADLINE_EXPIRED = "deadline_expired"
+"""The request's deadline passed while it waited in the queue; the
+engine was never invoked."""
+SHED_OVERLOAD = "overload"
+"""Queue-wait p95 crossed the shed threshold and bulk work was dropped."""
+SHED_DRAINING = "draining"
+"""The server is draining (SIGTERM received); new work is refused."""
+SHED_DRAIN_BUDGET = "drain_budget"
+"""The request was still queued when the drain budget ran out."""
+SHED_LOADING = "loading"
+"""The server is still building/loading its warehouse; retry shortly."""
+
+SHED_REASONS = (
+    SHED_QUEUE_FULL,
+    SHED_DISPLACED,
+    SHED_DEADLINE_EXPIRED,
+    SHED_OVERLOAD,
+    SHED_DRAINING,
+    SHED_DRAIN_BUDGET,
+    SHED_LOADING,
+)
+
+
+class ServeError(Exception):
+    """Base class for serving-layer errors."""
+
+
+class ProtocolError(ServeError):
+    """A request line could not be parsed or validated."""
+
+
+class SheddedError(ServeError):
+    """The server refused a request instead of queueing it unboundedly.
+
+    ``reason`` is one of the ``SHED_*`` constants — clients branch on it
+    (retry with backoff on ``queue_full``/``overload``, fail over on
+    ``draining``), never on message text.
+    """
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        super().__init__(message or reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded, validated request line."""
+
+    op: str
+    id: str | None = None
+    values: tuple[str | None, ...] = ()
+    k: int | None = None
+    min_similarity: float | None = None
+    strategy: str | None = None
+    deadline_ms: float | None = None
+    priority: str = PRIORITY_INTERACTIVE
+
+
+def decode_request(line: str | bytes) -> Request:
+    """Parse and validate one request line; raises :class:`ProtocolError`."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"op must be one of {OPS}, got {op!r}")
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, str):
+        raise ProtocolError("id must be a string when present")
+    if op != "match":
+        return Request(op=op, id=request_id)
+
+    raw_values = payload.get("values")
+    if not isinstance(raw_values, list) or not raw_values:
+        raise ProtocolError("match needs a non-empty 'values' array")
+    for cell in raw_values:
+        if cell is not None and not isinstance(cell, str):
+            raise ProtocolError("'values' entries must be strings or null")
+    k = payload.get("k")
+    if k is not None and (not isinstance(k, int) or isinstance(k, bool) or k < 1):
+        raise ProtocolError("k must be a positive integer")
+    min_similarity = payload.get("min_similarity")
+    if min_similarity is not None:
+        if not isinstance(min_similarity, (int, float)) or isinstance(
+            min_similarity, bool
+        ):
+            raise ProtocolError("min_similarity must be a number")
+        min_similarity = float(min_similarity)
+    strategy = payload.get("strategy")
+    if strategy is not None and strategy not in ("naive", "basic", "osc"):
+        raise ProtocolError(
+            f"strategy must be 'naive', 'basic', or 'osc', got {strategy!r}"
+        )
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            not isinstance(deadline_ms, (int, float))
+            or isinstance(deadline_ms, bool)
+            or deadline_ms <= 0
+        ):
+            raise ProtocolError("deadline_ms must be a positive number")
+        deadline_ms = float(deadline_ms)
+    priority = payload.get("priority", PRIORITY_INTERACTIVE)
+    if priority not in PRIORITIES:
+        raise ProtocolError(
+            f"priority must be one of {PRIORITIES}, got {priority!r}"
+        )
+    return Request(
+        op="match",
+        id=request_id,
+        values=tuple(raw_values),
+        k=k,
+        min_similarity=min_similarity,
+        strategy=strategy,
+        deadline_ms=deadline_ms,
+        priority=priority,
+    )
+
+
+def encode_line(payload: dict[str, Any]) -> bytes:
+    """One response (or request) as a newline-terminated JSON line."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def result_response(
+    request: Request,
+    result: MatchResult,
+    requested_strategy: str,
+    effective_strategy: str,
+    stage: str,
+    state: str,
+    queue_wait_ms: float,
+) -> dict[str, Any]:
+    """The response for a request the engine actually ran.
+
+    ``outcome`` is ``"degraded"`` when the matcher flagged the result
+    degraded (budget/fallback), when the overload ladder forced a
+    cheaper strategy than the client asked for, or — for a faulted query
+    under per-item isolation — ``"error"`` with the typed error class.
+    """
+    if result.failed:
+        return {
+            "id": request.id,
+            "ok": False,
+            "outcome": "error",
+            "error_type": result.error_type,
+            "error": result.error,
+            "state": state,
+            "stage": stage,
+            "queue_wait_ms": round(queue_wait_ms, 3),
+        }
+    downgraded = effective_strategy != requested_strategy
+    degraded = result.stats.degraded or downgraded
+    reason = result.stats.degraded_reason
+    if reason is None and downgraded:
+        reason = f"overload_stage:{effective_strategy}"
+    response: dict[str, Any] = {
+        "id": request.id,
+        "ok": True,
+        "outcome": "degraded" if degraded else "completed",
+        "matches": [
+            {
+                "tid": match.tid,
+                "similarity": match.similarity,
+                "values": list(match.values),
+            }
+            for match in result.matches
+        ],
+        "strategy": result.stats.strategy,
+        "state": state,
+        "stage": stage,
+        "queue_wait_ms": round(queue_wait_ms, 3),
+    }
+    if degraded:
+        response["degraded_reason"] = reason
+    return response
+
+
+def shed_response(
+    request_id: str | None, reason: str, state: str, stage: str
+) -> dict[str, Any]:
+    """The response for a request the server refused to run."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "outcome": "shed",
+        "error_type": "SheddedError",
+        "shed_reason": reason,
+        "state": state,
+        "stage": stage,
+    }
+
+
+def error_response(
+    request_id: str | None,
+    error_type: str,
+    message: str,
+    state: str,
+    stage: str,
+) -> dict[str, Any]:
+    """The response for a malformed or failed request."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "outcome": "error",
+        "error_type": error_type,
+        "error": message,
+        "state": state,
+        "stage": stage,
+    }

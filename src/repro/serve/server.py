@@ -1,0 +1,700 @@
+"""The `repro serve` engine: a bounded, drain-safe online match server.
+
+Architecture (one process, thread-per-role):
+
+- **Acceptor** — accepts TCP connections and hands each to a handler
+  thread.  It starts *before* the engine finishes loading so ``ping``
+  answers immediately (readiness ``loading``); match requests arriving
+  in that window are shed with reason ``loading`` instead of queueing
+  against an engine that does not exist yet.
+- **Connection handlers** — one per client, reading newline-delimited
+  JSON requests (:mod:`repro.serve.protocol`).  A ``match`` request is
+  stamped with its end-to-end :class:`~repro.core.resilience.Deadline`
+  and offered to the :class:`~repro.serve.admission.AdmissionQueue`;
+  the handler then blocks on the item's event and writes whichever of
+  the trichotomy outcomes resolved it.
+- **Workers** — pull admitted items, shed anything whose deadline
+  expired while queued, ask the
+  :class:`~repro.serve.lifecycle.DegradationLadder` what stage to run
+  at, and execute through the batch engine's per-thread matcher
+  (:meth:`~repro.core.batch.BatchMatcher.worker_matcher`) with a
+  :class:`~repro.core.resilience.QueryBudget` clamped to the deadline's
+  *remainder* — queue wait is not free, it comes out of compute.
+- **Watchdog** — periodically feeds queue-wait p95 to the ladder
+  (degrade), sheds queued bulk work past the shed threshold, and
+  reports workers that went busy-silent (stuck) through readiness.
+
+Shutdown (:meth:`MatchServer.shutdown`) is a drain, not an abort: stop
+accepting, refuse new offers, finish what was admitted within the drain
+budget, shed the rest with a typed reason, then checkpoint the WAL so
+the on-disk database is clean for the next process.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.analysis.debuglock import make_lock
+from repro.core.batch import BatchMatcher
+from repro.core.matcher import FuzzyMatcher
+from repro.core.resilience import Deadline, QueryBudget
+from repro.db.database import Database
+from repro.db.errors import DatabaseError
+from repro.db.snapshot import save_database
+from repro.serve.admission import AdmissionQueue, WorkItem
+from repro.serve.lifecycle import (
+    STAGES,
+    STATE_DRAINING,
+    STATE_LOADING,
+    STATE_SERVING,
+    STATE_STOPPED,
+    DegradationLadder,
+    Lifecycle,
+    WorkerHealth,
+)
+from repro.serve.protocol import (
+    SHED_DEADLINE_EXPIRED,
+    SHED_DRAIN_BUDGET,
+    SHED_LOADING,
+    SHED_OVERLOAD,
+    Request,
+    ProtocolError,
+    ServeError,
+    SheddedError,
+    decode_request,
+    encode_line,
+    error_response,
+    result_response,
+    shed_response,
+)
+
+#: ``engine_factory`` return type: the batch engine plus (optionally)
+#: the database handle to checkpoint on drain.
+EngineFactory = Callable[[], "tuple[BatchMatcher, Database | None]"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for :class:`MatchServer` (all have safe defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    """0 = let the OS pick; the bound port is in ``server.address``."""
+    workers: int = 4
+    """Engine worker threads (one per-thread matcher each)."""
+    queue_capacity: int = 64
+    """Admission queue bound; arrivals past it are shed, not queued."""
+    default_deadline_ms: float | None = 250.0
+    """End-to-end deadline applied when a request names none
+    (``None`` = requests without a deadline run unbounded)."""
+    max_page_fetches: int | None = None
+    """Optional per-request physical-read cap (see ``QueryBudget``)."""
+    degrade_p95_s: float = 0.200
+    """Queue-wait p95 at which the ladder trips one stage cheaper."""
+    recover_p95_s: float = 0.050
+    """Queue-wait p95 a recovery probe must see to reclose a breaker."""
+    shed_p95_s: float = 0.400
+    """Queue-wait p95 at which queued bulk work is shed outright."""
+    stage_cooldown_s: float = 1.0
+    """Seconds a tripped stage breaker waits before probing recovery."""
+    drain_budget_s: float = 5.0
+    """Wall-clock allowance for finishing admitted work on shutdown."""
+    watchdog_interval_s: float = 0.05
+    """Governor/watchdog tick."""
+    stuck_after_s: float = 10.0
+    """A busy worker silent this long is reported stuck."""
+    idle_poll_s: float = 0.1
+    """Worker queue-poll timeout (drain/stop latency granularity)."""
+    response_grace_s: float = 5.0
+    """Extra wait past a request's deadline before the connection
+    handler gives up on its worker (stuck-worker escape hatch)."""
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive")
+        if not (0 <= self.recover_p95_s <= self.degrade_p95_s <= self.shed_p95_s):
+            raise ValueError(
+                "thresholds must satisfy 0 <= recover <= degrade <= shed"
+            )
+        for name in (
+            "stage_cooldown_s",
+            "drain_budget_s",
+            "watchdog_interval_s",
+            "stuck_after_s",
+            "idle_poll_s",
+            "response_grace_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+class ServeStats:
+    """Thread-safe outcome counters (reported by ``op=stats``)."""
+
+    def __init__(self) -> None:
+        self._lock = make_lock("ServeStats._lock")
+        self._submitted: dict[str, int] = {}
+        self._completed = 0
+        self._degraded = 0
+        self._degraded_reasons: dict[str, int] = {}
+        self._shed: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self._stage_trips = 0
+        self._bulk_shed_sweeps = 0
+
+    def record_submitted(self, priority: str) -> None:
+        """Count one admitted request under its priority class."""
+        with self._lock:
+            self._submitted[priority] = self._submitted.get(priority, 0) + 1
+
+    def record_completed(self) -> None:
+        """Count one full-fidelity completion."""
+        with self._lock:
+            self._completed += 1
+
+    def record_degraded(self, reason: str) -> None:
+        """Count one degraded answer under its reason."""
+        with self._lock:
+            self._degraded += 1
+            self._degraded_reasons[reason] = (
+                self._degraded_reasons.get(reason, 0) + 1
+            )
+
+    def record_shed(self, reason: str) -> None:
+        """Count one shed request under its typed reason."""
+        with self._lock:
+            self._shed[reason] = self._shed.get(reason, 0) + 1
+
+    def record_error(self, error_type: str) -> None:
+        """Count one typed error response."""
+        with self._lock:
+            self._errors[error_type] = self._errors.get(error_type, 0) + 1
+
+    def record_stage_trip(self) -> None:
+        """Count one degradation-ladder stage trip."""
+        with self._lock:
+            self._stage_trips += 1
+
+    def record_bulk_shed_sweep(self) -> None:
+        """Count one watchdog sweep that shed queued bulk work."""
+        with self._lock:
+            self._bulk_shed_sweeps += 1
+
+    def as_dict(self) -> dict[str, Any]:
+        """Snapshot of all counters as a JSON-ready dict."""
+        with self._lock:
+            shed_total = sum(self._shed.values())
+            return {
+                "submitted": dict(sorted(self._submitted.items())),
+                "completed": self._completed,
+                "degraded": self._degraded,
+                "degraded_reasons": dict(sorted(self._degraded_reasons.items())),
+                "shed": shed_total,
+                "shed_reasons": dict(sorted(self._shed.items())),
+                "errors": dict(sorted(self._errors.items())),
+                "stage_trips": self._stage_trips,
+                "bulk_shed_sweeps": self._bulk_shed_sweeps,
+            }
+
+
+class MatchServer:
+    """Online fuzzy-match server over one batch engine.
+
+    Construct with either a ready ``engine`` (and optionally the
+    ``database`` to checkpoint on drain) or an ``engine_factory`` whose
+    load time is surfaced as the ``loading`` readiness state.  ``start``
+    binds, begins accepting (ping works immediately), resolves the
+    engine, then transitions to ``serving``; ``shutdown`` drains.
+
+    ``on_bound`` fires with ``(host, port)`` right after bind — before
+    loading — so supervisors can discover an OS-assigned port.
+    ``before_execute`` is a test seam invoked by a worker just before it
+    runs an item's query.
+    """
+
+    def __init__(
+        self,
+        engine: BatchMatcher | None = None,
+        database: Database | None = None,
+        config: ServeConfig | None = None,
+        *,
+        engine_factory: EngineFactory | None = None,
+        on_bound: Callable[[str, int], None] | None = None,
+        before_execute: Callable[[WorkItem], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if (engine is None) == (engine_factory is None):
+            raise ValueError("pass exactly one of engine= or engine_factory=")
+        self.config = config if config is not None else ServeConfig()
+        self._engine = engine
+        self._database = database
+        self._engine_factory = engine_factory
+        self._on_bound = on_bound
+        self._before_execute = before_execute
+        self._clock = clock
+        self._default_strategy = "osc"
+
+        self.lifecycle = Lifecycle(clock=clock)
+        self.queue = AdmissionQueue(self.config.queue_capacity, clock=clock)
+        self.health = WorkerHealth(self.config.stuck_after_s, clock=clock)
+        self.ladder = DegradationLadder(
+            degrade_at_s=self.config.degrade_p95_s,
+            recover_at_s=self.config.recover_p95_s,
+            cooldown_s=self.config.stage_cooldown_s,
+            clock=clock,
+        )
+        self.stats = ServeStats()
+
+        self.address: tuple[str, int] | None = None
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._workers_stop = threading.Event()
+        self._shutdown_event = threading.Event()
+        self._conns_lock = make_lock("MatchServer._conns_lock")
+        self._conns: list[socket.socket] = []
+        self._shutdown_lock = make_lock("MatchServer._shutdown_lock")
+        self._drained = False
+        self.checkpoint_error: str | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind, accept, load, serve.  Returns the bound address.
+
+        Blocks until the engine is resolved and workers are running; the
+        acceptor runs from the moment the socket is bound, so ``ping``
+        (and honest ``loading`` sheds) work during a slow load.
+        """
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(128)
+        self._listener = listener
+        host, port = listener.getsockname()[:2]
+        self.address = (host, port)
+        if self._on_bound is not None:
+            self._on_bound(host, port)
+
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-serve-acceptor", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+
+        if self._engine is None:
+            assert self._engine_factory is not None
+            self._engine, self._database = self._engine_factory()
+        engine = self._engine
+        self._default_strategy = "osc" if engine.config.use_osc else "basic"
+        # Touch lazily-built shared structures while still single-threaded.
+        engine.warm_shared_state()
+
+        for index in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                args=(f"worker-{index}",),
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._threads.append(worker)
+        watchdog = threading.Thread(
+            target=self._watchdog_loop, name="repro-serve-watchdog", daemon=True
+        )
+        watchdog.start()
+        self._threads.append(watchdog)
+
+        self.lifecycle.transition(STATE_SERVING)
+        return (host, port)
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to drain (signal-handler safe)."""
+        self._shutdown_event.set()
+
+    def serve_until_shutdown(self) -> None:
+        """Block until :meth:`request_shutdown`, then drain."""
+        # Short waits keep the main thread responsive to signals.
+        while not self._shutdown_event.wait(0.2):
+            pass
+        self.shutdown()
+
+    def shutdown(self, drain_budget_s: float | None = None) -> None:
+        """Graceful drain: finish admitted work, shed the rest, checkpoint.
+
+        Safe to call more than once; later calls return immediately.
+        """
+        with self._shutdown_lock:
+            if self._drained:
+                return
+            self._drained = True
+        self._shutdown_event.set()
+        budget_s = (
+            drain_budget_s if drain_budget_s is not None else self.config.drain_budget_s
+        )
+
+        if self.lifecycle.state == STATE_LOADING:
+            # Nothing admitted yet; there is no work to drain.
+            self._close_listener()
+            self.lifecycle.transition(STATE_STOPPED)
+            return
+
+        self.lifecycle.transition(STATE_DRAINING)
+        self._close_listener()
+        self.queue.close()
+
+        drain = Deadline.after(budget_s, clock=self._clock)
+        while not drain.expired():
+            if self.queue.depth == 0 and self.health.busy_workers() == 0:
+                break
+            time.sleep(0.005)
+        for victim in self.queue.drain_remaining():
+            victim.shed(SHED_DRAIN_BUDGET)
+
+        self._workers_stop.set()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=max(1.0, self.config.idle_poll_s * 4))
+        self._checkpoint()
+        self._close_connections()
+        self.lifecycle.transition(STATE_STOPPED)
+
+    def _checkpoint(self) -> None:
+        """Checkpoint the WAL on drain so the next open starts clean."""
+        db = self._database
+        if db is None or db.pool.wal is None:
+            return
+        try:
+            save_database(db)
+        except DatabaseError as exc:
+            # Drain must still complete; surface the failure via ping/stats
+            # instead of dying with work already refused.
+            self.checkpoint_error = str(exc)
+            self.stats.record_error(type(exc).__name__)
+
+    def _close_listener(self) -> None:
+        listener = self._listener
+        self._listener = None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    def _close_connections(self) -> None:
+        with self._conns_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Alias for :meth:`shutdown` with the configured drain budget."""
+        self.shutdown()
+
+    def __enter__(self) -> "MatchServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def readiness(self) -> dict[str, Any]:
+        """The ``ping`` payload: state, stage, queue and worker health."""
+        lifecycle_state = self.lifecycle.state
+        stage = self.ladder.stage()
+        stuck = self.health.stuck_workers()
+        state = lifecycle_state
+        if lifecycle_state == STATE_SERVING and (stage != STAGES[0] or stuck):
+            state = "degraded"
+        payload: dict[str, Any] = {
+            "ok": True,
+            "state": state,
+            "lifecycle_state": lifecycle_state,
+            "stage": stage,
+            "uptime_s": round(self.lifecycle.uptime(), 3),
+            "queue_depth": self.queue.depth,
+            "queue_capacity": self.queue.capacity,
+            "queue_max_depth": self.queue.max_depth,
+            "p95_wait_ms": round(self.queue.p95_wait() * 1000, 3),
+            "workers": self.health.workers(),
+            "busy_workers": self.health.busy_workers(),
+            "stuck_workers": list(stuck),
+            "breakers": self.ladder.breaker_states(),
+        }
+        if self.checkpoint_error is not None:
+            payload["checkpoint_error"] = self.checkpoint_error
+        return payload
+
+    def stats_payload(self) -> dict[str, Any]:
+        """The ``stats`` op response: counters plus state and stage."""
+        payload = self.stats.as_dict()
+        payload["ok"] = True
+        payload["state"] = self.lifecycle.state
+        payload["stage"] = self.ladder.stage()
+        payload["queue_max_depth"] = self.queue.max_depth
+        payload["ladder_trips"] = self.ladder.trips()
+        return payload
+
+    # ------------------------------------------------------------------
+    # Acceptor + connection handling
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while listener is not None:
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            with self._conns_lock:
+                self._conns.append(conn)
+            handler = threading.Thread(
+                target=self._handle_connection,
+                args=(conn,),
+                name="repro-serve-conn",
+                daemon=True,
+            )
+            handler.start()
+            listener = self._listener
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        try:
+            reader = conn.makefile("rb")
+        except OSError:
+            self._forget_connection(conn)
+            return
+        try:
+            for raw in reader:
+                line = raw.strip()
+                if not line:
+                    continue
+                response = self._respond_line(line)
+                conn.sendall(response)
+        except OSError:
+            pass  # peer went away or drain closed the socket under us
+        finally:
+            try:
+                reader.close()
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._forget_connection(conn)
+
+    def _forget_connection(self, conn: socket.socket) -> None:
+        with self._conns_lock:
+            if conn in self._conns:
+                self._conns.remove(conn)
+
+    def _respond_line(self, line: bytes) -> bytes:
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            self.stats.record_error("ProtocolError")
+            return encode_line(
+                error_response(
+                    None,
+                    "ProtocolError",
+                    str(exc),
+                    self.lifecycle.state,
+                    self.ladder.stage(),
+                )
+            )
+        if request.op == "ping":
+            return encode_line(self.readiness())
+        if request.op == "stats":
+            return encode_line(self.stats_payload())
+        return encode_line(self._respond_match(request))
+
+    def _respond_match(self, request: Request) -> dict[str, Any]:
+        state = self.lifecycle.state
+        stage = self.ladder.stage()
+        if state == STATE_LOADING:
+            self.stats.record_shed(SHED_LOADING)
+            return shed_response(request.id, SHED_LOADING, state, stage)
+
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        deadline = (
+            Deadline.after(deadline_ms / 1000.0, clock=self._clock)
+            if deadline_ms is not None
+            else None
+        )
+        item = WorkItem(request, deadline, self._clock())
+        self.stats.record_submitted(request.priority)
+        try:
+            self.queue.offer(item)
+        except SheddedError as exc:
+            self.stats.record_shed(exc.reason)
+            return shed_response(
+                request.id, exc.reason, self.lifecycle.state, self.ladder.stage()
+            )
+
+        timeout: float | None = None
+        if deadline is not None:
+            timeout = deadline.remaining() + self.config.response_grace_s
+        if not item.done.wait(timeout):
+            # The worker holding this item went silent past deadline +
+            # grace: answer the client instead of hanging the connection.
+            self.stats.record_error("StuckWorkerTimeout")
+            return error_response(
+                request.id,
+                "StuckWorkerTimeout",
+                "request was admitted but no worker resolved it in time",
+                self.lifecycle.state,
+                self.ladder.stage(),
+            )
+
+        if item.shed_reason is not None:
+            self.stats.record_shed(item.shed_reason)
+            return shed_response(
+                request.id,
+                item.shed_reason,
+                self.lifecycle.state,
+                self.ladder.stage(),
+            )
+        if item.error_type is not None:
+            self.stats.record_error(item.error_type)
+            return error_response(
+                request.id,
+                item.error_type,
+                item.error_message or item.error_type,
+                self.lifecycle.state,
+                self.ladder.stage(),
+            )
+        result = item.result
+        assert result is not None  # complete() set exactly one of the three
+        payload = result_response(
+            request,
+            result,
+            item.requested_strategy,
+            item.effective_strategy,
+            item.stage,
+            self.lifecycle.state,
+            queue_wait_ms=item.queue_wait * 1000.0,
+        )
+        if payload["outcome"] == "completed":
+            self.stats.record_completed()
+        elif payload["outcome"] == "degraded":
+            self.stats.record_degraded(str(payload.get("degraded_reason")))
+        else:
+            self.stats.record_error(str(payload.get("error_type")))
+        return payload
+
+    # ------------------------------------------------------------------
+    # Workers + watchdog
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self, name: str) -> None:
+        engine = self._engine
+        assert engine is not None  # start() resolved it before spawning us
+        matcher = engine.worker_matcher()
+        self.health.beat(name, busy=False)
+        try:
+            while not self._workers_stop.is_set():
+                item = self.queue.take(self.config.idle_poll_s)
+                if item is None:
+                    self.health.beat(name, busy=False)
+                    continue
+                self.health.beat(name, busy=True)
+                try:
+                    self._execute(item, matcher)
+                finally:
+                    self.health.beat(name, busy=False)
+        finally:
+            self.health.deregister(name)
+
+    def _execute(self, item: WorkItem, matcher: FuzzyMatcher) -> None:
+        request = item.request
+        if item.deadline is not None and item.deadline.expired():
+            # The whole deadline was burned waiting in the queue; running
+            # now can only produce an answer nobody is waiting for.
+            item.shed(SHED_DEADLINE_EXPIRED)
+            return
+
+        stage, probe = self.ladder.stage_for_request()
+        requested = request.strategy or self._default_strategy
+        effective = (
+            stage if STAGES.index(stage) > STAGES.index(requested) else requested
+        )
+        budget: QueryBudget | None = None
+        if item.deadline is not None:
+            budget = QueryBudget.from_deadline(
+                item.deadline, self.config.max_page_fetches
+            )
+        elif self.config.max_page_fetches is not None:
+            budget = QueryBudget(max_page_fetches=self.config.max_page_fetches)
+
+        if self._before_execute is not None:
+            self._before_execute(item)
+        try:
+            result = matcher.match(
+                request.values,
+                k=request.k,
+                min_similarity=request.min_similarity,
+                strategy=effective,
+                budget=budget,
+            )
+        except (DatabaseError, ValueError) as exc:
+            if probe is not None:
+                probe.record_failure()
+            item.fail(type(exc).__name__, str(exc) or type(exc).__name__)
+            return
+        if probe is not None:
+            # The probe recloses its breaker only if the trial ran clean
+            # AND the queue has actually calmed down; otherwise re-trip
+            # and wait out another cooldown.
+            if not result.stats.degraded and self.ladder.probe_succeeded(
+                self.queue.p95_wait()
+            ):
+                probe.record_success()
+            else:
+                probe.record_failure()
+        item.complete(result, requested, effective, stage)
+
+    def _watchdog_loop(self) -> None:
+        while not self._workers_stop.wait(self.config.watchdog_interval_s):
+            self._govern()
+
+    def _govern(self) -> None:
+        """One governor tick: degrade on p95, shed bulk past the limit."""
+        p95 = self.queue.p95_wait()
+        tripped = self.ladder.observe(p95)
+        if tripped is not None:
+            self.stats.record_stage_trip()
+        if p95 >= self.config.shed_p95_s:
+            victims = self.queue.shed_bulk(SHED_OVERLOAD)
+            if victims:
+                self.stats.record_bulk_shed_sweep()
+
+
+__all__ = [
+    "EngineFactory",
+    "MatchServer",
+    "ServeConfig",
+    "ServeError",
+    "ServeStats",
+]

@@ -206,6 +206,41 @@ class TestProcessExecutor:
         )
 
 
+class TestBatchReportJson:
+    def test_degraded_reasons_survive_to_json(self, world):
+        """A budget-starved batch reports per-item degradation reasons."""
+        from repro.core.resilience import ResiliencePolicy
+
+        reference, weights, config, eti, batch = world
+        policy = ResiliencePolicy.with_budget(max_page_fetches=0)
+        with BatchMatcher(
+            reference, weights, config, eti, jobs=2, resilience=policy
+        ) as engine:
+            engine.match_many(batch[:6], strategy="basic")
+            report = engine.last_report
+        assert report.degraded_queries > 0
+        payload = json.loads(report.to_json())
+        assert payload["degraded_reasons"] == {
+            "page_fetches": report.degraded_queries
+        }
+        assert payload["failed_types"] == {}
+        assert payload["deduplicated_queries"] == report.deduplicated_queries
+        assert payload["queries_per_second"] == report.queries_per_second
+
+    def test_failed_types_counted(self):
+        report = BatchReport(
+            total_queries=3,
+            unique_queries=3,
+            failed_queries=2,
+            failed_types={"TransientIOError": 1, "PageCorruptionError": 1},
+        )
+        payload = json.loads(report.to_json(indent=2))
+        assert payload["failed_types"] == {
+            "PageCorruptionError": 1,
+            "TransientIOError": 1,
+        }
+
+
 class TestCliJobs:
     @pytest.fixture()
     def csv_pair(self, tmp_path):
@@ -254,6 +289,29 @@ class TestCliJobs:
         with open(proc_out, newline="") as handle:
             process_rows = list(csv.reader(handle))
         assert sequential_rows == process_rows
+
+    def test_report_json_flag_writes_breakdowns(self, csv_pair, tmp_path):
+        reference, dirty = csv_pair
+        report_path = tmp_path / "report.json"
+        assert (
+            cli_main(
+                [
+                    "match",
+                    "--reference", str(reference),
+                    "--input", str(dirty),
+                    "--max-page-fetches", "0",
+                    "--report-json", str(report_path),
+                    "--out", str(tmp_path / "out.csv"),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(report_path.read_text())
+        assert payload["total_queries"] == 20
+        assert payload["degraded_queries"] > 0
+        assert payload["degraded_reasons"].get("page_fetches") == payload[
+            "degraded_queries"
+        ]
 
     def test_executor_process_rejects_query_budget(self, csv_pair, tmp_path):
         reference, dirty = csv_pair

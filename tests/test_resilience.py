@@ -23,6 +23,7 @@ from repro.core.resilience import (
     DEGRADED_DEADLINE,
     DEGRADED_PAGE_FETCHES,
     CircuitBreaker,
+    Deadline,
     QueryBudget,
     ResiliencePolicy,
     fallback_chain,
@@ -278,7 +279,7 @@ class TestQueryBudget:
         meter = QueryBudget(deadline=5.0).start()
         assert meter.exhausted() is None
         meter._started -= 10.0  # pretend 10s elapsed
-        meter._deadline_at -= 10.0
+        meter._deadline.at -= 10.0
         assert meter.exhausted() == DEGRADED_DEADLINE
 
     def test_meter_page_fetches(self):
@@ -296,6 +297,104 @@ class TestQueryBudget:
         pool = BufferPool(InMemoryStorage(), capacity=2)
         meter = QueryBudget(max_page_fetches=0).start(pool)
         assert meter.exhausted() == DEGRADED_PAGE_FETCHES
+
+
+class ManualClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_after_remaining_expired(self):
+        clock = ManualClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        assert not deadline.expired()
+        clock.advance(4.0)
+        assert deadline.remaining() == pytest.approx(1.0)
+        clock.advance(2.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0  # clamped, never negative
+
+    def test_earliest_picks_the_sooner(self):
+        clock = ManualClock()
+        soon = Deadline.after(1.0, clock=clock)
+        late = Deadline.after(9.0, clock=clock)
+        assert late.earliest(soon) is soon
+        assert soon.earliest(late) is soon
+        assert soon.earliest(None) is soon
+
+    def test_budget_from_deadline_clamps_to_remainder(self):
+        clock = ManualClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        clock.advance(1.5)
+        budget = QueryBudget.from_deadline(deadline)
+        assert budget.deadline == pytest.approx(0.5)
+
+    def test_budget_from_expired_deadline_uses_floor(self):
+        clock = ManualClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(5.0)
+        budget = QueryBudget.from_deadline(deadline)
+        # Constructible (deadline > 0 is enforced) but effectively spent:
+        # the query degrades on its first budget poll.
+        assert budget.deadline == pytest.approx(0.001)
+
+
+class TestCircuitBreakerCooldown:
+    """Time-based half-open recovery (the serving layer's mode)."""
+
+    def make(self, clock):
+        return CircuitBreaker(failure_threshold=1, cooldown_s=10.0, clock=clock)
+
+    def test_closed_open_half_open_closed(self):
+        clock = ManualClock()
+        breaker = self.make(clock)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # cooling down: no trials
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # cooldown elapsed: one probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # probe in flight: nobody else
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert all(breaker.allow() for _ in range(5))
+
+    def test_failed_probe_retrips_and_restarts_cooldown(self):
+        clock = ManualClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        clock.advance(10.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert not breaker.allow()  # the cooldown restarted at the re-trip
+        clock.advance(10.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_count_based_mode_unchanged_without_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, half_open_interval=4)
+        breaker.record_failure()
+        assert breaker.state == "open"  # never "half_open" in count mode
+        decisions = [breaker.allow() for _ in range(4)]
+        assert decisions == [False, False, False, True]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)
 
 
 class TestCircuitBreaker:

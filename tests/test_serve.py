@@ -1,0 +1,668 @@
+"""The serving layer: protocol, admission, ladder, lifecycle, end-to-end.
+
+Unit machines (fake clocks, no sockets) first, then a real TCP server
+over the paper's organization relation.  The binding contract under
+test everywhere: a served ``match`` resolves to exactly one of
+completed / degraded / shed / error, and a *completed* answer is
+bit-identical to the offline matcher's.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.batch import BatchMatcher
+from repro.core.matcher import FuzzyMatcher
+from repro.core.resilience import Deadline
+from repro.serve.admission import AdmissionQueue, WorkItem
+from repro.serve.client import ServeClient
+from repro.serve.lifecycle import (
+    STAGES,
+    DegradationLadder,
+    Lifecycle,
+    LifecycleError,
+    WorkerHealth,
+)
+from repro.serve.protocol import (
+    PRIORITY_BULK,
+    PRIORITY_INTERACTIVE,
+    SHED_DEADLINE_EXPIRED,
+    SHED_DISPLACED,
+    SHED_DRAINING,
+    SHED_LOADING,
+    SHED_OVERLOAD,
+    SHED_QUEUE_FULL,
+    ProtocolError,
+    Request,
+    SheddedError,
+    decode_request,
+    encode_line,
+)
+from repro.serve.server import MatchServer, ServeConfig
+
+from tests.conftest import ORG_INPUTS
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def make_item(priority=PRIORITY_INTERACTIVE, deadline=None, enqueued_at=0.0):
+    request = Request(op="match", values=("x",), priority=priority)
+    return WorkItem(request, deadline, enqueued_at)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_decode_match(self):
+        request = decode_request(
+            b'{"op":"match","id":"q7","values":["a",null,"c"],"k":2,'
+            b'"min_similarity":0.5,"strategy":"basic","deadline_ms":100,'
+            b'"priority":"bulk"}'
+        )
+        assert request.op == "match"
+        assert request.id == "q7"
+        assert request.values == ("a", None, "c")
+        assert request.k == 2
+        assert request.min_similarity == 0.5
+        assert request.strategy == "basic"
+        assert request.deadline_ms == 100.0
+        assert request.priority == PRIORITY_BULK
+
+    def test_defaults(self):
+        request = decode_request('{"op":"match","values":["a"]}')
+        assert request.id is None
+        assert request.k is None
+        assert request.strategy is None
+        assert request.deadline_ms is None
+        assert request.priority == PRIORITY_INTERACTIVE
+
+    def test_non_match_ops_need_no_values(self):
+        assert decode_request('{"op":"ping"}').op == "ping"
+        assert decode_request('{"op":"stats"}').op == "stats"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json at all",
+            '["op","match"]',
+            '{"op":"nope"}',
+            '{"op":"match"}',
+            '{"op":"match","values":[]}',
+            '{"op":"match","values":[1]}',
+            '{"op":"match","values":["a"],"k":0}',
+            '{"op":"match","values":["a"],"k":true}',
+            '{"op":"match","values":["a"],"min_similarity":"hi"}',
+            '{"op":"match","values":["a"],"strategy":"magic"}',
+            '{"op":"match","values":["a"],"deadline_ms":0}',
+            '{"op":"match","values":["a"],"deadline_ms":true}',
+            '{"op":"match","values":["a"],"priority":"vip"}',
+            '{"op":"match","values":["a"],"id":7}',
+        ],
+    )
+    def test_rejects(self, line):
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    def test_encode_line_is_one_line(self):
+        raw = encode_line({"ok": True, "id": "x"})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+
+
+# ----------------------------------------------------------------------
+# Admission queue
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionQueue:
+    def test_interactive_dequeues_first(self):
+        queue = AdmissionQueue(capacity=4)
+        bulk = make_item(PRIORITY_BULK)
+        inter = make_item(PRIORITY_INTERACTIVE)
+        queue.offer(bulk)
+        queue.offer(inter)
+        assert queue.take(1.0) is inter
+        assert queue.take(1.0) is bulk
+
+    def test_capacity_sheds_with_queue_full(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.offer(make_item())
+        with pytest.raises(SheddedError) as info:
+            queue.offer(make_item())
+        assert info.value.reason == SHED_QUEUE_FULL
+
+    def test_bulk_cannot_displace(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.offer(make_item(PRIORITY_INTERACTIVE))
+        with pytest.raises(SheddedError) as info:
+            queue.offer(make_item(PRIORITY_BULK))
+        assert info.value.reason == SHED_QUEUE_FULL
+
+    def test_interactive_displaces_newest_bulk(self):
+        queue = AdmissionQueue(capacity=2)
+        old_bulk = make_item(PRIORITY_BULK)
+        new_bulk = make_item(PRIORITY_BULK)
+        queue.offer(old_bulk)
+        queue.offer(new_bulk)
+        inter = make_item(PRIORITY_INTERACTIVE)
+        queue.offer(inter)  # displaces new_bulk, inherits its token
+        assert new_bulk.done.is_set()
+        assert new_bulk.shed_reason == SHED_DISPLACED
+        assert queue.depth == 2
+        assert queue.take(1.0) is inter
+        assert queue.take(1.0) is old_bulk
+        # The semaphore count matched the queue: no phantom third item.
+        assert queue.take(0.05) is None
+
+    def test_closed_refuses_offers_but_serves_takes(self):
+        queue = AdmissionQueue(capacity=4)
+        item = make_item()
+        queue.offer(item)
+        queue.close()
+        with pytest.raises(SheddedError) as info:
+            queue.offer(make_item())
+        assert info.value.reason == SHED_DRAINING
+        assert queue.take(1.0) is item
+
+    def test_shed_bulk_resolves_items_and_self_corrects_tokens(self):
+        queue = AdmissionQueue(capacity=8)
+        bulks = [make_item(PRIORITY_BULK) for _ in range(3)]
+        for item in bulks:
+            queue.offer(item)
+        victims = queue.shed_bulk(SHED_OVERLOAD)
+        assert victims == bulks
+        assert all(b.shed_reason == SHED_OVERLOAD for b in bulks)
+        # Tokens for shed items surface as timeouts, not phantom items.
+        assert queue.take(0.05) is None
+        assert queue.depth == 0
+
+    def test_max_depth_is_bounded_by_capacity(self):
+        queue = AdmissionQueue(capacity=3)
+        for _ in range(3):
+            queue.offer(make_item(PRIORITY_BULK))
+        queue.offer(make_item(PRIORITY_INTERACTIVE))  # displacement
+        assert queue.max_depth <= 3
+
+    def test_wait_accounting_feeds_p95(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(capacity=4, clock=clock)
+        item = make_item(enqueued_at=clock())
+        queue.offer(item)
+        clock.advance(0.5)
+        taken = queue.take(1.0)
+        assert taken.queue_wait == pytest.approx(0.5)
+        assert queue.p95_wait() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle, worker health, degradation ladder
+# ----------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_happy_path(self):
+        lifecycle = Lifecycle()
+        assert lifecycle.state == "loading"
+        lifecycle.transition("serving")
+        lifecycle.transition("draining")
+        lifecycle.transition("stopped")
+        assert lifecycle.is_stopped()
+
+    def test_idempotent_and_illegal(self):
+        lifecycle = Lifecycle()
+        lifecycle.transition("loading")  # no-op
+        with pytest.raises(LifecycleError):
+            lifecycle.transition("draining")
+        with pytest.raises(LifecycleError):
+            lifecycle.transition("warp")
+
+    def test_loading_may_stop_directly(self):
+        lifecycle = Lifecycle()
+        lifecycle.transition("stopped")
+        assert lifecycle.is_stopped()
+
+
+class TestWorkerHealth:
+    def test_stuck_detection_needs_busy_and_silence(self):
+        clock = FakeClock()
+        health = WorkerHealth(stuck_after_s=1.0, clock=clock)
+        health.beat("idle", busy=False)
+        health.beat("busy", busy=True)
+        clock.advance(2.0)
+        assert health.stuck_workers() == ("busy",)
+        health.beat("busy", busy=True)  # fresh beat: no longer silent
+        assert health.stuck_workers() == ()
+
+    def test_busy_count_and_deregister(self):
+        health = WorkerHealth(stuck_after_s=1.0)
+        health.beat("a", busy=True)
+        health.beat("b", busy=False)
+        assert health.workers() == 2
+        assert health.busy_workers() == 1
+        health.deregister("a")
+        assert health.workers() == 1
+        assert health.busy_workers() == 0
+
+
+class TestDegradationLadder:
+    def make(self, clock):
+        return DegradationLadder(
+            degrade_at_s=0.2, recover_at_s=0.05, cooldown_s=5.0, clock=clock
+        )
+
+    def test_calm_never_trips(self):
+        ladder = self.make(FakeClock())
+        assert ladder.observe(0.19) is None
+        assert ladder.stage() == "osc"
+
+    def test_trips_one_stage_per_dwell(self):
+        clock = FakeClock()
+        ladder = self.make(clock)
+        assert ladder.observe(1.0) == "osc"
+        assert ladder.stage() == "basic"
+        # Still overloaded, but inside the dwell window: no cascade.
+        assert ladder.observe(1.0) is None
+        assert ladder.stage() == "basic"
+        clock.advance(5.0)
+        assert ladder.observe(1.0) == "basic"
+        assert ladder.stage() == "naive"
+        clock.advance(5.0)
+        assert ladder.observe(1.0) is None  # nothing left to trip
+        assert ladder.trips() == 2
+
+    def test_probe_grant_and_reclose(self):
+        clock = FakeClock()
+        ladder = self.make(clock)
+        ladder.observe(1.0)
+        # Before cooldown: requests run at the degraded stage, no probe.
+        stage, probe = ladder.stage_for_request()
+        assert (stage, probe) == ("basic", None)
+        clock.advance(5.0)
+        stage, probe = ladder.stage_for_request()
+        assert stage == "osc"
+        assert probe is not None
+        # Only one probe in flight.
+        assert ladder.stage_for_request() == ("basic", None)
+        assert ladder.probe_succeeded(0.01)
+        probe.record_success()
+        assert ladder.stage() == "osc"
+
+    def test_failed_probe_retrips(self):
+        clock = FakeClock()
+        ladder = self.make(clock)
+        ladder.observe(1.0)
+        clock.advance(5.0)
+        _stage, probe = ladder.stage_for_request()
+        assert not ladder.probe_succeeded(0.5)
+        probe.record_failure()
+        assert ladder.stage() == "basic"
+        # The re-trip restarts the cooldown: no probe until it elapses.
+        assert ladder.stage_for_request() == ("basic", None)
+        clock.advance(5.0)
+        assert ladder.stage_for_request()[0] == "osc"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradationLadder(degrade_at_s=0.1, recover_at_s=0.2, cooldown_s=1.0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end over TCP
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def org_engine(org_reference, org_weights, paper_config, org_eti):
+    engine = BatchMatcher(org_reference, org_weights, paper_config, org_eti, jobs=2)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture()
+def offline_matcher(org_reference, org_weights, paper_config, org_eti):
+    return FuzzyMatcher(org_reference, org_weights, paper_config, org_eti)
+
+
+@contextmanager
+def running_server(engine, config=None, **kwargs):
+    server = MatchServer(
+        engine=engine,
+        config=config if config is not None else ServeConfig(workers=2),
+        **kwargs,
+    )
+    try:
+        server.start()
+        yield server
+    finally:
+        server.shutdown(drain_budget_s=1.0)
+
+
+def match_in_thread(server, values, **kwargs):
+    """Fire a match on its own connection+thread; returns (thread, box)."""
+    host, port = server.address
+    box = {}
+
+    def run():
+        try:
+            with ServeClient(host, port) as client:
+                box["response"] = client.match(values, **kwargs)
+        except (ConnectionError, OSError) as exc:
+            box["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread, box
+
+
+class TestServerEndToEnd:
+    def test_completed_answers_are_bit_identical(self, org_engine, offline_matcher):
+        config = ServeConfig(workers=2, default_deadline_ms=None)
+        with running_server(org_engine, config) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                for values, _target in ORG_INPUTS:
+                    offline = offline_matcher.match(values)
+                    response = client.match(values)
+                    assert response["outcome"] == "completed"
+                    assert response["matches"] == [
+                        {
+                            "tid": m.tid,
+                            "similarity": m.similarity,
+                            "values": list(m.values),
+                        }
+                        for m in offline.matches
+                    ]
+                    assert response["stage"] == "osc"
+
+    def test_ping_stats_and_protocol_errors(self, org_engine):
+        with running_server(org_engine) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                ping = client.ping()
+                assert ping["state"] == "serving"
+                assert ping["workers"] == 2
+                client.match(["Beoing Company", "Seattle", "WA", "98004"])
+                stats = client.stats()
+                assert stats["completed"] == 1
+                assert stats["submitted"] == {"interactive": 1}
+                bad = client.request({"op": "match"})  # no values
+                assert bad["outcome"] == "error"
+                assert bad["error_type"] == "ProtocolError"
+                arity = client.match(["just-one-column"])
+                assert arity["outcome"] == "error"
+                assert arity["error_type"] == "ValueError"
+
+    def test_queue_full_and_displacement(self, org_engine):
+        gate = threading.Event()
+        config = ServeConfig(
+            workers=1, queue_capacity=1, default_deadline_ms=None
+        )
+        values = ["Beoing Company", "Seattle", "WA", "98004"]
+        with running_server(
+            org_engine, config, before_execute=lambda item: gate.wait(10)
+        ) as server:
+            t_busy, busy_box = match_in_thread(server, values)
+            assert wait_until(lambda: server.health.busy_workers() == 1)
+            t_bulk, bulk_box = match_in_thread(
+                server, values, priority=PRIORITY_BULK
+            )
+            assert wait_until(lambda: server.queue.depth == 1)
+            # Queue full + only bulk queued: interactive displaces it.
+            t_inter, inter_box = match_in_thread(server, values)
+            t_bulk.join(5)
+            assert bulk_box["response"]["outcome"] == "shed"
+            assert bulk_box["response"]["shed_reason"] == SHED_DISPLACED
+            # Queue full again with an interactive queued: next arrival
+            # (any class) is refused at the door.
+            t_refused, refused_box = match_in_thread(
+                server, values, priority=PRIORITY_BULK
+            )
+            t_refused.join(5)
+            assert refused_box["response"]["shed_reason"] == SHED_QUEUE_FULL
+            gate.set()
+            t_busy.join(5)
+            t_inter.join(5)
+            assert busy_box["response"]["outcome"] == "completed"
+            assert inter_box["response"]["outcome"] == "completed"
+            assert server.queue.max_depth <= 1
+
+    def test_deadline_expired_in_queue_is_shed(self, org_engine):
+        gate = threading.Event()
+        config = ServeConfig(workers=1, default_deadline_ms=None)
+        values = ["Beoing Company", "Seattle", "WA", "98004"]
+        with running_server(
+            org_engine, config, before_execute=lambda item: gate.wait(10)
+        ) as server:
+            t_busy, busy_box = match_in_thread(server, values, deadline_ms=10_000)
+            assert wait_until(lambda: server.health.busy_workers() == 1)
+            t_doomed, doomed_box = match_in_thread(server, values, deadline_ms=30)
+            assert wait_until(lambda: server.queue.depth == 1)
+            time.sleep(0.08)  # burn the queued request's whole deadline
+            gate.set()
+            t_doomed.join(5)
+            assert doomed_box["response"]["outcome"] == "shed"
+            assert doomed_box["response"]["shed_reason"] == SHED_DEADLINE_EXPIRED
+            t_busy.join(5)
+            assert busy_box["response"]["outcome"] == "completed"
+
+    def test_overload_downgrade_and_probe_recovery(self, org_engine):
+        config = ServeConfig(
+            workers=2,
+            default_deadline_ms=None,
+            stage_cooldown_s=0.1,
+            degrade_p95_s=0.2,
+            recover_p95_s=0.05,
+        )
+        values = ["Beoing Company", "Seattle", "WA", "98004"]
+        with running_server(org_engine, config) as server:
+            host, port = server.address
+            # Simulate sustained queue pressure: the governor trips osc off.
+            assert server.ladder.observe(1.0) == "osc"
+            with ServeClient(host, port) as client:
+                assert client.ping()["state"] == "degraded"
+                degraded = client.match(values)
+                assert degraded["outcome"] == "degraded"
+                assert degraded["stage"] == "basic"
+                assert degraded["strategy"] == "basic"
+                assert degraded["degraded_reason"] == "overload_stage:basic"
+                # Matches are still correct, just computed the cheaper way.
+                assert degraded["matches"][0]["tid"] == 1
+                time.sleep(0.15)  # past the cooldown: next request probes
+                probe = client.match(values)
+                assert probe["outcome"] == "completed"
+                assert wait_until(lambda: server.ladder.stage() == "osc")
+                assert client.ping()["state"] == "serving"
+
+    def test_stuck_worker_surfaces_in_readiness_and_times_out(self, org_engine):
+        gate = threading.Event()
+        config = ServeConfig(
+            workers=1,
+            default_deadline_ms=None,
+            stuck_after_s=0.05,
+            response_grace_s=0.1,
+        )
+        values = ["Beoing Company", "Seattle", "WA", "98004"]
+        with running_server(
+            org_engine, config, before_execute=lambda item: gate.wait(10)
+        ) as server:
+            try:
+                t_stuck, stuck_box = match_in_thread(
+                    server, values, deadline_ms=50
+                )
+                assert wait_until(lambda: server.health.busy_workers() == 1)
+                assert wait_until(
+                    lambda: server.health.stuck_workers() == ("worker-0",)
+                )
+                host, port = server.address
+                with ServeClient(host, port) as client:
+                    assert client.ping()["state"] == "degraded"
+                t_stuck.join(5)
+                assert stuck_box["response"]["error_type"] == "StuckWorkerTimeout"
+            finally:
+                gate.set()
+
+    def test_drain_finishes_admitted_work(self, org_engine):
+        gate = threading.Event()
+        config = ServeConfig(workers=1, default_deadline_ms=None)
+        values = ["Beoing Company", "Seattle", "WA", "98004"]
+        with running_server(
+            org_engine, config, before_execute=lambda item: gate.wait(10)
+        ) as server:
+            t_running, running_box = match_in_thread(server, values)
+            assert wait_until(lambda: server.health.busy_workers() == 1)
+            t_queued, queued_box = match_in_thread(server, values)
+            assert wait_until(lambda: server.queue.depth == 1)
+            drainer = threading.Thread(
+                target=server.shutdown, kwargs={"drain_budget_s": 5.0}
+            )
+            drainer.start()
+            assert wait_until(lambda: server.lifecycle.state == "draining")
+            gate.set()
+            drainer.join(10)
+            assert server.lifecycle.state == "stopped"
+            t_running.join(5)
+            t_queued.join(5)
+            # Draining means FINISH admitted work, not abandon it.
+            assert running_box["response"]["outcome"] == "completed"
+            assert queued_box["response"]["outcome"] == "completed"
+
+    def test_drain_budget_sheds_leftovers(self, org_engine):
+        gate = threading.Event()
+        config = ServeConfig(workers=1, default_deadline_ms=None)
+        values = ["Beoing Company", "Seattle", "WA", "98004"]
+        with running_server(
+            org_engine, config, before_execute=lambda item: gate.wait(10)
+        ) as server:
+            try:
+                t_running, _running_box = match_in_thread(server, values)
+                assert wait_until(lambda: server.health.busy_workers() == 1)
+                t_queued, queued_box = match_in_thread(server, values)
+                assert wait_until(lambda: server.queue.depth == 1)
+                server.shutdown(drain_budget_s=0.2)
+                assert server.lifecycle.state == "stopped"
+                t_queued.join(5)
+                assert queued_box["response"]["outcome"] == "shed"
+                assert queued_box["response"]["shed_reason"] == "drain_budget"
+            finally:
+                gate.set()
+
+    def test_loading_state_pings_and_sheds(
+        self, org_reference, org_weights, paper_config, org_eti
+    ):
+        release = threading.Event()
+        engine = BatchMatcher(
+            org_reference, org_weights, paper_config, org_eti, jobs=2
+        )
+
+        def factory():
+            release.wait(10)
+            return engine, None
+
+        server = MatchServer(engine_factory=factory, config=ServeConfig(workers=1))
+        starter = threading.Thread(target=server.start, daemon=True)
+        starter.start()
+        try:
+            assert wait_until(lambda: server.address is not None)
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                assert client.ping()["state"] == "loading"
+                shed = client.match(["Beoing Company", "Seattle", "WA", "98004"])
+                assert shed["outcome"] == "shed"
+                assert shed["shed_reason"] == SHED_LOADING
+            release.set()
+            starter.join(10)
+            assert wait_until(lambda: server.lifecycle.state == "serving")
+            with ServeClient(host, port) as client:
+                done = client.match(["Beoing Company", "Seattle", "WA", "98004"])
+                assert done["outcome"] == "completed"
+        finally:
+            release.set()
+            server.shutdown(drain_budget_s=1.0)
+            engine.close()
+
+    def test_offers_after_close_shed_as_draining(self, org_engine):
+        with running_server(org_engine) as server:
+            server.queue.close()
+            with pytest.raises(SheddedError) as info:
+                server.queue.offer(make_item())
+            assert info.value.reason == SHED_DRAINING
+
+    def test_constructor_validation(self, org_engine):
+        with pytest.raises(ValueError):
+            MatchServer()
+        with pytest.raises(ValueError):
+            MatchServer(engine=org_engine, engine_factory=lambda: (org_engine, None))
+        with pytest.raises(ValueError):
+            ServeConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServeConfig(degrade_p95_s=0.1, shed_p95_s=0.05)
+        with pytest.raises(ValueError):
+            ServeConfig(drain_budget_s=0)
+
+
+class TestServeStagesConstant:
+    def test_stage_order_matches_fallback_chain(self):
+        assert STAGES == ("osc", "basic", "naive")
+
+    def test_deadline_helper_round_trip(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert not deadline.expired()
+        clock.advance(2.5)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+
+def test_bench_serve_importable():
+    """The serving benchmark's module contract: levels + JSON targets."""
+    import importlib.util
+    import json
+    from pathlib import Path
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_serve",
+        Path(__file__).resolve().parent.parent / "benchmarks" / "bench_serve.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert [path.name for path in module.RESULT_PATHS] == [
+        "BENCH_serve.json",
+        "BENCH_serve.json",
+    ]
+    payload = json.loads(module.RESULT_PATHS[0].read_text())
+    assert payload["benchmark"] == "serve_overhead_and_overload"
+    assert set(payload["levels"]) == {"serve_1x", "serve_2x", "serve_10x"}
+    for level in payload["levels"].values():
+        assert level["outcomes"]["error"] == 0
+        assert set(level["latency"]) == {"p50_ms", "p95_ms", "p99_ms", "mean_ms"}
+    assert payload["overhead"]["within_gate"] is True
+    assert payload["queue_max_depth"] <= payload["queue_capacity"]
