@@ -276,9 +276,15 @@ class MatchServer:
         (and honest ``loading`` sheds) work during a slow load.
         """
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.config.host, self.config.port))
-        listener.listen(128)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.config.host, self.config.port))
+            listener.listen(128)
+        except OSError:
+            # bind/listen can fail (port in use, bad host) — without this
+            # the socket outlives the failed start() call.
+            listener.close()
+            raise
         self._listener = listener
         host, port = listener.getsockname()[:2]
         self.address = (host, port)
@@ -481,6 +487,10 @@ class MatchServer:
         try:
             reader = conn.makefile("rb")
         except OSError:
+            try:
+                conn.close()
+            except OSError:
+                pass
             self._forget_connection(conn)
             return
         try:

@@ -9,6 +9,7 @@ bit-identical to the offline matcher's.
 
 from __future__ import annotations
 
+import socket
 import threading
 import time
 from contextlib import contextmanager
@@ -381,6 +382,59 @@ def match_in_thread(server, values, **kwargs):
     thread = threading.Thread(target=run, daemon=True)
     thread.start()
     return thread, box
+
+
+class TestStartupFailureCleanup:
+    """Sockets must not leak when start() or a connection handler fails."""
+
+    def test_bind_failure_closes_listener_socket(self, monkeypatch):
+        # Occupy a port so the server's bind fails with EADDRINUSE.
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        created = []
+        real_socket = socket.socket
+
+        def capturing_socket(*args, **kwargs):
+            sock = real_socket(*args, **kwargs)
+            created.append(sock)
+            return sock
+
+        monkeypatch.setattr(socket, "socket", capturing_socket)
+        server = MatchServer(
+            engine_factory=lambda: (None, None),
+            config=ServeConfig(port=port),
+        )
+        try:
+            with pytest.raises(OSError):
+                server.start()
+            assert created, "server never created its listener socket"
+            assert all(sock.fileno() == -1 for sock in created), (
+                "listener socket leaked after a failed start()"
+            )
+            assert server._listener is None
+        finally:
+            blocker.close()
+
+    def test_makefile_failure_closes_connection(self):
+        server = MatchServer(engine_factory=lambda: (None, None))
+
+        class FailingConn:
+            def __init__(self):
+                self.closed = False
+
+            def makefile(self, mode):
+                raise OSError("simulated makefile failure")
+
+            def close(self):
+                self.closed = True
+
+        conn = FailingConn()
+        server._conns.append(conn)
+        server._handle_connection(conn)
+        assert conn.closed, "connection socket leaked when makefile() failed"
+        assert conn not in server._conns
 
 
 class TestServerEndToEnd:
