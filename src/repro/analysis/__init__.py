@@ -7,7 +7,7 @@ Run the linter over the package (exit 0 = clean, 1 = findings)::
     python -m repro.analysis --select lock-discipline,annotations
     python -m repro.analysis --list-rules
 
-Rules (see each ``rules_*`` module for the rationale):
+Per-module rules (see each ``rules_*`` module for the rationale):
 
 ===================  ====================================================
 ``lock-discipline``  attributes mutated under ``with self._lock`` are
@@ -23,6 +23,22 @@ Rules (see each ``rules_*`` module for the rationale):
 ``annotations``      full parameter/return annotations everywhere
                      (the local strict-typing backstop)
 ===================  ====================================================
+
+Whole-program rules (reprolint v2 — built on the call graph in
+:mod:`repro.analysis.callgraph`; see :mod:`repro.analysis.rules_interproc`):
+
+=========================  ==============================================
+``blocking-under-lock``    no call under ``with self.<lock>:`` may
+                           transitively reach blocking I/O
+``deadline-propagation``   deadline/timeout/budget parameters flow into
+                           every callee that accepts one
+``resource-leak``          sockets/fds released or handed off on all
+                           paths; semaphore tokens never silently dropped
+``durability-ordering``    ``db/wal.py`` append/fsync discipline (COMMIT
+                           then fsync; checkpoint writes then inner sync)
+``shed-exhaustiveness``    shed reasons across ``serve/`` match the
+                           protocol's documented ``SHED_REASONS``
+=========================  ==============================================
 
 The dynamic half — :class:`~repro.analysis.debuglock.DebugLock`, enabled
 by ``REPRO_DEBUG_LOCKS=1`` — lives in :mod:`repro.analysis.debuglock`.
@@ -47,10 +63,18 @@ from repro.analysis.framework import REGISTRY, Finding, Module, Rule, register, 
 from repro.analysis import rules_api as _rules_api
 from repro.analysis import rules_determinism as _rules_determinism
 from repro.analysis import rules_exceptions as _rules_exceptions
+from repro.analysis import rules_interproc as _rules_interproc
 from repro.analysis import rules_locks as _rules_locks
 from repro.analysis import rules_typing as _rules_typing
 
-_ = (_rules_api, _rules_determinism, _rules_exceptions, _rules_locks, _rules_typing)
+_ = (
+    _rules_api,
+    _rules_determinism,
+    _rules_exceptions,
+    _rules_interproc,
+    _rules_locks,
+    _rules_typing,
+)
 
 __all__ = [
     "DebugLock",

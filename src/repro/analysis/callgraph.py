@@ -1,0 +1,513 @@
+"""A module-qualified call graph over the package AST.
+
+The interprocedural rules (:mod:`repro.analysis.rules_interproc`) all ask
+the same two questions the per-module rules cannot answer: *who does this
+function call* and *what do those callees transitively do*.  This module
+answers them statically, without importing the analysed code:
+
+- :class:`Program` parses nothing itself — it is built over the
+  :class:`~repro.analysis.framework.Module` objects the runner already
+  loaded — and indexes every top-level function and method under a
+  *qualified name* (``repro.serve.server.MatchServer._execute``).
+- Each call site becomes a :class:`CallEdge` with per-edge provenance:
+  the resolution kind (``self`` method, ``local`` module function,
+  ``import``-ed name, ``annotation``-typed receiver, or ``dynamic`` when
+  nothing static applies) plus the file and line it was resolved at.
+  Unresolvable calls are *recorded*, not dropped — an edge to
+  :data:`DYNAMIC` keeps the graph honest about its blind spots.
+- :meth:`Program.reaches` propagates a transitive property: given a seed
+  set of qualified names (internal functions or external dotted names
+  like ``time.sleep``), it returns every function that can reach a seed
+  along resolved edges, with a witness path for diagnostics.
+
+Resolution is deliberately conservative.  A call is resolved only when a
+static reading of the AST pins it down: ``self.m()`` to a method of the
+enclosing class (or a base resolvable inside the program), a bare name to
+a module-level function or an imported binding, a dotted chain rooted at
+an import to its target, and ``obj.m()`` to ``Cls.m`` when ``obj`` is a
+parameter or variable annotated with a class the program knows.
+Everything else — higher-order calls, attributes of attributes,
+``getattr`` — is :data:`DYNAMIC`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis.framework import Module
+
+#: The callee recorded for a call site static resolution cannot pin down.
+DYNAMIC = "<dynamic>"
+
+#: Per-edge provenance kinds, in rough order of confidence.
+RESOLUTION_KINDS = ("self", "local", "import", "annotation", "dynamic")
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One call site: caller, resolved callee, and how it was resolved."""
+
+    caller: str
+    """Qualified name of the function containing the call."""
+    callee: str
+    """Qualified callee name, an external dotted name, or :data:`DYNAMIC`."""
+    path: str
+    """Logical path of the module the call appears in."""
+    line: int
+    col: int
+    resolution: str
+    """One of :data:`RESOLUTION_KINDS` — the edge's provenance."""
+    call: ast.Call = field(compare=False, hash=False, repr=False)
+    """The call-site AST node (excluded from equality/hash)."""
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One indexed function or method and its declaration facts."""
+
+    qualname: str
+    module: Module = field(compare=False, hash=False, repr=False)
+    node: ast.FunctionDef | ast.AsyncFunctionDef = field(
+        compare=False, hash=False, repr=False
+    )
+    class_name: str | None
+    params: tuple[str, ...]
+    """Declared parameter names (positional + keyword-only), ``self``/
+    ``cls`` excluded."""
+
+
+@dataclass
+class _ClassInfo:
+    """One indexed class: its methods and (unresolved) base names."""
+
+    qualname: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    base_exprs: list[ast.expr] = field(default_factory=list)
+
+
+def _module_name(logical_path: str) -> str:
+    """Dotted module name for a logical path (``repro/db/wal.py`` ->
+    ``repro.db.wal``; a package ``__init__.py`` maps to the package)."""
+    name = logical_path
+    if name.endswith(".py"):
+        name = name[: -len(".py")]
+    if name.endswith("/__init__"):
+        name = name[: -len("/__init__")]
+    return name.replace("/", ".")
+
+
+def _dotted_name(expr: ast.expr) -> str | None:
+    """``a.b.c`` for a pure ``Name``/``Attribute`` chain, else ``None``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    """Positional and keyword-only parameter names, minus ``self``/``cls``."""
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return tuple(names)
+
+
+def _annotation_names(annotation: ast.expr) -> list[str]:
+    """Candidate class names mentioned by an annotation expression.
+
+    Handles plain names, dotted names, ``X | None`` unions, subscripts
+    (``list[X]`` contributes nothing useful and is skipped at the outer
+    level), and string annotations (parsed recursively).
+    """
+    names: list[str] = []
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            parsed = ast.parse(annotation.value, mode="eval")
+        except SyntaxError:
+            return names
+        return _annotation_names(parsed.body)
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        names.extend(_annotation_names(annotation.left))
+        names.extend(_annotation_names(annotation.right))
+        return names
+    dotted = _dotted_name(annotation)
+    if dotted is not None and dotted != "None":
+        names.append(dotted)
+    return names
+
+
+class _ModuleIndex:
+    """Per-module name bindings used during call resolution."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.name = _module_name(module.logical_path)
+        self.imports: dict[str, str] = {}
+        self.functions: set[str] = set()
+        self.classes: set[str] = set()
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.imports[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    prefix_parts = self.name.split(".")
+                    # level 1 = current package; each extra level ascends.
+                    keep = len(prefix_parts) - node.level
+                    if self.module.logical_path.endswith("__init__.py"):
+                        keep += 1
+                    prefix = ".".join(prefix_parts[: max(keep, 0)])
+                    base = f"{prefix}.{base}" if base else prefix
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                self.classes.add(node.name)
+
+
+class Program:
+    """The whole-program view: modules, functions, classes, call edges.
+
+    Construction is deterministic: modules are indexed sorted by logical
+    path and call sites in AST (source) order, so two runs over the same
+    tree produce identical edge lists — the property the JSON output
+    determinism test pins down.
+    """
+
+    def __init__(self, modules: Sequence[Module]) -> None:
+        self.modules: dict[str, Module] = {
+            m.logical_path: m for m in sorted(modules, key=lambda m: m.logical_path)
+        }
+        self.functions: dict[str, FunctionInfo] = {}
+        self._classes: dict[str, _ClassInfo] = {}
+        self._indexes: dict[str, _ModuleIndex] = {}
+        self.edges: list[CallEdge] = []
+        self.edges_by_caller: dict[str, list[CallEdge]] = {}
+        for module in self.modules.values():
+            self._indexes[module.logical_path] = _ModuleIndex(module)
+            self._index_module(module)
+        for module in self.modules.values():
+            self._collect_edges(module)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def _index_module(self, module: Module) -> None:
+        mod_name = _module_name(module.logical_path)
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{mod_name}.{node.name}"
+                self.functions[qualname] = FunctionInfo(
+                    qualname, module, node, None, _param_names(node)
+                )
+            elif isinstance(node, ast.ClassDef):
+                cls_qual = f"{mod_name}.{node.name}"
+                info = _ClassInfo(cls_qual, node, base_exprs=list(node.bases))
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method_qual = f"{cls_qual}.{item.name}"
+                        method = FunctionInfo(
+                            method_qual, module, item, node.name, _param_names(item)
+                        )
+                        self.functions[method_qual] = method
+                        info.methods[item.name] = method
+                self._classes[cls_qual] = info
+
+    def class_names(self) -> tuple[str, ...]:
+        """Qualified names of every indexed class, sorted."""
+        return tuple(sorted(self._classes))
+
+    def class_method(self, cls_qual: str, method: str) -> FunctionInfo | None:
+        """Resolve ``method`` on ``cls_qual``, walking program-local bases."""
+        seen: set[str] = set()
+        stack = [cls_qual]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self._classes.get(current)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            owner_index = self._index_for_class(current)
+            for base in info.base_exprs:
+                resolved = self._resolve_class_expr(base, owner_index)
+                if resolved is not None:
+                    stack.append(resolved)
+        return None
+
+    def _index_for_class(self, cls_qual: str) -> _ModuleIndex | None:
+        info = self._classes.get(cls_qual)
+        if info is None:
+            return None
+        for index in self._indexes.values():
+            if f"{index.name}.{info.node.name}" == cls_qual:
+                return index
+        return None
+
+    def _resolve_class_expr(
+        self, expr: ast.expr, index: _ModuleIndex | None
+    ) -> str | None:
+        """A class qualified name for a base-class/annotation expression."""
+        if index is None:
+            return None
+        dotted = _dotted_name(expr)
+        if dotted is None:
+            return None
+        return self._resolve_dotted_class(dotted, index)
+
+    def _resolve_dotted_class(self, dotted: str, index: _ModuleIndex) -> str | None:
+        head, _, rest = dotted.partition(".")
+        if not rest and head in index.classes:
+            return f"{index.name}.{head}"
+        if head in index.imports:
+            target = index.imports[head]
+            candidate = f"{target}.{rest}" if rest else target
+            if candidate in self._classes:
+                return candidate
+        if dotted in self._classes:
+            return dotted
+        return None
+
+    # ------------------------------------------------------------------
+    # Edge collection
+    # ------------------------------------------------------------------
+
+    def _collect_edges(self, module: Module) -> None:
+        index = self._indexes[module.logical_path]
+        mod_name = index.name
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_function(index, f"{mod_name}.{node.name}", node, None)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._collect_function(
+                            index,
+                            f"{mod_name}.{node.name}.{item.name}",
+                            item,
+                            node,
+                        )
+
+    def _collect_function(
+        self,
+        index: _ModuleIndex,
+        qualname: str,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_node: ast.ClassDef | None,
+    ) -> None:
+        annotations = self._annotated_bindings(index, func)
+        edges: list[CallEdge] = []
+        for call in iter_calls(func):
+            callee, kind = self._resolve_call(index, call, class_node, annotations)
+            edges.append(
+                CallEdge(
+                    caller=qualname,
+                    callee=callee,
+                    path=index.module.logical_path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    resolution=kind,
+                    call=call,
+                )
+            )
+        self.edges.extend(edges)
+        self.edges_by_caller[qualname] = edges
+
+    def _annotated_bindings(
+        self, index: _ModuleIndex, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, str]:
+        """Local names whose annotation resolves to a program class."""
+        bindings: dict[str, str] = {}
+        args = func.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is None:
+                continue
+            for candidate in _annotation_names(arg.annotation):
+                resolved = self._resolve_dotted_class(candidate, index)
+                if resolved is not None:
+                    bindings[arg.arg] = resolved
+                    break
+        for node in ast.walk(func):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                for candidate in _annotation_names(node.annotation):
+                    resolved = self._resolve_dotted_class(candidate, index)
+                    if resolved is not None:
+                        bindings[node.target.id] = resolved
+                        break
+        return bindings
+
+    def _resolve_call(
+        self,
+        index: _ModuleIndex,
+        call: ast.Call,
+        class_node: ast.ClassDef | None,
+        annotations: dict[str, str],
+    ) -> tuple[str, str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in index.functions:
+                return f"{index.name}.{name}", "local"
+            if name in index.classes:
+                ctor = self.class_method(f"{index.name}.{name}", "__init__")
+                target = ctor.qualname if ctor else f"{index.name}.{name}"
+                return target, "local"
+            if name in index.imports:
+                target = index.imports[name]
+                if target in self._classes:
+                    ctor = self.class_method(target, "__init__")
+                    return (ctor.qualname if ctor else target), "import"
+                return target, "import"
+            return DYNAMIC, "dynamic"
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            # self.m() / cls.m(): a method of the enclosing class (or a
+            # program-resolvable base).
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in ("self", "cls")
+                and class_node is not None
+            ):
+                cls_qual = f"{index.name}.{class_node.name}"
+                method = self.class_method(cls_qual, func.attr)
+                if method is not None:
+                    return method.qualname, "self"
+                return DYNAMIC, "dynamic"
+            # obj.m() where obj carries a class annotation the program knows.
+            if isinstance(receiver, ast.Name) and receiver.id in annotations:
+                method = self.class_method(annotations[receiver.id], func.attr)
+                if method is not None:
+                    return method.qualname, "annotation"
+                return DYNAMIC, "dynamic"
+            # A dotted chain rooted at an imported/module name: resolve the
+            # root through the import map and keep the rest of the chain.
+            dotted = _dotted_name(func)
+            if dotted is not None:
+                head, _, rest = dotted.partition(".")
+                if head in index.imports and rest:
+                    target = f"{index.imports[head]}.{rest}"
+                    # `from m import Cls` + Cls.method() -> the method.
+                    owner, _, attr = target.rpartition(".")
+                    if owner in self._classes:
+                        method = self.class_method(owner, attr)
+                        if method is not None:
+                            return method.qualname, "import"
+                    return target, "import"
+            return DYNAMIC, "dynamic"
+        return DYNAMIC, "dynamic"
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def callees(self, qualname: str) -> tuple[CallEdge, ...]:
+        """The call edges out of one function, in source order."""
+        return tuple(self.edges_by_caller.get(qualname, ()))
+
+    def reaches(self, seeds: Iterable[str]) -> dict[str, tuple[str, ...]]:
+        """Every function that transitively reaches a seed, with a witness.
+
+        ``seeds`` are qualified names — internal functions or external
+        dotted names edges point at (e.g. ``time.sleep``).  The result
+        maps each reaching function to its witness path, a tuple of
+        qualified names from that function down to the first seed hit.
+        Seeds that are themselves indexed functions are included with a
+        one-element witness.
+        """
+        seed_set = set(seeds)
+        # Reverse adjacency over resolved edges only.
+        reverse: dict[str, list[str]] = {}
+        for edge in self.edges:
+            if edge.callee == DYNAMIC:
+                continue
+            reverse.setdefault(edge.callee, []).append(edge.caller)
+        witness: dict[str, tuple[str, ...]] = {}
+        frontier: list[str] = []
+        for seed in sorted(seed_set):
+            if seed in self.functions:
+                witness[seed] = (seed,)
+            frontier.append(seed)
+        paths: dict[str, tuple[str, ...]] = {s: (s,) for s in sorted(seed_set)}
+        while frontier:
+            current = frontier.pop(0)
+            for caller in sorted(set(reverse.get(current, ()))):
+                if caller in paths:
+                    continue
+                paths[caller] = (caller,) + paths[current]
+                if caller in self.functions:
+                    witness[caller] = paths[caller]
+                frontier.append(caller)
+        return witness
+
+    def import_map(self, logical_path: str) -> dict[str, str]:
+        """The import bindings (name -> dotted target) of one module."""
+        index = self._indexes.get(logical_path)
+        return dict(index.imports) if index is not None else {}
+
+    def resolve_in(
+        self, module: Module, call: ast.Call, class_node: ast.ClassDef | None = None
+    ) -> tuple[str, str]:
+        """Resolve one call node in ``module``'s namespace (rule helper)."""
+        index = self._indexes.get(module.logical_path)
+        if index is None:
+            return DYNAMIC, "dynamic"
+        return self._resolve_call(index, call, class_node, {})
+
+
+def iter_calls(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[ast.Call]:
+    """Call nodes in ``func`` in source order, excluding nested defs.
+
+    Calls inside nested functions and lambdas run at *their* call time,
+    not the enclosing function's, so attributing them to the enclosing
+    function would fabricate edges (and false lock-region findings).
+    """
+    calls: list[ast.Call] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(child, ast.Call):
+                calls.append(child)
+            visit(child)
+
+    for statement in func.body:
+        if isinstance(statement, ast.Call):
+            calls.append(statement)
+        visit(statement)
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+__all__ = [
+    "CallEdge",
+    "DYNAMIC",
+    "FunctionInfo",
+    "Program",
+    "RESOLUTION_KINDS",
+    "iter_calls",
+]

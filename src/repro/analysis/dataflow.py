@@ -1,0 +1,317 @@
+"""Intra-function dataflow helpers for the interprocedural rules.
+
+Two small analyses, both deliberately *structural* (AST shape, source
+order) rather than full control-flow-graph dataflow — precise enough for
+the invariants :mod:`repro.analysis.rules_interproc` checks, simple
+enough to stay obviously correct:
+
+- :func:`reaching_params` — which declared parameters reach which local
+  names through simple aliasing (``d = deadline``; ``remaining =
+  deadline.remaining()``).  The deadline-propagation rule uses it to
+  accept ``callee(timeout=remaining)`` as forwarding ``deadline``.
+- :func:`find_acquisitions` / :func:`release_facts` — where a function
+  acquires a leakable resource (``sock = socket.socket(...)``) and what
+  happens to it afterwards: released (``.close()``), released inside a
+  ``finally`` or ``except`` of a ``try`` that covers the risky region,
+  escaped to the caller/object (returned, stored on ``self``, passed to
+  another call), or neither.  The resource-leak rule turns "neither" and
+  "risky calls before the first release with no covering handler" into
+  findings.
+
+The acquire/release analysis intentionally ignores resources bound by
+``with ... as x`` (the context manager is the release) and resources
+assigned directly to attributes (``self._fd = os.open(...)`` — object
+lifetime, audited via the owner's ``close``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable
+
+#: Method names that release a resource when called on it.
+RELEASE_METHODS = frozenset({"close", "shutdown", "release", "terminate"})
+
+#: Module functions that release a resource passed as their argument.
+RELEASE_FUNCTIONS = frozenset({"os.close", "os.closerange"})
+
+
+def _dotted(expr: ast.expr) -> str | None:
+    """``a.b.c`` for a pure ``Name``/``Attribute`` chain, else ``None``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def reaching_params(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, frozenset[str]]:
+    """Map each local name to the declared parameters that reach it.
+
+    A parameter reaches itself; a simple assignment whose right-hand
+    side mentions a reached name propagates every parameter reaching it
+    to the target (``rem = deadline.remaining()`` makes ``rem`` carry
+    ``deadline``).  One forward pass in source order — loops that feed a
+    name back into itself are rare in this codebase and only cost
+    precision, never soundness of the *rules* (which treat "reaches" as
+    permission, not proof).
+    """
+    args = func.args
+    params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg is not None:
+        params.append(args.vararg.arg)
+    if args.kwarg is not None:
+        params.append(args.kwarg.arg)
+    reaching: dict[str, frozenset[str]] = {
+        p: frozenset({p}) for p in params if p not in ("self", "cls")
+    }
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        sources: set[str] = set()
+        for name_node in ast.walk(value):
+            if isinstance(name_node, ast.Name):
+                sources.update(reaching.get(name_node.id, frozenset()))
+        if not sources:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                merged = reaching.get(target.id, frozenset()) | sources
+                reaching[target.id] = frozenset(merged)
+    return reaching
+
+
+def expr_params(expr: ast.expr, reaching: dict[str, frozenset[str]]) -> frozenset[str]:
+    """The parameters reaching any name mentioned inside ``expr``."""
+    found: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            found.update(reaching.get(node.id, frozenset()))
+    return frozenset(found)
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One ``name = <acquire call>`` site inside a function."""
+
+    name: str
+    call: ast.Call
+    line: int
+
+
+def find_acquisitions(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    is_acquire: Callable[[ast.Call], bool],
+) -> list[Acquisition]:
+    """Resource acquisitions bound to plain local names, in source order.
+
+    Handles ``x = acquire()`` and ``x, y = acquire()`` (the first name
+    owns the resource — the ``conn, addr = listener.accept()`` shape).
+    ``with acquire() as x`` is excluded: the context manager is the
+    release.  Acquisitions inside nested ``def``/``lambda`` bodies
+    belong to the nested function and are skipped.
+    """
+    with_calls: set[ast.Call] = set()
+    nested: set[ast.AST] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    with_calls.add(item.context_expr)
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            and node is not func
+        ):
+            nested.update(ast.walk(node))
+    acquisitions: list[Acquisition] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or node in nested:
+            continue
+        value = node.value
+        if (
+            not isinstance(value, ast.Call)
+            or value in with_calls
+            or not is_acquire(value)
+        ):
+            continue
+        target = node.targets[0]
+        if isinstance(target, ast.Tuple) and target.elts:
+            target = target.elts[0]
+        if isinstance(target, ast.Name):
+            acquisitions.append(Acquisition(target.id, value, node.lineno))
+    acquisitions.sort(key=lambda a: a.line)
+    return acquisitions
+
+
+@dataclass
+class ReleaseFacts:
+    """What happens to one acquired resource after its acquisition."""
+
+    released: bool = False
+    """A release call on the resource exists somewhere after acquisition."""
+    escapes: bool = False
+    """The resource is returned, yielded, stored, or passed onward."""
+    first_out_line: int | None = None
+    """Line of the first release or escape, whichever comes first."""
+    unguarded_risk: ast.Call | None = None
+    """First call between acquisition and ``first_out_line`` that can
+    raise without any covering ``try`` releasing the resource."""
+
+
+def _releases(call: ast.Call, name: str) -> bool:
+    """Is ``call`` a release of the resource bound to ``name``?"""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in RELEASE_METHODS
+        and isinstance(func.value, ast.Name)
+        and func.value.id == name
+    ):
+        return True
+    dotted = _dotted(func)
+    if dotted in RELEASE_FUNCTIONS:
+        return any(
+            isinstance(arg, ast.Name) and arg.id == name for arg in call.args
+        )
+    return False
+
+
+def _escapes(node: ast.AST, name: str) -> bool:
+    """Does ``node`` hand the resource named ``name`` to someone else?"""
+    if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+        value = node.value
+        if value is not None:
+            return any(
+                isinstance(n, ast.Name) and n.id == name for n in ast.walk(value)
+            )
+        return False
+    if isinstance(node, ast.Assign):
+        # Stored onto an attribute or into a container: ownership moves.
+        uses_name = any(
+            isinstance(n, ast.Name) and n.id == name for n in ast.walk(node.value)
+        )
+        if uses_name:
+            return any(
+                isinstance(t, (ast.Attribute, ast.Subscript)) for t in node.targets
+            )
+        return False
+    if isinstance(node, ast.Call):
+        if _releases(node, name):
+            return False
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if any(isinstance(n, ast.Name) and n.id == name for n in ast.walk(arg)):
+                return True
+    return False
+
+
+def _covering_trys(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, name: str
+) -> list[ast.Try]:
+    """``try`` statements whose handlers or ``finally`` release ``name``."""
+    covering: list[ast.Try] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try):
+            continue
+        cleanup = list(node.finalbody)
+        for handler in node.handlers:
+            cleanup.extend(handler.body)
+        for statement in cleanup:
+            if any(
+                isinstance(n, ast.Call) and _releases(n, name)
+                for n in ast.walk(statement)
+            ):
+                covering.append(node)
+                break
+    return covering
+
+
+def release_facts(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, acq: Acquisition
+) -> ReleaseFacts:
+    """Analyse what happens to ``acq`` after its acquisition line.
+
+    Source-order approximation: events are ordered by line number, and a
+    call between the acquisition and the first release/escape counts as
+    *risky* unless it sits inside a ``try`` whose ``finally`` or
+    exception handlers release the resource.  Conservative in the safe
+    direction for this codebase's straight-line acquisition prologues.
+    """
+    facts = ReleaseFacts()
+    covering = _covering_trys(func, acq.name)
+    covered_lines: set[int] = set()
+    for try_node in covering:
+        end = try_node.end_lineno if try_node.end_lineno is not None else try_node.lineno
+        covered_lines.update(range(try_node.lineno, end + 1))
+    # Handlers of the try the acquisition sits in run only when the body
+    # raised — for a body whose first statement is the acquisition that
+    # means no resource is held, so their calls are not leak risks.
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try) or not node.body:
+            continue
+        body_end = node.body[-1].end_lineno or node.body[-1].lineno
+        if not node.body[0].lineno <= acq.line <= body_end:
+            continue
+        for handler in node.handlers:
+            handler_end = handler.end_lineno or handler.lineno
+            covered_lines.update(range(handler.lineno, handler_end + 1))
+
+    # Sub-expressions of the acquisition call (its arguments) evaluate
+    # before the resource exists; they cannot leak it.
+    acq_subtree = set(ast.walk(acq.call))
+    events: list[tuple[int, str, ast.AST]] = []
+    for node in ast.walk(func):
+        line = getattr(node, "lineno", None)
+        if line is None or line < acq.line:
+            continue
+        if node in acq_subtree:
+            continue
+        if isinstance(node, ast.Call):
+            if _releases(node, acq.name):
+                events.append((line, "release", node))
+                continue
+        if _escapes(node, acq.name):
+            events.append((line, "escape", node))
+        elif isinstance(node, ast.Call):
+            events.append((line, "call", node))
+    events.sort(key=lambda e: e[0])
+
+    for line, kind, node in events:
+        if kind == "release":
+            facts.released = True
+            if facts.first_out_line is None:
+                facts.first_out_line = line
+        elif kind == "escape":
+            facts.escapes = True
+            if facts.first_out_line is None:
+                facts.first_out_line = line
+    for line, kind, node in events:
+        if facts.first_out_line is not None and line >= facts.first_out_line:
+            break
+        if kind == "call" and line not in covered_lines:
+            assert isinstance(node, ast.Call)
+            facts.unguarded_risk = node
+            break
+    return facts
+
+
+__all__ = [
+    "Acquisition",
+    "RELEASE_FUNCTIONS",
+    "RELEASE_METHODS",
+    "ReleaseFacts",
+    "expr_params",
+    "find_acquisitions",
+    "reaching_params",
+    "release_facts",
+]

@@ -27,7 +27,9 @@ Pragmas (magic comments):
     ``def``/``class``/``with`` header line, the suppression covers that
     whole block — used for lock-held helper methods whose guard is the
     *caller's* ``with self._lock`` (the dynamic side is still checked by
-    :mod:`repro.analysis.debuglock`).
+    :mod:`repro.analysis.debuglock`).  For a decorated ``def``/``class``
+    the block extends upward over the decorator lines, so findings
+    anchored at a decorator are suppressed by the header pragma too.
 
 ``# reprolint: path=repro/db/something.py``
     Override the file's *logical path*, which is what rules scope on.
@@ -41,7 +43,10 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path, PurePosixPath
-from typing import Callable, Iterable, Iterator, Sequence, Type
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence, Type
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import Program
 
 _PRAGMA_RE = re.compile(r"#\s*reprolint:\s*(?P<body>[^#]*)")
 _DISABLE_RE = re.compile(r"disable=(?P<rules>[\w,-]+)")
@@ -92,15 +97,21 @@ class Module:
         return cls(path, source, PurePosixPath(relative).as_posix())
 
     def _scan_pragmas(self) -> None:
-        block_starts: dict[int, int] = {}
+        # header line -> (first suppressed line, last suppressed line); for
+        # decorated defs/classes the span starts at the first decorator, so
+        # a pragma on the `def`/`class` line covers the decorator lines too.
+        block_spans: dict[int, tuple[int, int]] = {}
         for node in ast.walk(self.tree):
             if isinstance(
                 node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.With)
             ):
                 end = node.end_lineno if node.end_lineno is not None else node.lineno
-                block_starts[node.lineno] = max(
-                    end, block_starts.get(node.lineno, node.lineno)
-                )
+                start = node.lineno
+                decorators = getattr(node, "decorator_list", [])
+                if decorators:
+                    start = min(start, min(d.lineno for d in decorators))
+                prior = block_spans.get(node.lineno, (node.lineno, node.lineno))
+                block_spans[node.lineno] = (min(start, prior[0]), max(end, prior[1]))
         for lineno, text in enumerate(self.source.splitlines(), start=1):
             pragma = _PRAGMA_RE.search(text)
             if pragma is None:
@@ -111,7 +122,7 @@ class Module:
                 self.logical_path = path_match.group("path")
             disable_match = _DISABLE_RE.search(body)
             if disable_match is not None:
-                span = (lineno, block_starts.get(lineno, lineno))
+                span = block_spans.get(lineno, (lineno, lineno))
                 for rule in disable_match.group("rules").split(","):
                     self._disabled.setdefault(rule.strip(), []).append(span)
 
@@ -152,6 +163,29 @@ class Rule:
             yield finding
 
 
+class ProgramRule(Rule):
+    """A whole-program rule: runs once over the parsed module set.
+
+    Per-module rules are structurally blind to invariants that span
+    functions and files (a lock region calling into blocking I/O three
+    frames away, a deadline parameter dropped at a module boundary).
+    ``ProgramRule`` subclasses implement :meth:`check_program` against a
+    :class:`~repro.analysis.callgraph.Program` — every module parsed in
+    this run, plus the call graph built over them — instead of
+    :meth:`Rule.check`.  Pragma suppression still goes through
+    :meth:`Rule.emit` with the module the finding lands in.
+    """
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Program rules do not run per module; see :meth:`check_program`."""
+        return iter(())
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        """Yield findings over the whole program (a ``callgraph.Program``)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
 REGISTRY: dict[str, Rule] = {}
 
 
@@ -190,15 +224,24 @@ def _guess_root(path: Path) -> Path | None:
     return None
 
 
+#: Exceptions a source file can raise at parse time: plain syntax errors,
+#: null bytes (``ValueError``), undecodable bytes, and unreadable files.
+PARSE_ERRORS = (SyntaxError, ValueError, UnicodeDecodeError, OSError)
+
+
 def run(
     paths: Sequence[Path],
     select: Sequence[str] | None = None,
-    on_error: Callable[[Path, SyntaxError], None] | None = None,
+    on_error: Callable[[Path, Exception], None] | None = None,
 ) -> list[Finding]:
     """Run the selected rules (default: all) over ``paths``.
 
-    Returns all findings sorted by location.  Unparseable files are
-    reported through ``on_error`` (or re-raised when it is ``None``).
+    Returns all findings sorted by location.  Per-module rules run as
+    each file parses; whole-program rules (:class:`ProgramRule`) run once
+    at the end over a :class:`~repro.analysis.callgraph.Program` built
+    from every module that parsed.  Unparseable files are reported
+    through ``on_error`` (or re-raised when it is ``None``) and excluded
+    from the program.
     """
     if select is None:
         rules = list(REGISTRY.values())
@@ -207,17 +250,28 @@ def run(
         if unknown:
             raise KeyError(f"unknown rule(s): {', '.join(unknown)}")
         rules = [REGISTRY[name] for name in select]
+    module_rules = [r for r in rules if not isinstance(r, ProgramRule)]
+    program_rules = [r for r in rules if isinstance(r, ProgramRule)]
     findings: list[Finding] = []
+    modules: list[Module] = []
     for path in iter_python_files(paths):
         try:
             module = Module.load(path, root=_guess_root(path))
-        except SyntaxError as exc:
+        except PARSE_ERRORS as exc:
             if on_error is None:
                 raise
             on_error(path, exc)
             continue
-        for rule in rules:
+        modules.append(module)
+        for rule in module_rules:
             if rule.applies(module):
                 findings.extend(rule.check(module))
+    if program_rules and modules:
+        # Imported here: callgraph depends on this module's Module class.
+        from repro.analysis.callgraph import Program
+
+        program = Program(modules)
+        for rule in program_rules:
+            findings.extend(rule.check_program(program))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -187,7 +187,12 @@ class AdmissionQueue:
     # Consumer side (server workers)
     # ------------------------------------------------------------------
 
-    def take(self, timeout: float) -> WorkItem | None:
+    # Token consumption here is the design, not a leak: one semaphore
+    # token corresponds to one queued item, and a successful take hands
+    # both to the worker together.  A token whose item was shed out of
+    # the queue (by the governor) is deliberately swallowed as a timeout
+    # so the count re-converges with the queue contents.
+    def take(self, timeout: float) -> WorkItem | None:  # reprolint: disable=resource-leak
         """The next item, best class first, or ``None`` on timeout.
 
         Records the item's queue wait into the p95 ring.  A semaphore

@@ -1,0 +1,38 @@
+"""Known-bad fixture for the blocking-under-lock rule.
+
+Three shapes: a direct blocking method call under the lock, a direct
+blocking module call under the lock, and a call whose *callee*
+transitively reaches blocking I/O through the call graph.
+"""
+
+import os
+import threading
+import time
+
+
+class Flusher:
+    """Holds a lock while doing things it must not do."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sock = None
+        self._fd = 0
+
+    def direct_method(self) -> bytes:
+        """Blocking socket method directly inside the lock region."""
+        with self._lock:
+            return self._sock.recv(4096)
+
+    def direct_call(self) -> None:
+        """Blocking module call directly inside the lock region."""
+        with self._lock:
+            time.sleep(0.1)
+
+    def transitive(self) -> None:
+        """The callee reaches os.fsync two frames away."""
+        with self._lock:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Helper that fsyncs; fine on its own, not under the lock."""
+        os.fsync(self._fd)

@@ -1,0 +1,23 @@
+"""Known-bad fixture for the deadline-propagation rule.
+
+``drain`` accepts a deadline but calls ``flush`` — which accepts a
+timeout — with a bare constant, silently unbounding the request.  The
+compliant ``drain_ok`` forwards a derived value and must not fire.
+"""
+
+
+def flush(timeout: float) -> None:
+    """Pretend to flush within ``timeout`` seconds."""
+    del timeout
+
+
+def drain(deadline: float) -> None:
+    """BAD: drops ``deadline`` on the floor at the call boundary."""
+    del deadline
+    flush(2.0)
+
+
+def drain_ok(deadline: float) -> None:
+    """GOOD: forwards a value derived from ``deadline``."""
+    remaining = deadline - 1.0
+    flush(remaining)

@@ -1,0 +1,56 @@
+"""Known-bad fixture for the resource-leak rule.
+
+Three shapes: a socket that is never closed or handed off, a socket
+with a risky call before the hand-off and no covering try, and a
+semaphore token acquired with no release anywhere in the function.
+"""
+
+import socket
+import threading
+
+
+def configure() -> None:
+    """A call that can raise while a resource is held."""
+
+
+def leaky() -> None:
+    """BAD: the socket is never closed and never escapes."""
+    sock = socket.socket()
+    sock.sendall(b"ping")
+
+
+def risky() -> socket.socket:
+    """BAD: ``configure()`` can raise before the socket is handed off."""
+    sock = socket.socket()
+    configure()
+    return sock
+
+
+def careful() -> socket.socket:
+    """GOOD: the risky prologue is covered by a closing handler."""
+    sock = socket.socket()
+    try:
+        configure()
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+class Pool:
+    """Counting-semaphore consumer that forgets to give tokens back."""
+
+    def __init__(self) -> None:
+        self._tokens = threading.Semaphore(4)
+
+    def take(self) -> None:
+        """BAD: acquires a token and never releases it."""
+        self._tokens.acquire()
+
+    def borrow(self) -> None:
+        """GOOD: token released on the same receiver."""
+        self._tokens.acquire()
+        try:
+            configure()
+        finally:
+            self._tokens.release()

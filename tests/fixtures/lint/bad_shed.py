@@ -1,0 +1,28 @@
+"""Known-bad fixture for the shed-exhaustiveness rule."""
+# reprolint: path=repro/serve/bad_shed.py
+
+SHED_OK = "queue_full"
+SHED_GHOST = "ghost_reason"
+
+#: The documented vocabulary: one reason used, one never used anywhere.
+SHED_REASONS = (SHED_OK, SHED_GHOST)
+
+__all__ = ["SheddedError", "refuse_documented", "refuse_undocumented"]
+
+
+class SheddedError(Exception):
+    """Stub of the protocol's typed refusal."""
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+def refuse_documented() -> None:
+    """GOOD: sheds with a reason drawn from SHED_REASONS."""
+    raise SheddedError(SHED_OK, "queue at capacity")
+
+
+def refuse_undocumented() -> None:
+    """BAD: sheds with a literal the protocol never documented."""
+    raise SheddedError("mystery_reason", "clients cannot branch on this")

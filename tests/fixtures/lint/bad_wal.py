@@ -1,0 +1,37 @@
+"""Known-bad fixture for the durability-ordering rule."""
+# reprolint: path=repro/db/wal.py
+
+REC_PAGE = 1
+REC_COMMIT = 2
+
+__all__ = ["BadWal"]
+
+
+class BadWal:
+    """A WAL that appends records in crash-unsafe orders."""
+
+    def commit_without_sync(self, payload: bytes) -> None:
+        """BAD: the COMMIT append is never followed by a log fsync."""
+        self._append(REC_COMMIT, payload)
+
+    def checkpoint_without_inner_sync(self, page: bytes) -> None:
+        """BAD: page image copied to the inner backend, never fsynced."""
+        self.inner.write(0, page)
+
+    def page_then_commit(self, page: bytes) -> None:
+        """BAD: no fsync between the PAGE append and the COMMIT append."""
+        self._append(REC_PAGE, page)
+        self._append(REC_COMMIT, b"")
+        self.sync()
+
+    def commit_ok(self, payload: bytes) -> None:
+        """GOOD: append, then fsync — the durability point."""
+        self._append(REC_COMMIT, payload)
+        self.sync()
+
+    def _append(self, kind: int, payload: bytes) -> None:
+        """Stub append."""
+        del kind, payload
+
+    def sync(self) -> None:
+        """Stub log fsync."""

@@ -1,0 +1,29 @@
+"""Fixture exercising each call-graph edge resolution kind.
+
+One call site per resolution: a ``self.`` method call, a module-level
+function call, a call through an aliased import, and a dynamic call the
+graph cannot resolve (a method on an untyped value).
+"""
+
+import json as j
+
+
+def helper(value: int) -> int:
+    """A module-level function: the target of a ``local`` edge."""
+    return value + 1
+
+
+class Widget:
+    """Caller demonstrating each resolution kind."""
+
+    def refresh(self) -> int:
+        """A ``self`` edge target."""
+        return 0
+
+    def run(self, payload: str) -> int:
+        """One call per resolution kind, in order."""
+        total = self.refresh()
+        total += helper(total)
+        blob = j.loads(payload)
+        total += blob.popular_method()
+        return total

@@ -49,6 +49,46 @@ BAD_FIXTURES = [
             "missing a return annotation",
         ],
     ),
+    (
+        "bad_blocking.py",
+        "blocking-under-lock",
+        [
+            "blocking call `.recv(...)` inside `with self._lock:`",
+            "blocking call time.sleep() inside `with self._lock:`",
+            "transitively reaches blocking I/O",
+        ],
+    ),
+    (
+        "bad_deadline.py",
+        "deadline-propagation",
+        ["without forwarding any of them", "the deadline is dropped here"],
+    ),
+    (
+        "bad_leak.py",
+        "resource-leak",
+        [
+            "never released or handed off",
+            "may leak on an exception path",
+            "semaphore token from self._tokens.acquire() is never released",
+        ],
+    ),
+    (
+        "bad_wal.py",
+        "durability-ordering",
+        [
+            "COMMIT record appended without a following log fsync",
+            "without a following inner.sync()",
+            "no fsync between them",
+        ],
+    ),
+    (
+        "bad_shed.py",
+        "shed-exhaustiveness",
+        [
+            "'mystery_reason' is not in the protocol's documented SHED_REASONS",
+            "documented shed reason 'ghost_reason' is never raised",
+        ],
+    ),
 ]
 
 
@@ -103,7 +143,17 @@ def test_cli_parse_error_exits_2(capsys):
     code = main([str(FIXTURES / "unparseable.py.broken")])
     captured = capsys.readouterr()
     assert code == 2
-    assert ": parse-error: " in captured.out
+    assert ": syntax-error: " in captured.out
+
+
+def test_syntax_error_is_a_finding_in_json_output(capsys):
+    import json
+
+    code = main(["--format", "json", str(FIXTURES / "unparseable.py.broken")])
+    assert code == 2
+    document = json.loads(capsys.readouterr().out)
+    assert document["count"] == 1
+    assert document["findings"][0]["rule"] == "syntax-error"
 
 
 def test_cli_unknown_rule_exits_2(capsys):
@@ -157,6 +207,68 @@ def test_path_pragma_opts_into_scoped_rules(tmp_path):
     assert findings and findings[0].rule == "annotations"
 
 
+def test_disable_pragma_on_decorated_def_covers_decorators(tmp_path):
+    """A pragma on the `def` header suppresses findings anchored at a
+    decorator line (the block span extends upward over decorators)."""
+    target = tmp_path / "decorated.py"
+    target.write_text(
+        '"""Doc."""\n'
+        "# reprolint: path=repro/core/fms_decorated.py\n"
+        "import random\n\n\n"
+        "def retry(jitter):\n"
+        '    """Doc."""\n'
+        "    return lambda fn: fn\n\n\n"
+        "@retry(jitter=random.random())\n"
+        "def flaky():  # reprolint: disable=determinism\n"
+        '    """Doc."""\n'
+        "    return 1\n"
+    )
+    findings = run([target], select=["determinism"])
+    assert findings == []
+    # Sanity: without the pragma the same file does fire.
+    bare = tmp_path / "bare.py"
+    bare.write_text(target.read_text().replace("  # reprolint: disable=determinism", ""))
+    assert run([bare], select=["determinism"])
+
+
+def test_write_baseline_then_gate_is_clean(tmp_path, capsys):
+    """Round trip: record today's findings, then gate against them."""
+    baseline = tmp_path / "baseline.json"
+    fixture = str(FIXTURES / "bad_blocking.py")
+    assert main(["--write-baseline", str(baseline), fixture]) == 0
+    capsys.readouterr()
+    code = main(["--baseline", str(baseline), fixture])
+    assert code == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_baseline_lets_new_findings_through(tmp_path, capsys):
+    """A finding not in the baseline still fails the gate."""
+    baseline = tmp_path / "baseline.json"
+    assert main(["--write-baseline", str(baseline), str(FIXTURES / "clean.py")]) == 0
+    capsys.readouterr()
+    code = main(["--baseline", str(baseline), str(FIXTURES / "bad_blocking.py")])
+    assert code == 1
+    assert ": blocking-under-lock: " in capsys.readouterr().out
+
+
+def test_baseline_file_is_deterministic(tmp_path):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    fixture = str(FIXTURES / "bad_leak.py")
+    assert main(["--write-baseline", str(first), fixture]) == 0
+    assert main(["--write-baseline", str(second), fixture]) == 0
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_cli_missing_baseline_exits_2(tmp_path, capsys):
+    code = main(
+        ["--baseline", str(tmp_path / "nope.json"), str(FIXTURES / "clean.py")]
+    )
+    assert code == 2
+    assert "no such baseline" in capsys.readouterr().err
+
+
 def test_registry_has_the_documented_rules():
     assert set(REGISTRY) == {
         "lock-discipline",
@@ -165,4 +277,9 @@ def test_registry_has_the_documented_rules():
         "api-consistency",
         "unused-import",
         "annotations",
+        "blocking-under-lock",
+        "deadline-propagation",
+        "resource-leak",
+        "durability-ordering",
+        "shed-exhaustiveness",
     }
