@@ -15,6 +15,10 @@ Measures the online serving story end to end against an in-process
   capacity.  Each level records throughput, latency percentiles
   (p50/p95/p99), and the outcome mix — completed / degraded / shed
   rates.
+- ``hostile`` — a slowloris (one byte then silence) and a 64 MiB
+  unterminated frame attack the server while a well-behaved client
+  keeps querying.  Both attackers must be disconnected within their
+  budgets and the well-behaved client must see only typed outcomes.
 
 The acceptance gate: at 1x offered load the served p50 must be within
 10% plus a fixed 2ms wire allowance of the direct p50 (admission,
@@ -39,6 +43,7 @@ import argparse
 import json
 import os
 import random
+import socket
 import statistics
 import sys
 import threading
@@ -181,6 +186,97 @@ def run_load_level(host, port, inputs, clients, requests_per_client, level_seed)
     }
 
 
+def run_hostile_mix(host, port, inputs, requests, frame_timeout_s, oversize_bytes):
+    """Hostile clients alongside a well-behaved one.
+
+    Two attackers run concurrently with a normal closed-loop client: a
+    slowloris (one byte, then silence) and an oversized single-line
+    frame (``oversize_bytes`` with no newline).  The record captures how
+    long each attacker held its connection before the server cut it off,
+    and the well-behaved client's outcome mix and latency — which must
+    be all-typed and unharmed while the attacks are in flight.
+    """
+    slow = {}
+    oversized = {}
+
+    def slowloris():
+        t0 = time.perf_counter()
+        try:
+            with socket.create_connection((host, port), timeout=30.0) as sock:
+                sock.settimeout(30.0)
+                sock.sendall(b"{")  # arm the frame deadline, then stall
+                with sock.makefile("rb") as reader:
+                    slow["response"] = reader.readline().decode("ascii", "replace")
+                    reader.readline()  # EOF: the server hung up
+        except OSError:
+            pass
+        slow["held_s"] = time.perf_counter() - t0
+
+    def oversize():
+        blob = b"x" * oversize_bytes  # one giant line, never terminated
+        t0 = time.perf_counter()
+        try:
+            with socket.create_connection((host, port), timeout=30.0) as sock:
+                sock.settimeout(30.0)
+                try:
+                    sock.sendall(blob)
+                except OSError:
+                    pass  # the server stopped reading and closed: expected
+                with sock.makefile("rb") as reader:
+                    oversized["response"] = reader.readline().decode(
+                        "ascii", "replace"
+                    )
+                    reader.readline()
+        except OSError:
+            pass
+        oversized["held_s"] = time.perf_counter() - t0
+
+    well_behaved = {}
+
+    def normal_client():
+        rng = random.Random(SEED + 99)
+        latencies = []
+        outcomes = {"completed": 0, "degraded": 0, "shed": 0, "error": 0}
+        with ServeClient(host, port) as client:
+            for _ in range(requests):
+                values = inputs[rng.randrange(len(inputs))]
+                t0 = time.perf_counter()
+                response = client.match(values)
+                latencies.append(time.perf_counter() - t0)
+                outcomes[response["outcome"]] += 1
+        well_behaved["latency"] = latency_summary(latencies)
+        well_behaved["outcomes"] = outcomes
+
+    threads = [
+        threading.Thread(target=fn)
+        for fn in (slowloris, oversize, normal_client)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    # The slowloris is cut at the frame deadline; the oversized frame is
+    # cut as soon as the drain budget is spent (transfer time dominates).
+    slow_budget = frame_timeout_s + 5.0
+    oversize_budget = 30.0
+    return {
+        "slowloris": {
+            "held_s": round(slow.get("held_s", 0.0), 3),
+            "budget_s": slow_budget,
+            "disconnected_within_budget": slow.get("held_s", 0.0) <= slow_budget,
+        },
+        "oversized_frame": {
+            "bytes": oversize_bytes,
+            "held_s": round(oversized.get("held_s", 0.0), 3),
+            "budget_s": oversize_budget,
+            "disconnected_within_budget": oversized.get("held_s", 0.0)
+            <= oversize_budget,
+        },
+        "well_behaved": well_behaved,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -207,6 +303,9 @@ def main(argv=None) -> int:
         recover_p95_s=0.010,
         shed_p95_s=0.100,
         stage_cooldown_s=0.25,
+        # Boundary limits the hostile mix leans on: a slowloris is cut
+        # after one second, an unterminated flood after ~2 MiB.
+        frame_timeout_s=1.0,
     )
     server = MatchServer(engine=engine, config=serve_config)
     levels = {}
@@ -227,6 +326,14 @@ def main(argv=None) -> int:
                 requests_per_client=requests_per_client,
                 level_seed=multiple,
             )
+        hostile = run_hostile_mix(
+            host,
+            port,
+            inputs,
+            requests=requests_per_client,
+            frame_timeout_s=serve_config.frame_timeout_s,
+            oversize_bytes=(4 << 20) if args.smoke else (64 << 20),
+        )
         queue_max_depth = server.queue.max_depth
         stage_trips = server.ladder.trips()
     finally:
@@ -254,6 +361,7 @@ def main(argv=None) -> int:
         },
         "direct": direct,
         "levels": levels,
+        "hostile": hostile,
         "queue_max_depth": queue_max_depth,
         "queue_capacity": serve_config.queue_capacity,
         "stage_trips": stage_trips,
@@ -285,11 +393,25 @@ def main(argv=None) -> int:
         f"1x wire overhead: p50 {served_p50:.2f}ms vs budget "
         f"{overhead_budget_ms:.2f}ms ({'OK' if overhead_ok else 'OVER'})"
     )
+    print(
+        f"hostile: slowloris held {hostile['slowloris']['held_s']:.2f}s, "
+        f"oversized held {hostile['oversized_frame']['held_s']:.2f}s, "
+        f"well-behaved p50 {hostile['well_behaved']['latency']['p50_ms']:.2f}ms"
+    )
     if queue_max_depth > serve_config.queue_capacity:
         print("ERROR: queue grew past capacity", file=sys.stderr)
         return 1
     if errors:
         print(f"ERROR: {errors} requests resolved to errors", file=sys.stderr)
+        return 1
+    if hostile["well_behaved"]["outcomes"]["error"]:
+        print("ERROR: well-behaved client saw errors under attack", file=sys.stderr)
+        return 1
+    if not (
+        hostile["slowloris"]["disconnected_within_budget"]
+        and hostile["oversized_frame"]["disconnected_within_budget"]
+    ):
+        print("ERROR: hostile connection outlived its budget", file=sys.stderr)
         return 1
     if not overhead_ok and not args.smoke:
         print("WARNING: 1x p50 overhead above the gate", file=sys.stderr)

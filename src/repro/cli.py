@@ -518,6 +518,30 @@ def cmd_ping(args: argparse.Namespace) -> int:
     return 0 if payload.get("state") == "serving" else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """``repro fuzz``: sweep mutated inputs at one trust boundary.
+
+    Targets: ``wire`` (mutated frames against a live in-process server),
+    ``wal`` (mutated write-ahead logs through recovery), ``snapshot``
+    (mutated catalog metadata through the loader).  Prints a JSON report;
+    exits 1 if any case crashed, hung, or failed untyped.  Failing
+    inputs (raw and minimized) are written to ``--corpus-dir``.
+    """
+    from repro.fuzz.harness import run_fuzz
+
+    seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
+    cases = min(args.cases, 25) if args.smoke else args.cases
+    report = run_fuzz(
+        args.target,
+        seeds=seeds,
+        cases_per_seed=cases,
+        corpus_dir=args.corpus_dir,
+        case_deadline_s=args.case_deadline_s,
+    )
+    print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    return 0 if report.ok else 1
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """``repro evaluate``: run the paper's experiment suite."""
     workbench = Workbench(
@@ -760,6 +784,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     png.add_argument("--timeout-s", type=float, default=5.0)
     png.set_defaults(func=cmd_ping)
+
+    fz = sub.add_parser(
+        "fuzz", help="fuzz a trust boundary: wire protocol, WAL, or snapshot"
+    )
+    fz.add_argument(
+        "--target", choices=sorted(("wire", "wal", "snapshot")), default="wire"
+    )
+    fz.add_argument(
+        "--seeds", type=int, default=3, help="number of consecutive seeds"
+    )
+    fz.add_argument("--seed-base", type=int, default=0, help="first seed")
+    fz.add_argument(
+        "--cases", type=int, default=200, help="mutated inputs per seed"
+    )
+    fz.add_argument(
+        "--smoke", action="store_true", help="CI-sized sweep (caps cases at 25)"
+    )
+    fz.add_argument(
+        "--corpus-dir", default=None, help="directory for failing inputs"
+    )
+    fz.add_argument(
+        "--case-deadline-s",
+        type=float,
+        default=5.0,
+        help="per-case hang budget",
+    )
+    fz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -26,6 +26,7 @@ from repro.core.resilience import (
     Deadline,
     QueryBudget,
     ResiliencePolicy,
+    RetryPolicy,
     fallback_chain,
 )
 from repro.core.strings import edit_distance, edit_distance_raw, qgram_set
@@ -66,6 +67,7 @@ __all__ = [
     "QueryBudget",
     "ReferenceTable",
     "ResiliencePolicy",
+    "RetryPolicy",
     "SignatureScheme",
     "tokenize",
     "TokenFrequencyCache",

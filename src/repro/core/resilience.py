@@ -27,6 +27,7 @@ clean run, flagged degraded with a reason, a typed
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
@@ -38,6 +39,49 @@ if TYPE_CHECKING:
 
 DEGRADED_DEADLINE = "deadline"
 DEGRADED_PAGE_FETCHES = "page_fetches"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff shared by storage retries and the client.
+
+    Attempt ``n`` (0-based) sleeps ``min(base_delay * multiplier**n,
+    max_delay)`` before retrying; ``max_attempts`` counts total tries, so
+    ``max_attempts=1`` disables retrying.  The buffer pool retries
+    :class:`~repro.db.errors.TransientIOError` under this policy, and the
+    serve client retries connect / timeout / retryable-shed failures
+    under it — one backoff implementation for both layers.
+
+    ``jitter`` decorrelates retries from many peers: when the caller
+    supplies a seeded ``rng``, up to ``jitter`` of each delay is randomly
+    subtracted, so jittered delays stay within ``(1-jitter)·d .. d`` and
+    the cap still holds.  Without an ``rng`` (or with ``jitter=0``) the
+    delay is the exact deterministic cap formula — the storage layer's
+    historical behaviour, which keeps the chaos suite reproducible.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        capped = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if rng is None or self.jitter == 0.0:
+            return capped
+        return capped * (1.0 - self.jitter * rng.random())
 
 
 class Deadline:

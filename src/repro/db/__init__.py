@@ -52,12 +52,16 @@ from repro.db.pager import (
     BufferPool,
     FileStorage,
     InMemoryStorage,
-    RetryPolicy,
     page_checksum,
 )
 from repro.db.relation import Relation
 from repro.db.types import Column, ColumnType, Schema
 from repro.db.wal import RecoveryInfo, WalFile, WalStats, WalStorage
+
+# Last on purpose: RetryPolicy now lives in repro.core.resilience (it backs
+# both storage retries and the serve client), and importing repro.core pulls
+# in modules that import repro.db.database — which must already be complete.
+from repro.core.resilience import RetryPolicy
 
 __all__ = [
     "BPlusTree",

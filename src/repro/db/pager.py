@@ -29,7 +29,7 @@ import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.analysis.debuglock import assert_owned, make_rlock
 
@@ -41,6 +41,9 @@ from repro.db.errors import (
 )
 from repro.db.page import Page, PAGE_SIZE
 from repro.db.wal import WalStorage
+
+if TYPE_CHECKING:
+    from repro.core.resilience import RetryPolicy
 
 
 def page_checksum(data: bytes) -> int:
@@ -179,33 +182,25 @@ class FileStorage:
             self._fd = -1
 
 
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Exponential backoff for transient storage faults.
+def __getattr__(name: str) -> "type[RetryPolicy]":
+    """Back-compat re-export: :class:`RetryPolicy` moved to core/resilience.
 
-    Attempt ``n`` (0-based) sleeps ``min(base_delay * multiplier**n,
-    max_delay)`` before retrying; ``max_attempts`` counts total tries, so
-    ``max_attempts=1`` disables retrying.  Only
-    :class:`~repro.db.errors.TransientIOError` is retried — genuine
-    corruption gets one verification re-read and then fails loudly.
+    The class lives in :mod:`repro.core.resilience` now (it backs both
+    storage retries and the serve client's reconnect loop), but importing
+    that package at this module's top level would be circular —
+    ``repro.core`` pulls in :mod:`repro.core.batch`, which imports
+    :mod:`repro.db.database`, which imports this module.  Resolving the
+    name lazily keeps ``from repro.db.pager import RetryPolicy`` working.
     """
+    if name == "RetryPolicy":
+        from repro.core.resilience import RetryPolicy
 
-    max_attempts: int = 4
-    base_delay: float = 0.001
-    multiplier: float = 2.0
-    max_delay: float = 0.05
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValueError("max_attempts must be >= 1")
-        if self.base_delay < 0 or self.max_delay < 0:
-            raise ValueError("delays must be >= 0")
-        if self.multiplier < 1.0:
-            raise ValueError("multiplier must be >= 1")
-
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (0-based)."""
-        return min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        return RetryPolicy
+    # The module-__getattr__ protocol requires AttributeError here, not a
+    # DatabaseError subclass.
+    raise AttributeError(  # reprolint: disable=exception-taxonomy
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 @dataclass
@@ -262,9 +257,14 @@ class BufferPool:
     ) -> None:
         if capacity < 1:
             raise BufferPoolError("buffer pool needs capacity >= 1")
+        if retry_policy is None:
+            # Deferred for the same circularity reason as __getattr__ above.
+            from repro.core.resilience import RetryPolicy
+
+            retry_policy = RetryPolicy()
         self.storage = storage if storage is not None else InMemoryStorage()
         self.capacity = capacity
-        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.retry_policy = retry_policy
         self.verify_checksums = verify_checksums
         self.stats = PoolStats()
         self._sleep = sleep

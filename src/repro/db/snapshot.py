@@ -202,11 +202,35 @@ def load_database(
     meta_file = _meta_path(page_path)
     if not os.path.exists(meta_file):
         raise DatabaseError(f"no snapshot metadata at {meta_file}")
-    with open(meta_file) as handle:
-        meta = json.load(handle)
+    # The metadata file crosses a trust boundary (any process may have
+    # scribbled on it), so every shape assumption is checked and every
+    # violation is a typed DatabaseError — the fuzz harness's invariant.
+    try:
+        with open(meta_file, "rb") as handle:
+            meta = json.loads(handle.read())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise DatabaseError(
+            f"snapshot metadata at {meta_file} is not valid JSON: {exc}"
+        ) from exc
+    except RecursionError as exc:
+        # A pathologically nested document (fuzz finding): the stdlib
+        # parser recurses per nesting level and blows the stack.
+        raise DatabaseError(
+            f"snapshot metadata at {meta_file} is nested too deeply"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise DatabaseError(
+            f"snapshot metadata at {meta_file} must be a JSON object, "
+            f"got {type(meta).__name__}"
+        )
     if meta.get("version") not in _SUPPORTED_VERSIONS:
         raise DatabaseError(f"unsupported snapshot version {meta.get('version')!r}")
-    generation = int(meta.get("generation", 0))
+    generation_raw = meta.get("generation", 0)
+    if not isinstance(generation_raw, int) or isinstance(generation_raw, bool):
+        raise DatabaseError(
+            f"snapshot generation must be an integer, got {generation_raw!r}"
+        )
+    generation = generation_raw
 
     if not wal:
         _refuse_live_wal_tail(page_path, generation)
@@ -216,10 +240,21 @@ def load_database(
     wal_storage: WalStorage | None = None
     effective: StorageBackend = storage
     if wal:
-        wal_file: WalFileLike = WalFile(_wal_path(page_path))
+        try:
+            wal_file: WalFileLike = WalFile(_wal_path(page_path))
+        except DatabaseError:
+            storage.close()
+            raise
         if wal_wrap is not None:
             wal_file = wal_wrap(wal_file)
-        wal_storage = WalStorage(storage, wal_file)
+        try:
+            wal_storage = WalStorage(storage, wal_file)
+        except DatabaseError:
+            # The recovery scan refused the log (bad magic/version);
+            # neither handle reached an owner that would close it.
+            wal_file.close()
+            storage.close()
+            raise
         if wal_storage.was_empty:
             wal_storage.reset(generation)
         elif wal_storage.generation == generation:
@@ -238,6 +273,18 @@ def load_database(
         effective = wal_storage
 
     checksums = meta.get("page_checksums")
+    if checksums is not None and (
+        not isinstance(checksums, list)
+        or any(
+            entry is not None
+            and (not isinstance(entry, int) or isinstance(entry, bool))
+            for entry in checksums
+        )
+    ):
+        effective.close()
+        raise DatabaseError(
+            "snapshot page_checksums must be a list of integers or nulls"
+        )
     ledger: dict[int, int] = {}
     if checksums is not None:
         if len(checksums) > effective.num_pages:
@@ -277,15 +324,51 @@ def load_database(
                 )
             ledger[page_no] = expected
 
+    if "relations" not in meta:
+        effective.close()
+        raise DatabaseError(f"snapshot metadata at {meta_file} lists no relations")
     pool = BufferPool(effective, capacity=pool_capacity)
     pool.prime_checksums(ledger)
     db = Database(pool)
     relations_meta = meta["relations"]
     if wal_storage is not None and wal_storage.recovered_catalog is not None:
         # Committed transactions landed after the snapshot; their catalog
-        # manifest supersedes the snapshot's.
-        relations_meta = json.loads(
-            wal_storage.recovered_catalog.decode("utf-8")
-        )["relations"]
-    apply_catalog(db, relations_meta)
+        # manifest supersedes the snapshot's.  Its record CRC vouched for
+        # the bytes, but the shape is still checked — typed, not KeyError.
+        try:
+            relations_meta = json.loads(
+                wal_storage.recovered_catalog.decode("utf-8")
+            )["relations"]
+        except (
+            UnicodeDecodeError,
+            json.JSONDecodeError,
+            KeyError,
+            TypeError,
+            RecursionError,
+        ) as exc:
+            effective.close()
+            raise DatabaseError(
+                f"recovered WAL catalog manifest for {page_path} is "
+                f"malformed: {type(exc).__name__}: {exc}"
+            ) from exc
+    try:
+        apply_catalog(db, relations_meta)
+    except DatabaseError:
+        effective.close()
+        raise
+    except (
+        KeyError,
+        TypeError,
+        ValueError,
+        AttributeError,
+        IndexError,
+        RecursionError,
+    ) as exc:
+        # apply_catalog trusts the manifest's shape; a mutated snapshot
+        # must still fail typed, naming the file, not with a raw KeyError.
+        effective.close()
+        raise DatabaseError(
+            f"snapshot catalog metadata at {meta_file} is malformed: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
     return db

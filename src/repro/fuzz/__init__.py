@@ -1,0 +1,42 @@
+"""Structure-aware fuzzing of the system's trust boundaries.
+
+Three boundaries take bytes from outside the process and must never
+crash, hang, or fail untyped on them:
+
+- the **wire** protocol (newline-delimited JSON over TCP) — fuzzed
+  against a live in-process :class:`~repro.serve.server.MatchServer`;
+- the **WAL** recovery scan — fuzzed by mutating a real log with a
+  committed tail and reopening the database;
+- the **snapshot** metadata loader — fuzzed by mutating the catalog
+  JSON the same way.
+
+Everything is seeded: a ``(seed, case)`` pair replays exactly, failing
+inputs land in a corpus directory, and a greedy minimizer shrinks each
+one to a small reproducer.  ``repro fuzz`` is the CLI entry point;
+``--smoke`` is the CI-sized sweep.
+"""
+
+from repro.fuzz.disk import SnapshotTarget, WalTarget
+from repro.fuzz.harness import (
+    TARGETS,
+    FuzzFailure,
+    FuzzReport,
+    minimize,
+    run_fuzz,
+)
+from repro.fuzz.mutators import MUTATORS, chunk_plan, mutate
+from repro.fuzz.wire import WireTarget
+
+__all__ = [
+    "chunk_plan",
+    "FuzzFailure",
+    "FuzzReport",
+    "minimize",
+    "MUTATORS",
+    "mutate",
+    "run_fuzz",
+    "SnapshotTarget",
+    "TARGETS",
+    "WalTarget",
+    "WireTarget",
+]

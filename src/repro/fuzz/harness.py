@@ -1,0 +1,263 @@
+"""The fuzz driver: seeded sweeps, a failure corpus, greedy minimization.
+
+:func:`run_fuzz` runs ``cases_per_seed`` mutated inputs for each seed
+against one of the three targets (``wire``, ``wal``, ``snapshot``) and
+returns a :class:`FuzzReport`.  A seed fully determines its case
+sequence, so any failure is replayable from ``(target, seed, case)``.
+
+When a case violates the target's invariant the raw input is written to
+the corpus directory (if one is given), then shrunk by
+:func:`minimize` — greedy chunk deletion, re-checking the invariant
+after each cut — and the minimized reproducer is written alongside it.
+The wire target is restarted after every failing check so a wedged
+server cannot make later cases (or shrink steps) fail vacuously.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.fuzz.disk import SnapshotTarget, WalTarget
+from repro.fuzz.wire import WireTarget
+
+__all__ = [
+    "FuzzFailure",
+    "FuzzReport",
+    "FuzzTarget",
+    "TARGETS",
+    "minimize",
+    "run_fuzz",
+]
+
+
+class FuzzTarget(Protocol):
+    """What the driver needs from a target: lifecycle + two check modes."""
+
+    name: str
+    case_deadline_s: float
+
+    def start(self) -> None:
+        """Bring the target up (server, fixture files)."""
+
+    def close(self) -> None:
+        """Tear the target down."""
+
+    def reset(self) -> None:
+        """Recover a possibly-wedged target between checks."""
+
+    def run_case(
+        self, rng: random.Random
+    ) -> tuple[bytes, tuple[str, ...], str] | None:
+        """One mutated case; ``None`` when clean."""
+
+    def check_input(self, data: bytes) -> str | None:
+        """Replay a fixed input; ``None`` when the invariant holds."""
+
+
+TARGETS: dict[str, Callable[..., FuzzTarget]] = {
+    "wire": WireTarget,
+    "wal": WalTarget,
+    "snapshot": SnapshotTarget,
+}
+"""Fuzz targets by CLI name."""
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One invariant violation: where it came from and how to replay it."""
+
+    target: str
+    seed: int
+    case: int
+    recipe: tuple[str, ...]
+    detail: str
+    input_bytes: int
+    minimized_bytes: int | None = None
+    input_path: str | None = None
+    minimized_path: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready view for reports and CI artifacts."""
+        return {
+            "target": self.target,
+            "seed": self.seed,
+            "case": self.case,
+            "recipe": list(self.recipe),
+            "detail": self.detail,
+            "input_bytes": self.input_bytes,
+            "minimized_bytes": self.minimized_bytes,
+            "input_path": self.input_path,
+            "minimized_path": self.minimized_path,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one sweep: counts, timing, and every failure."""
+
+    target: str
+    seeds: tuple[int, ...]
+    cases_per_seed: int
+    cases_run: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every case held the invariant."""
+        return not self.failures
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready view (what ``repro fuzz`` prints)."""
+        return {
+            "target": self.target,
+            "seeds": list(self.seeds),
+            "cases_per_seed": self.cases_per_seed,
+            "cases_run": self.cases_run,
+            "failures": [failure.as_dict() for failure in self.failures],
+            "ok": self.ok,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+def minimize(
+    data: bytes,
+    still_fails: Callable[[bytes], bool],
+    max_checks: int = 96,
+) -> bytes:
+    """Greedy chunk-deletion shrink: keep cuts that still reproduce.
+
+    A bounded ddmin variant: try deleting chunks of ``len/2``, halving
+    the chunk size whenever a full pass removes nothing, down to single
+    bytes.  ``still_fails`` is called at most ``max_checks`` times, so a
+    slow target bounds the shrink effort rather than the other way
+    around.  Returns the smallest input seen that still fails.
+    """
+    if max_checks < 1:
+        raise ValueError(f"max_checks must be >= 1, got {max_checks}")
+    checks = 0
+    chunk = max(1, len(data) // 2)
+    while len(data) > 1 and checks < max_checks:
+        removed_any = False
+        offset = 0
+        while offset < len(data) and checks < max_checks:
+            candidate = data[:offset] + data[offset + chunk :]
+            checks += 1
+            if len(candidate) < len(data) and still_fails(candidate):
+                data = candidate
+                removed_any = True
+            else:
+                offset += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+        else:
+            chunk = max(1, min(chunk, len(data) // 2))
+    return data
+
+
+def _write_corpus_file(
+    corpus_dir: str, name: str, data: bytes
+) -> str:
+    """Write one corpus artifact and return its path."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, name)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return path
+
+
+def run_fuzz(
+    target_name: str,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    cases_per_seed: int = 100,
+    corpus_dir: str | None = None,
+    case_deadline_s: float = 5.0,
+) -> FuzzReport:
+    """Sweep one target across the given seeds; return the full report.
+
+    Failing inputs are written to ``corpus_dir`` (raw and minimized)
+    when one is given; without it failures are still minimized so the
+    report carries the reproducer's size, just not persisted.
+    """
+    if target_name not in TARGETS:
+        raise ValueError(
+            f"unknown fuzz target {target_name!r}; "
+            f"expected one of {sorted(TARGETS)}"
+        )
+    if cases_per_seed < 1:
+        raise ValueError(f"cases_per_seed must be >= 1, got {cases_per_seed}")
+    report = FuzzReport(
+        target=target_name,
+        seeds=tuple(seeds),
+        cases_per_seed=cases_per_seed,
+    )
+    started = time.monotonic()
+    target = TARGETS[target_name](case_deadline_s=case_deadline_s)
+    target.start()
+    try:
+        for seed in report.seeds:
+            rng = random.Random(seed)
+            for case in range(cases_per_seed):
+                outcome = target.run_case(rng)
+                report.cases_run += 1
+                if outcome is None:
+                    continue
+                data, recipe, detail = outcome
+                report.failures.append(
+                    _handle_failure(
+                        target, corpus_dir, seed, case, data, recipe, detail
+                    )
+                )
+    finally:
+        target.close()
+    report.elapsed_s = time.monotonic() - started
+    return report
+
+
+def _handle_failure(
+    target: FuzzTarget,
+    corpus_dir: str | None,
+    seed: int,
+    case: int,
+    data: bytes,
+    recipe: tuple[str, ...],
+    detail: str,
+) -> FuzzFailure:
+    """Persist, recover, and minimize one failing input."""
+    input_path = None
+    minimized_path = None
+    stem = f"{target.name}-s{seed}-c{case}"
+    if corpus_dir is not None:
+        input_path = _write_corpus_file(corpus_dir, f"{stem}.bin", data)
+    # The failing case may have wedged the target (wire: a hung or
+    # crashed server); recover before replaying shrunk candidates.
+    target.reset()
+
+    def still_fails(candidate: bytes) -> bool:
+        failed = target.check_input(candidate) is not None
+        if failed:
+            target.reset()
+        return failed
+
+    minimized = minimize(data, still_fails)
+    if corpus_dir is not None:
+        minimized_path = _write_corpus_file(
+            corpus_dir, f"{stem}.min.bin", minimized
+        )
+    return FuzzFailure(
+        target=target.name,
+        seed=seed,
+        case=case,
+        recipe=recipe,
+        detail=detail,
+        input_bytes=len(data),
+        minimized_bytes=len(minimized),
+        input_path=input_path,
+        minimized_path=minimized_path,
+    )

@@ -1,0 +1,173 @@
+"""Seeded, structure-aware byte mutators for the fuzz harness.
+
+Every mutator is a pure function ``(data, rng) -> bytes``: the only
+source of nondeterminism is the :class:`random.Random` instance the
+caller passes in, so a seed fully determines a mutation sequence and
+every crashing input can be replayed from ``(seed, case index)`` alone.
+
+The vocabulary is chosen for newline-delimited JSON and small binary
+file formats (WAL records, snapshot metadata):
+
+- ``truncate`` — cut the input short at a random point (torn writes);
+- ``bit_flip`` — flip 1..8 random bits (line noise, disk rot);
+- ``splice`` — duplicate or transplant a random slice (misordered or
+  replayed partial writes);
+- ``type_confuse`` — swap JSON tokens in place (``:`` for ``,``,
+  ``true`` for a string, a digit for a brace) so the bytes stay mostly
+  parseable and reach deeper validation layers;
+- ``oversize`` — inflate the input past a size budget (memory-exhaustion
+  probes against ``max_frame_bytes``-style limits).
+
+Delivery is mutated separately: :func:`chunk_plan` splits a payload into
+write-sized pieces (down to one byte per ``send``) to exercise partial
+reads — the "split across writes" axis.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+__all__ = [
+    "MUTATORS",
+    "Mutator",
+    "chunk_plan",
+    "mutate",
+]
+
+Mutator = Callable[[bytes, random.Random], bytes]
+"""A deterministic byte transformation driven only by the given RNG."""
+
+# JSON token pairs swapped by ``type_confuse``: each left token may be
+# replaced by its right partner, changing the *type* of a value while
+# keeping the input superficially well-formed.
+_TOKEN_SWAPS: tuple[tuple[bytes, bytes], ...] = (
+    (b'"', b"1"),
+    (b"[", b"{"),
+    (b"]", b"}"),
+    (b"{", b"["),
+    (b"}", b"]"),
+    (b"true", b'"true"'),
+    (b"false", b"0.5"),
+    (b"null", b"[]"),
+    (b":", b","),
+    (b",", b":"),
+)
+
+
+def _truncate(data: bytes, rng: random.Random) -> bytes:
+    """Cut the input at a random offset (possibly to nothing)."""
+    if not data:
+        return data
+    return data[: rng.randrange(len(data))]
+
+
+def _bit_flip(data: bytes, rng: random.Random) -> bytes:
+    """Flip 1..8 random bits anywhere in the input."""
+    if not data:
+        return data
+    buf = bytearray(data)
+    for _ in range(rng.randint(1, 8)):
+        pos = rng.randrange(len(buf))
+        buf[pos] ^= 1 << rng.randrange(8)
+    return bytes(buf)
+
+
+def _splice(data: bytes, rng: random.Random) -> bytes:
+    """Copy a random slice of the input over or into a random position."""
+    if len(data) < 2:
+        return data + data
+    start = rng.randrange(len(data) - 1)
+    end = rng.randrange(start + 1, len(data))
+    piece = data[start:end]
+    at = rng.randrange(len(data))
+    if rng.random() < 0.5:
+        return data[:at] + piece + data[at:]  # insert (grows)
+    return data[:at] + piece + data[at + len(piece) :]  # overwrite
+
+
+def _type_confuse(data: bytes, rng: random.Random) -> bytes:
+    """Swap one JSON token for a differently-typed one, in place."""
+    candidates = [
+        (token, repl) for token, repl in _TOKEN_SWAPS if token in data
+    ]
+    if not candidates:
+        return _bit_flip(data, rng)
+    token, repl = candidates[rng.randrange(len(candidates))]
+    occurrences = data.count(token)
+    pick = rng.randrange(occurrences)
+    pos = -1
+    for _ in range(pick + 1):
+        pos = data.index(token, pos + 1)
+    return data[:pos] + repl + data[pos + len(token) :]
+
+
+def _oversize(data: bytes, rng: random.Random) -> bytes:
+    """Inflate the input past a size budget by repeating a slice.
+
+    The target size is 64 KiB..256 KiB — comfortably past the tight
+    ``max_frame_bytes`` the fuzz targets configure, while staying cheap
+    enough to generate hundreds of times per sweep.
+    """
+    target = rng.randrange(64 * 1024, 256 * 1024)
+    filler = data if data else b"A"
+    body = filler * (target // max(1, len(filler)) + 1)
+    return body[:target]
+
+
+MUTATORS: dict[str, Mutator] = {
+    "truncate": _truncate,
+    "bit_flip": _bit_flip,
+    "splice": _splice,
+    "type_confuse": _type_confuse,
+    "oversize": _oversize,
+}
+"""The mutation vocabulary, by name (names appear in failure reports)."""
+
+
+def mutate(
+    data: bytes, rng: random.Random, max_rounds: int = 3
+) -> tuple[bytes, tuple[str, ...]]:
+    """Apply 1..``max_rounds`` randomly chosen mutators in sequence.
+
+    Returns the mutated bytes and the names of the mutators applied, in
+    order — the names go into failure reports so a crasher's recipe is
+    visible without replaying it.
+    """
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+    names = sorted(MUTATORS)
+    applied: list[str] = []
+    for _ in range(rng.randint(1, max_rounds)):
+        name = names[rng.randrange(len(names))]
+        applied.append(name)
+        data = MUTATORS[name](data, rng)
+    return data, tuple(applied)
+
+
+def chunk_plan(total: int, rng: random.Random) -> tuple[int, ...]:
+    """Split ``total`` bytes into write-sized chunks (the delivery axis).
+
+    Three regimes, uniformly chosen: one whole write, byte-at-a-time for
+    the first few dozen bytes then the rest at once (a bounded slow-
+    writer), or random chunks of 1..1024 bytes.  Chunk sizes always sum
+    to ``total``.
+    """
+    if total <= 0:
+        return ()
+    style = rng.randrange(3)
+    if style == 0:
+        return (total,)
+    if style == 1:
+        dribble = min(total, rng.randint(1, 64))
+        plan = [1] * dribble
+        if total > dribble:
+            plan.append(total - dribble)
+        return tuple(plan)
+    plan = []
+    left = total
+    while left > 0:
+        step = min(left, rng.randint(1, 1024))
+        plan.append(step)
+        left -= step
+    return tuple(plan)

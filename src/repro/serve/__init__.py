@@ -20,8 +20,8 @@ ladder), :mod:`~repro.serve.server` (the threaded server), and
 :mod:`~repro.serve.client` (reference client).
 """
 
-from repro.serve.admission import AdmissionQueue, WorkItem
-from repro.serve.client import ServeClient
+from repro.serve.admission import AdmissionQueue, ConnectionGate, WorkItem
+from repro.serve.client import ClientTimeoutError, ServeClient
 from repro.serve.lifecycle import (
     DegradationLadder,
     Lifecycle,
@@ -31,23 +31,40 @@ from repro.serve.lifecycle import (
 from repro.serve.protocol import (
     PRIORITY_BULK,
     PRIORITY_INTERACTIVE,
+    FrameError,
+    FrameReader,
+    FrameTooLargeError,
+    PipelineOverflowError,
     ProtocolError,
     Request,
     ServeError,
     SheddedError,
+    SlowFrameError,
     decode_request,
     encode_line,
 )
-from repro.serve.server import MatchServer, ServeConfig, ServeStats
+from repro.serve.server import (
+    IdempotencyCache,
+    MatchServer,
+    ServeConfig,
+    ServeStats,
+)
 
 __all__ = [
     "AdmissionQueue",
+    "ClientTimeoutError",
+    "ConnectionGate",
     "DegradationLadder",
     "decode_request",
     "encode_line",
+    "FrameError",
+    "FrameReader",
+    "FrameTooLargeError",
+    "IdempotencyCache",
     "Lifecycle",
     "LifecycleError",
     "MatchServer",
+    "PipelineOverflowError",
     "PRIORITY_BULK",
     "PRIORITY_INTERACTIVE",
     "ProtocolError",
@@ -57,6 +74,7 @@ __all__ = [
     "ServeError",
     "ServeStats",
     "SheddedError",
+    "SlowFrameError",
     "WorkItem",
     "WorkerHealth",
 ]

@@ -275,3 +275,69 @@ class AdmissionQueue:
         if not waits:
             return 0.0
         return waits[min(len(waits) - 1, int(0.95 * (len(waits) - 1)))]
+
+
+class ConnectionGate:
+    """Global and per-peer caps on concurrently open connections.
+
+    The admission queue bounds *work*; this gate bounds *sockets*.  A
+    peer that opens connections without sending requests consumes a
+    handler thread and a file descriptor each time — the connection-level
+    analogue of queue flooding — so the acceptor asks the gate before
+    spawning a handler and refuses the socket with a typed
+    ``too_many_connections`` response when either cap is hit.  The
+    per-peer cap keeps one hostile address from monopolizing the global
+    allowance.
+
+    Thread-safe: :meth:`admit` and :meth:`release` are called from the
+    acceptor and from every handler's exit path.
+    """
+
+    def __init__(self, max_connections: int, max_per_peer: int) -> None:
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if max_per_peer < 1:
+            raise ValueError("max_per_peer must be >= 1")
+        self.max_connections = max_connections
+        self.max_per_peer = max_per_peer
+        self._lock = make_lock("ConnectionGate._lock")
+        self._total = 0
+        self._per_peer: dict[str, int] = {}
+
+    def admit(self, peer: str) -> bool:
+        """Try to register one connection from ``peer``.
+
+        Returns ``False`` (and registers nothing) when either cap is
+        already at its limit; the caller must not :meth:`release` then.
+        """
+        with self._lock:
+            if self._total >= self.max_connections:
+                return False
+            if self._per_peer.get(peer, 0) >= self.max_per_peer:
+                return False
+            self._total += 1
+            self._per_peer[peer] = self._per_peer.get(peer, 0) + 1
+            return True
+
+    def release(self, peer: str) -> None:
+        """Unregister one previously admitted connection from ``peer``.
+
+        A release with nothing admitted for ``peer`` is ignored — the
+        counters never go negative, so a stray double-release cannot
+        widen the caps.
+        """
+        with self._lock:
+            remaining = self._per_peer.get(peer, 0) - 1
+            if remaining > 0:
+                self._per_peer[peer] = remaining
+            elif remaining == 0:
+                del self._per_peer[peer]
+            else:
+                return
+            self._total -= 1
+
+    @property
+    def open_connections(self) -> int:
+        """Connections currently admitted across all peers."""
+        with self._lock:
+            return self._total

@@ -1,21 +1,53 @@
-"""A minimal blocking client for the serve wire protocol.
+"""A resilient blocking client for the serve wire protocol.
 
 Used by ``repro ping``, the serve tests, and the serve benchmark; also
 a reference implementation for anyone writing a client in another
 language (the protocol is one JSON object per line in each direction).
+
+Beyond the minimal send/receive pairing, the client carries the three
+behaviours a real ingress client needs against a flaky network:
+
+- **Per-request deadlines.**  ``timeout_s`` bounds every send *and*
+  every response wait (not just the initial connect, which is all it
+  used to guard); a stalled server raises the typed
+  :class:`ClientTimeoutError` instead of hanging the caller forever.
+- **Reconnect + retry.**  With a :class:`~repro.core.resilience
+  .RetryPolicy`, connect failures, timeouts, dropped connections, and
+  retryable shed responses (``queue_full`` / ``overload`` / ``loading``)
+  are retried under capped exponential backoff with seeded jitter.
+- **Idempotency keys.**  When retrying is on, each ``match`` request
+  carries a client-generated ``idempotency_key``; the server answers a
+  retransmission from its bounded response cache, so a retried request
+  runs against the engine at most once.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
+import uuid
 from typing import Any, Sequence
 
+from repro.core.resilience import RetryPolicy
 from repro.serve.protocol import (
     PRIORITY_INTERACTIVE,
     ProtocolError,
+    RETRYABLE_SHED_REASONS,
+    ServeError,
     encode_line,
 )
+
+
+class ClientTimeoutError(ServeError, TimeoutError):
+    """A request's per-call deadline elapsed waiting on the server.
+
+    Subclasses :class:`TimeoutError` (an ``OSError``), so call sites
+    that already handle socket-level failures — ``except (OSError,
+    ConnectionError)`` — keep working, while new code can catch the
+    serve-typed class directly.
+    """
 
 
 class ServeClient:
@@ -24,28 +56,125 @@ class ServeClient:
     Not thread-safe: requests and responses are strictly paired on the
     wire, so give each thread its own client (connections are cheap and
     the server handles each on its own thread).
+
+    ``timeout_s`` is the per-request deadline (``None`` = wait forever,
+    for debugging only).  Pass ``retry=RetryPolicy(...)`` to turn on
+    reconnect-and-retry; ``retry_seed`` seeds the backoff jitter so test
+    runs are reproducible.  ``idempotency`` controls whether ``match``
+    requests carry auto-generated idempotency keys — it defaults to on
+    exactly when retrying is on, which is when duplicate delivery
+    becomes possible.
     """
 
     def __init__(
-        self, host: str, port: int, timeout_s: float | None = 30.0
+        self,
+        host: str,
+        port: int,
+        timeout_s: float | None = 30.0,
+        *,
+        retry: RetryPolicy | None = None,
+        retry_seed: int = 0,
+        idempotency: bool | None = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._reader = self._sock.makefile("rb")
+        self._host = host
+        self._port = port
+        self.timeout_s = timeout_s
+        self.retry = retry
+        self._rng = random.Random(retry_seed)
+        self._idempotency = idempotency if idempotency is not None else retry is not None
+        # Keys must be unique across client instances (the server's cache
+        # is shared), so the prefix is random even though jitter is seeded.
+        self._key_prefix = uuid.uuid4().hex[:16]
+        self._key_serial = 0
+        self._sock: socket.socket | None = None
+        self._reader: Any = None
+        self._ensure_connected()
 
     # ------------------------------------------------------------------
     # Wire plumbing
     # ------------------------------------------------------------------
 
-    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """Send one request object, return the decoded response object."""
-        self._sock.sendall(encode_line(payload))
-        raw = self._reader.readline()
+    def _ensure_connected(self) -> tuple[socket.socket, Any]:
+        """Return the live socket + reader, dialing a fresh one if needed."""
+        if self._sock is None or self._reader is None:
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self.timeout_s
+            )
+            self._reader = self._sock.makefile("rb")
+        return self._sock, self._reader
+
+    def _disconnect(self) -> None:
+        """Drop the connection so the next request dials a clean one."""
+        reader, sock = self._reader, self._sock
+        self._reader = None
+        self._sock = None
+        if reader is not None:
+            try:
+                reader.close()
+            except OSError:
+                pass
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _request_once(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One send/receive exchange over the current connection."""
+        sock, reader = self._ensure_connected()
+        try:
+            sock.settimeout(self.timeout_s)
+            sock.sendall(encode_line(payload))
+            raw = reader.readline()
+        except TimeoutError as exc:
+            # The stream is desynchronized now (the response may still
+            # land later); drop the connection so a retry starts clean.
+            self._disconnect()
+            raise ClientTimeoutError(
+                f"no response within timeout_s={self.timeout_s}"
+            ) from exc
         if not raw:
+            self._disconnect()
             raise ConnectionError("server closed the connection")
-        response = json.loads(raw)
+        try:
+            response = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"server response is not valid JSON: {exc}") from exc
         if not isinstance(response, dict):
             raise ProtocolError("server response was not a JSON object")
         return response
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request object, return the decoded response object.
+
+        Without a retry policy this is a single exchange.  With one,
+        connection-level failures (connect, timeout, reset, server
+        close) and retryable shed responses are retried under the
+        policy's jittered backoff; the last failure is re-raised (or the
+        last shed response returned) when attempts run out.
+        """
+        policy = self.retry
+        if policy is None:
+            return self._request_once(payload)
+        last_error: OSError | None = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                time.sleep(policy.delay(attempt - 1, rng=self._rng))
+            try:
+                response = self._request_once(payload)
+            except OSError as exc:  # includes ClientTimeoutError
+                last_error = exc
+                self._disconnect()
+                continue
+            if (
+                response.get("outcome") == "shed"
+                and response.get("shed_reason") in RETRYABLE_SHED_REASONS
+                and attempt + 1 < policy.max_attempts
+            ):
+                continue
+            return response
+        assert last_error is not None  # the loop only falls through on errors
+        raise last_error
 
     # ------------------------------------------------------------------
     # Verbs
@@ -60,8 +189,15 @@ class ServeClient:
         strategy: str | None = None,
         deadline_ms: float | None = None,
         priority: str = PRIORITY_INTERACTIVE,
+        idempotency_key: str | None = None,
     ) -> dict[str, Any]:
-        """Send one match request and return the decoded response object."""
+        """Send one match request and return the decoded response object.
+
+        When idempotency is on (see ``__init__``) and no explicit
+        ``idempotency_key`` is given, a unique key is generated here —
+        before the retry loop — so every retransmission of this logical
+        request carries the same key.
+        """
         payload: dict[str, Any] = {
             "op": "match",
             "values": list(values),
@@ -77,6 +213,11 @@ class ServeClient:
             payload["strategy"] = strategy
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if idempotency_key is None and self._idempotency:
+            self._key_serial += 1
+            idempotency_key = f"{self._key_prefix}-{self._key_serial}"
+        if idempotency_key is not None:
+            payload["idempotency_key"] = idempotency_key
         return self.request(payload)
 
     def ping(self) -> dict[str, Any]:
@@ -93,14 +234,7 @@ class ServeClient:
 
     def close(self) -> None:
         """Close the connection; safe to call twice."""
-        try:
-            self._reader.close()
-        except OSError:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._disconnect()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -109,4 +243,4 @@ class ServeClient:
         self.close()
 
 
-__all__ = ["ServeClient"]
+__all__ = ["ClientTimeoutError", "ServeClient"]

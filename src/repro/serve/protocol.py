@@ -33,13 +33,24 @@ Response ``outcome`` values for ``op=match``:
 Every response also carries the server's lifecycle ``state`` and current
 degradation ``stage``, so clients see overload coming before they are
 shed.
+
+The byte boundary itself is defended by :class:`FrameReader`: per-frame
+read deadlines, idle timeouts, a hard frame-size cap enforced during the
+read, and a pipelining cap — every violation maps to a ``SHED_*`` reason
+so hostile peers get the same typed vocabulary as overload does.  A
+``match`` request may carry a client-generated ``idempotency_key``; the
+server answers a retransmission of the same key from a bounded response
+cache instead of running the engine twice.
 """
 
 from __future__ import annotations
 
 import json
+import socket
+import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.matcher import MatchResult
 
@@ -70,6 +81,19 @@ SHED_DRAIN_BUDGET = "drain_budget"
 """The request was still queued when the drain budget ran out."""
 SHED_LOADING = "loading"
 """The server is still building/loading its warehouse; retry shortly."""
+SHED_FRAME_TOO_LARGE = "frame_too_large"
+"""A request line exceeded ``max_frame_bytes``.  The overflow was drained
+from the socket without being buffered and the frame was refused; the
+connection stays usable when the frame's end was found within bounds."""
+SHED_SLOW_FRAME = "slow_frame"
+"""A partial frame stalled past the per-frame read deadline (the
+slowloris pattern); the connection is closed after this response."""
+SHED_PIPELINE_OVERFLOW = "pipeline_overflow"
+"""More unanswered pipelined frames than the per-connection cap; the
+connection is closed after this response."""
+SHED_TOO_MANY_CONNECTIONS = "too_many_connections"
+"""The global or per-peer connection limit was reached; the connection
+was refused before any request bytes were read."""
 
 SHED_REASONS = (
     SHED_QUEUE_FULL,
@@ -79,7 +103,16 @@ SHED_REASONS = (
     SHED_DRAINING,
     SHED_DRAIN_BUDGET,
     SHED_LOADING,
+    SHED_FRAME_TOO_LARGE,
+    SHED_SLOW_FRAME,
+    SHED_PIPELINE_OVERFLOW,
+    SHED_TOO_MANY_CONNECTIONS,
 )
+
+#: Shed reasons a client may retry against the *same* server after
+#: backing off; the rest are either per-request verdicts (deadline) or
+#: tell the client to go elsewhere (draining).
+RETRYABLE_SHED_REASONS = (SHED_QUEUE_FULL, SHED_OVERLOAD, SHED_LOADING)
 
 
 class ServeError(Exception):
@@ -103,6 +136,220 @@ class SheddedError(ServeError):
         self.reason = reason
 
 
+class FrameError(ServeError):
+    """A wire-boundary violation caught while framing inbound bytes.
+
+    ``recoverable`` says whether the connection is still usable after the
+    offending frame was refused (the handler sends a typed shed response
+    either way, then continues or disconnects accordingly).
+    """
+
+    def __init__(self, message: str, recoverable: bool) -> None:
+        super().__init__(message)
+        self.recoverable = recoverable
+
+
+class FrameTooLargeError(FrameError):
+    """A single request line exceeded ``max_frame_bytes``."""
+
+
+class SlowFrameError(FrameError):
+    """A partial frame stalled past the per-frame read deadline."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, recoverable=False)
+
+
+class PipelineOverflowError(FrameError):
+    """A connection pipelined more unanswered frames than its cap."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, recoverable=False)
+
+
+class FrameReader:
+    """Newline framing over a socket with defense-in-depth read limits.
+
+    The undefended predecessor (``conn.makefile("rb")`` + line iteration)
+    would buffer an arbitrarily long line in memory and block on a stalled
+    peer forever.  This reader enforces, per connection:
+
+    - ``max_frame_bytes``: a hard cap on one request line, checked *while*
+      reading.  An oversized line is drained from the socket (up to
+      ``oversize_drain_bytes``, never buffered) looking for its newline;
+      :class:`FrameTooLargeError` is raised in frame order, recoverable
+      when the line's end was found so the connection can continue.
+    - ``frame_timeout_s``: once the first byte of a frame arrives, the
+      whole line must arrive within this budget or
+      :class:`SlowFrameError` is raised — a 1 byte/s slowloris peer is
+      disconnected after this deadline, not held open indefinitely.
+    - ``idle_timeout_s``: a connection with no partial frame that stays
+      silent this long is treated as gone (:meth:`next_frame` returns
+      ``None``, like EOF).
+    - ``max_pipelined_frames``: a cap on decoded-but-unanswered frames
+      buffered ahead of the handler; beyond it
+      :class:`PipelineOverflowError` is raised.
+
+    Memory stays bounded by ``max_frame_bytes`` plus one receive chunk
+    regardless of peer behaviour.  ``clock`` is injectable for tests.
+    """
+
+    _RECV_CHUNK = 65536
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        max_frame_bytes: int = 1 << 20,
+        frame_timeout_s: float = 10.0,
+        idle_timeout_s: float = 300.0,
+        max_pipelined_frames: int = 32,
+        oversize_drain_bytes: int = 1 << 20,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be >= 1")
+        if frame_timeout_s <= 0 or idle_timeout_s <= 0:
+            raise ValueError("frame/idle timeouts must be positive")
+        if max_pipelined_frames < 1:
+            raise ValueError("max_pipelined_frames must be >= 1")
+        if oversize_drain_bytes < 0:
+            raise ValueError("oversize_drain_bytes must be >= 0")
+        self._sock = sock
+        self.max_frame_bytes = max_frame_bytes
+        self.frame_timeout_s = frame_timeout_s
+        self.idle_timeout_s = idle_timeout_s
+        self.max_pipelined_frames = max_pipelined_frames
+        self.oversize_drain_bytes = oversize_drain_bytes
+        self._clock = clock
+        self._buffer = bytearray()
+        # ``None`` entries mark oversized frames, reported in arrival order.
+        self._frames: deque[bytes | None] = deque()
+        self._frame_deadline: float | None = None
+        self._eof = False
+
+    def next_frame(self) -> bytes | None:
+        """Block for the next complete line (without its newline).
+
+        Returns ``None`` on EOF or idle timeout.  Raises a
+        :class:`FrameError` subclass on a boundary violation and lets the
+        socket's own ``OSError`` (reset, close) propagate.
+        """
+        while True:
+            if self._frames:
+                frame = self._frames.popleft()
+                if frame is None:
+                    raise FrameTooLargeError(
+                        f"frame exceeds max_frame_bytes={self.max_frame_bytes}",
+                        recoverable=True,
+                    )
+                return frame
+            if self._eof:
+                return None
+            self._fill()
+
+    def _fill(self) -> None:
+        """One receive step: read, split into frames, enforce the limits."""
+        if self._frame_deadline is not None:
+            budget = self._frame_deadline - self._clock()
+            if budget <= 0:
+                raise SlowFrameError(
+                    f"partial frame stalled past {self.frame_timeout_s}s"
+                )
+            self._sock.settimeout(budget)
+        else:
+            self._sock.settimeout(self.idle_timeout_s)
+        try:
+            chunk = self._sock.recv(self._RECV_CHUNK)
+        except TimeoutError:
+            if self._frame_deadline is not None:
+                raise SlowFrameError(
+                    f"partial frame stalled past {self.frame_timeout_s}s"
+                ) from None
+            self._eof = True  # idle with no request in flight: quiet close
+            return
+        if not chunk:
+            self._eof = True
+            if self._buffer:  # unterminated trailing line still answers
+                self._queue_frame(bytes(self._buffer))
+                self._buffer.clear()
+                self._frame_deadline = None
+            return
+        if self._frame_deadline is None:
+            self._frame_deadline = self._clock() + self.frame_timeout_s
+        self._buffer.extend(chunk)
+        self._split()
+        if len(self._buffer) > self.max_frame_bytes:
+            self._drain_oversize()
+
+    def _split(self) -> None:
+        """Move complete lines out of the byte buffer, in arrival order."""
+        extracted = False
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                break
+            self._queue_frame(bytes(self._buffer[:newline]))
+            del self._buffer[: newline + 1]
+            extracted = True
+        if not self._buffer:
+            self._frame_deadline = None
+        elif extracted:  # the partial tail is a fresh frame: fresh budget
+            self._frame_deadline = self._clock() + self.frame_timeout_s
+
+    def _queue_frame(self, frame: bytes) -> None:
+        """Queue one complete frame (or its oversize marker)."""
+        self._frames.append(frame if len(frame) <= self.max_frame_bytes else None)
+        if len(self._frames) > self.max_pipelined_frames:
+            raise PipelineOverflowError(
+                f"more than max_pipelined_frames={self.max_pipelined_frames} "
+                "unanswered frames"
+            )
+
+    def _drain_oversize(self) -> None:
+        """Discard an over-cap partial line while hunting for its end.
+
+        Keeps reading (and throwing away) up to ``oversize_drain_bytes``
+        within a fresh frame budget.  Finding the newline queues an
+        oversize marker and preserves the bytes after it, so the
+        connection recovers; hitting the drain cap, the deadline, or EOF
+        gives up with a non-recoverable :class:`FrameTooLargeError`.
+        """
+        # The over-cap partial already in the buffer counts against the
+        # drain budget — a peer that stops sending mid-flood must not be
+        # granted a fresh allowance to wait out.
+        drained = len(self._buffer)
+        self._buffer.clear()
+        deadline = self._clock() + self.frame_timeout_s
+        while drained <= self.oversize_drain_bytes:
+            budget = deadline - self._clock()
+            if budget <= 0:
+                break
+            self._sock.settimeout(budget)
+            try:
+                chunk = self._sock.recv(self._RECV_CHUNK)
+            except TimeoutError:
+                break
+            if not chunk:
+                self._eof = True
+                break
+            newline = chunk.find(b"\n")
+            if newline >= 0:
+                self._frames.append(None)  # the oversized frame, in order
+                self._buffer.extend(chunk[newline + 1 :])
+                self._frame_deadline = (
+                    self._clock() + self.frame_timeout_s if self._buffer else None
+                )
+                self._split()
+                return
+            drained += len(chunk)
+        raise FrameTooLargeError(
+            f"frame exceeds max_frame_bytes={self.max_frame_bytes} "
+            "and its end was not found within the drain budget",
+            recoverable=False,
+        )
+
+
 @dataclass(frozen=True)
 class Request:
     """One decoded, validated request line."""
@@ -115,14 +362,31 @@ class Request:
     strategy: str | None = None
     deadline_ms: float | None = None
     priority: str = PRIORITY_INTERACTIVE
+    idempotency_key: str | None = None
+
+
+#: Idempotency keys are client-generated opaque tokens; cap their length
+#: so the server's dedup cache cannot be ballooned by one hostile client.
+MAX_IDEMPOTENCY_KEY_CHARS = 128
 
 
 def decode_request(line: str | bytes) -> Request:
-    """Parse and validate one request line; raises :class:`ProtocolError`."""
+    """Parse and validate one request line; raises :class:`ProtocolError`.
+
+    Invalid UTF-8 is a protocol error like any other malformed input —
+    ``json.loads`` raises :class:`UnicodeDecodeError` (not
+    ``JSONDecodeError``) for it, and letting that escape used to kill the
+    server's handler thread without a response.
+    """
     try:
         payload = json.loads(line)
-    except json.JSONDecodeError as exc:
-        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request is not valid UTF-8 JSON: {exc}") from exc
+    except RecursionError as exc:
+        # A pathologically nested document (fuzz finding): the stdlib
+        # parser recurses per nesting level; fail typed, not with a
+        # blown stack.
+        raise ProtocolError("request JSON is nested too deeply") from exc
     if not isinstance(payload, dict):
         raise ProtocolError("request must be a JSON object")
     op = payload.get("op")
@@ -169,6 +433,17 @@ def decode_request(line: str | bytes) -> Request:
         raise ProtocolError(
             f"priority must be one of {PRIORITIES}, got {priority!r}"
         )
+    idempotency_key = payload.get("idempotency_key")
+    if idempotency_key is not None:
+        if (
+            not isinstance(idempotency_key, str)
+            or not idempotency_key
+            or len(idempotency_key) > MAX_IDEMPOTENCY_KEY_CHARS
+        ):
+            raise ProtocolError(
+                "idempotency_key must be a non-empty string of at most "
+                f"{MAX_IDEMPOTENCY_KEY_CHARS} characters"
+            )
     return Request(
         op="match",
         id=request_id,
@@ -178,6 +453,7 @@ def decode_request(line: str | bytes) -> Request:
         strategy=strategy,
         deadline_ms=deadline_ms,
         priority=priority,
+        idempotency_key=idempotency_key,
     )
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import socket
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -45,7 +46,7 @@ from repro.core.resilience import Deadline, QueryBudget
 from repro.db.database import Database
 from repro.db.errors import DatabaseError
 from repro.db.snapshot import save_database
-from repro.serve.admission import AdmissionQueue, WorkItem
+from repro.serve.admission import AdmissionQueue, ConnectionGate, WorkItem
 from repro.serve.lifecycle import (
     STAGES,
     STATE_DRAINING,
@@ -59,12 +60,20 @@ from repro.serve.lifecycle import (
 from repro.serve.protocol import (
     SHED_DEADLINE_EXPIRED,
     SHED_DRAIN_BUDGET,
+    SHED_FRAME_TOO_LARGE,
     SHED_LOADING,
     SHED_OVERLOAD,
+    SHED_PIPELINE_OVERFLOW,
+    SHED_SLOW_FRAME,
+    SHED_TOO_MANY_CONNECTIONS,
+    FrameReader,
+    FrameTooLargeError,
+    PipelineOverflowError,
     Request,
     ProtocolError,
     ServeError,
     SheddedError,
+    SlowFrameError,
     decode_request,
     encode_line,
     error_response,
@@ -112,6 +121,28 @@ class ServeConfig:
     response_grace_s: float = 5.0
     """Extra wait past a request's deadline before the connection
     handler gives up on its worker (stuck-worker escape hatch)."""
+    max_frame_bytes: int = 1 << 20
+    """Hard cap on one request line; larger frames are drained and shed
+    with reason ``frame_too_large``, never buffered."""
+    frame_timeout_s: float = 10.0
+    """Once a frame's first byte arrives the whole line must follow
+    within this budget (slowloris defense)."""
+    idle_timeout_s: float = 300.0
+    """A connection silent this long between requests is closed."""
+    write_timeout_s: float = 10.0
+    """Per-response ``sendall`` deadline; a peer that will not read its
+    response loses the connection instead of parking a handler."""
+    max_pipelined_frames: int = 32
+    """Per-connection cap on decoded-but-unanswered frames."""
+    oversize_drain_bytes: int = 1 << 20
+    """How far past ``max_frame_bytes`` the server drains an oversized
+    line hunting for its newline before giving up on the connection."""
+    max_connections: int = 256
+    """Global cap on concurrently open connections."""
+    max_connections_per_peer: int = 64
+    """Per-peer-address cap on concurrently open connections."""
+    idempotency_cache_size: int = 1024
+    """Entries in the bounded response cache for client retries."""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -131,9 +162,23 @@ class ServeConfig:
             "stuck_after_s",
             "idle_poll_s",
             "response_grace_s",
+            "frame_timeout_s",
+            "idle_timeout_s",
+            "write_timeout_s",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        for name in (
+            "max_frame_bytes",
+            "max_pipelined_frames",
+            "max_connections",
+            "max_connections_per_peer",
+            "idempotency_cache_size",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.oversize_drain_bytes < 0:
+            raise ValueError("oversize_drain_bytes must be >= 0")
 
 
 class ServeStats:
@@ -149,6 +194,7 @@ class ServeStats:
         self._errors: dict[str, int] = {}
         self._stage_trips = 0
         self._bulk_shed_sweeps = 0
+        self._idempotent_replays = 0
 
     def record_submitted(self, priority: str) -> None:
         """Count one admitted request under its priority class."""
@@ -188,6 +234,11 @@ class ServeStats:
         with self._lock:
             self._bulk_shed_sweeps += 1
 
+    def record_replay(self) -> None:
+        """Count one response answered from the idempotency cache."""
+        with self._lock:
+            self._idempotent_replays += 1
+
     def as_dict(self) -> dict[str, Any]:
         """Snapshot of all counters as a JSON-ready dict."""
         with self._lock:
@@ -202,7 +253,49 @@ class ServeStats:
                 "errors": dict(sorted(self._errors.items())),
                 "stage_trips": self._stage_trips,
                 "bulk_shed_sweeps": self._bulk_shed_sweeps,
+                "idempotent_replays": self._idempotent_replays,
             }
+
+
+class IdempotencyCache:
+    """Bounded LRU of match responses keyed by client idempotency key.
+
+    A client that retries after a timeout resends the same key; answering
+    a retransmission from this cache means the engine ran the request at
+    most once even though the wire saw it twice.  Only engine-resolved
+    outcomes (completed / degraded / typed engine error) are stored —
+    shed responses and stuck-worker timeouts are not, so a retry of
+    refused or unresolved work is admitted fresh.  Past ``capacity`` the
+    least recently used entry is evicted, so a hostile client cannot
+    balloon server memory through unique keys.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = make_lock("IdempotencyCache._lock")
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached response for ``key``, refreshing its recency."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+            return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Store ``key``'s response, evicting the oldest past capacity."""
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class MatchServer:
@@ -252,6 +345,10 @@ class MatchServer:
             clock=clock,
         )
         self.stats = ServeStats()
+        self.gate = ConnectionGate(
+            self.config.max_connections, self.config.max_connections_per_peer
+        )
+        self.idempotency = IdempotencyCache(self.config.idempotency_cache_size)
 
         self.address: tuple[str, int] | None = None
         self._listener: socket.socket | None = None
@@ -469,49 +566,115 @@ class MatchServer:
         listener = self._listener
         while listener is not None:
             try:
-                conn, _addr = listener.accept()
+                # Every path below stores the socket (handler thread) or
+                # closes it (_refuse_connection); the prologue between
+                # accept and that hand-off is non-raising attribute and
+                # dict work.
+                conn, addr = listener.accept()  # reprolint: disable=resource-leak
             except OSError:
                 return  # listener closed: shutdown
+            peer = addr[0] if isinstance(addr, tuple) else str(addr)
+            if not self.gate.admit(peer):
+                self._refuse_connection(conn)
+                listener = self._listener
+                continue
             with self._conns_lock:
                 self._conns.append(conn)
             handler = threading.Thread(
                 target=self._handle_connection,
-                args=(conn,),
+                args=(conn, peer),
                 name="repro-serve-conn",
                 daemon=True,
             )
             handler.start()
             listener = self._listener
 
-    def _handle_connection(self, conn: socket.socket) -> None:
+    def _refuse_connection(self, conn: socket.socket) -> None:
+        """Turn a socket away at the door with a typed response.
+
+        Best effort and quick — the acceptor must not be parked by a
+        refused peer that will not read, so the write deadline here is
+        short and independent of the per-connection write timeout.
+        """
+        self.stats.record_shed(SHED_TOO_MANY_CONNECTIONS)
         try:
-            reader = conn.makefile("rb")
+            conn.settimeout(1.0)
+            conn.sendall(
+                encode_line(
+                    shed_response(
+                        None,
+                        SHED_TOO_MANY_CONNECTIONS,
+                        self.lifecycle.state,
+                        self.ladder.stage(),
+                    )
+                )
+            )
         except OSError:
-            try:
-                conn.close()
-            except OSError:
-                pass
-            self._forget_connection(conn)
-            return
+            pass
         try:
-            for raw in reader:
-                line = raw.strip()
+            conn.close()
+        except OSError:
+            pass
+
+    def _handle_connection(self, conn: socket.socket, peer: str) -> None:
+        config = self.config
+        reader = FrameReader(
+            conn,
+            max_frame_bytes=config.max_frame_bytes,
+            frame_timeout_s=config.frame_timeout_s,
+            idle_timeout_s=config.idle_timeout_s,
+            max_pipelined_frames=config.max_pipelined_frames,
+            oversize_drain_bytes=config.oversize_drain_bytes,
+        )
+        try:
+            while True:
+                try:
+                    frame = reader.next_frame()
+                except FrameTooLargeError as exc:
+                    self.stats.record_shed(SHED_FRAME_TOO_LARGE)
+                    self._send_boundary_shed(conn, SHED_FRAME_TOO_LARGE)
+                    if exc.recoverable:
+                        continue
+                    break
+                except SlowFrameError:
+                    self.stats.record_shed(SHED_SLOW_FRAME)
+                    self._send_boundary_shed(conn, SHED_SLOW_FRAME)
+                    break
+                except PipelineOverflowError:
+                    self.stats.record_shed(SHED_PIPELINE_OVERFLOW)
+                    self._send_boundary_shed(conn, SHED_PIPELINE_OVERFLOW)
+                    break
+                if frame is None:
+                    break  # EOF or idle timeout
+                line = frame.strip()
                 if not line:
                     continue
                 response = self._respond_line(line)
+                conn.settimeout(config.write_timeout_s)
                 conn.sendall(response)
         except OSError:
             pass  # peer went away or drain closed the socket under us
         finally:
             try:
-                reader.close()
-            except OSError:
-                pass
-            try:
                 conn.close()
             except OSError:
                 pass
             self._forget_connection(conn)
+            self.gate.release(peer)
+
+    def _send_boundary_shed(self, conn: socket.socket, reason: str) -> None:
+        """Best-effort typed response for a framing violation."""
+        try:
+            conn.settimeout(self.config.write_timeout_s)
+            conn.sendall(
+                encode_line(
+                    shed_response(
+                        None, reason, self.lifecycle.state, self.ladder.stage()
+                    )
+                )
+            )
+        except OSError:
+            pass
 
     def _forget_connection(self, conn: socket.socket) -> None:
         with self._conns_lock:
@@ -532,11 +695,25 @@ class MatchServer:
                     self.ladder.stage(),
                 )
             )
-        if request.op == "ping":
-            return encode_line(self.readiness())
-        if request.op == "stats":
-            return encode_line(self.stats_payload())
-        return encode_line(self._respond_match(request))
+        try:
+            if request.op == "ping":
+                return encode_line(self.readiness())
+            if request.op == "stats":
+                return encode_line(self.stats_payload())
+            return encode_line(self._respond_match(request))
+        except Exception as exc:  # reprolint: disable=exception-taxonomy
+            # The boundary invariant: no single request — however it
+            # fails — may kill the handler loop or escape untyped.
+            self.stats.record_error("InternalError")
+            return encode_line(
+                error_response(
+                    request.id,
+                    "InternalError",
+                    f"{type(exc).__name__}: {exc}",
+                    self.lifecycle.state,
+                    self.ladder.stage(),
+                )
+            )
 
     def _respond_match(self, request: Request) -> dict[str, Any]:
         state = self.lifecycle.state
@@ -544,6 +721,13 @@ class MatchServer:
         if state == STATE_LOADING:
             self.stats.record_shed(SHED_LOADING)
             return shed_response(request.id, SHED_LOADING, state, stage)
+
+        key = request.idempotency_key
+        if key is not None:
+            cached = self.idempotency.get(key)
+            if cached is not None:
+                self.stats.record_replay()
+                return cached
 
         deadline_ms = request.deadline_ms
         if deadline_ms is None:
@@ -555,6 +739,12 @@ class MatchServer:
         )
         item = WorkItem(request, deadline, self._clock())
         self.stats.record_submitted(request.priority)
+        if deadline is not None and deadline.expired():
+            # The deadline was dead on arrival (a zero-or-negative
+            # remainder): shed honestly instead of racing a worker for a
+            # result nobody is waiting for.
+            self.stats.record_shed(SHED_DEADLINE_EXPIRED)
+            return shed_response(request.id, SHED_DEADLINE_EXPIRED, state, stage)
         try:
             self.queue.offer(item)
         except SheddedError as exc:
@@ -563,9 +753,20 @@ class MatchServer:
                 request.id, exc.reason, self.lifecycle.state, self.ladder.stage()
             )
 
+        payload = self._await_result(item, request, deadline)
+        if key is not None and payload["outcome"] != "shed" and payload.get(
+            "error_type"
+        ) != "StuckWorkerTimeout":
+            self.idempotency.put(key, payload)
+        return payload
+
+    def _await_result(
+        self, item: WorkItem, request: Request, deadline: Deadline | None
+    ) -> dict[str, Any]:
+        """Block on the admitted item's resolution and shape the response."""
         timeout: float | None = None
         if deadline is not None:
-            timeout = deadline.remaining() + self.config.response_grace_s
+            timeout = max(0.0, deadline.remaining()) + self.config.response_grace_s
         if not item.done.wait(timeout):
             # The worker holding this item went silent past deadline +
             # grace: answer the client instead of hanging the connection.
@@ -703,6 +904,7 @@ class MatchServer:
 
 __all__ = [
     "EngineFactory",
+    "IdempotencyCache",
     "MatchServer",
     "ServeConfig",
     "ServeError",

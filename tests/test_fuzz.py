@@ -1,0 +1,216 @@
+"""The fuzz subsystem: mutators, targets, harness, and the CLI wiring.
+
+Small deterministic sweeps (the CI ``--smoke`` shape) against all three
+targets, plus units for the machinery itself: mutator determinism, the
+chunk-plan delivery axis, greedy minimization, and corpus writing.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.fuzz.disk import SnapshotTarget, WalTarget
+from repro.fuzz.harness import TARGETS, FuzzReport, minimize, run_fuzz
+from repro.fuzz.mutators import MUTATORS, chunk_plan, mutate
+from repro.fuzz.wire import WireTarget
+
+
+class TestMutators:
+    def test_deterministic_per_seed(self):
+        data = b'{"op":"match","values":["a","b"],"k":2}\n'
+        first = [mutate(data, random.Random(42)) for _ in range(5)]
+        second = [mutate(data, random.Random(42)) for _ in range(5)]
+        assert first == second
+
+    def test_every_mutator_returns_bytes(self):
+        data = b'{"op":"ping","flag":true,"n":null}\n'
+        rng = random.Random(0)
+        for name, mutator in sorted(MUTATORS.items()):
+            out = mutator(data, rng)
+            assert isinstance(out, bytes), name
+
+    def test_oversize_exceeds_frame_caps(self):
+        out = MUTATORS["oversize"](b"x", random.Random(1))
+        assert len(out) >= 64 * 1024
+
+    def test_truncate_shrinks_and_handles_empty(self):
+        rng = random.Random(3)
+        assert len(MUTATORS["truncate"](b"abcdef", rng)) < 6
+        assert MUTATORS["truncate"](b"", rng) == b""
+
+    def test_type_confuse_changes_a_json_token(self):
+        data = b'{"k":true}'
+        out = MUTATORS["type_confuse"](data, random.Random(5))
+        assert out != data
+
+    def test_mutate_reports_its_recipe(self):
+        data = b'{"op":"ping"}\n'
+        out, recipe = mutate(data, random.Random(9))
+        assert 1 <= len(recipe) <= 3
+        assert all(name in MUTATORS for name in recipe)
+        assert isinstance(out, bytes)
+
+    def test_mutate_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            mutate(b"x", random.Random(0), max_rounds=0)
+
+    def test_chunk_plan_sums_to_total(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            total = rng.randint(1, 5000)
+            plan = chunk_plan(total, rng)
+            assert sum(plan) == total
+            assert all(size > 0 for size in plan)
+        assert chunk_plan(0, random.Random(0)) == ()
+
+
+class TestMinimize:
+    def test_shrinks_to_the_failing_byte(self):
+        data = b"aaaaaaaaaaaaaaaaXaaaaaaaaaaaaaaa"
+        minimized = minimize(data, lambda d: b"X" in d, max_checks=200)
+        assert minimized == b"X"
+
+    def test_bounded_by_max_checks(self):
+        calls = []
+
+        def probe(candidate):
+            calls.append(candidate)
+            return True
+
+        minimize(b"a" * 64, probe, max_checks=10)
+        assert len(calls) <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimize(b"x", lambda d: True, max_checks=0)
+
+
+class _StubTarget:
+    """A fake target whose invariant breaks whenever the input holds X."""
+
+    name = "stub"
+
+    def __init__(self, case_deadline_s: float = 5.0) -> None:
+        self.case_deadline_s = case_deadline_s
+        self.resets = 0
+        self._count = 0
+
+    def start(self):
+        pass
+
+    def close(self):
+        pass
+
+    def reset(self):
+        self.resets += 1
+
+    def run_case(self, rng):
+        self._count += 1
+        if self._count == 3:  # exactly one failing case per sweep
+            data = b"padX" + bytes(rng.randrange(256) for _ in range(8))
+            return data, ("stub",), "stub invariant violated"
+        return None
+
+    def check_input(self, data):
+        return "stub invariant violated" if b"X" in data else None
+
+
+class TestHarness:
+    def test_failure_is_persisted_and_minimized(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(TARGETS, "stub", _StubTarget)
+        corpus = tmp_path / "corpus"
+        report = run_fuzz(
+            "stub", seeds=(7,), cases_per_seed=5, corpus_dir=str(corpus)
+        )
+        assert not report.ok
+        assert report.cases_run == 5
+        (failure,) = report.failures
+        assert failure.detail == "stub invariant violated"
+        assert failure.minimized_bytes == 1  # shrunk to the single X
+        raw = (corpus / "stub-s7-c2.bin").read_bytes()
+        assert b"X" in raw
+        assert (corpus / "stub-s7-c2.min.bin").read_bytes() == b"X"
+        # JSON round-trip for CI artifacts.
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["ok"] is False
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            run_fuzz("nope")
+        with pytest.raises(ValueError):
+            run_fuzz("wire", cases_per_seed=0)
+
+    def test_report_ok_shape(self):
+        report = FuzzReport(target="wire", seeds=(0,), cases_per_seed=1)
+        assert report.ok
+        assert report.as_dict()["failures"] == []
+
+
+class TestDiskTargets:
+    @pytest.mark.parametrize("factory", [WalTarget, SnapshotTarget])
+    def test_smoke_sweep_is_clean(self, factory):
+        report = run_fuzz(
+            factory.name, seeds=(0, 1), cases_per_seed=15
+        )
+        assert report.cases_run == 30
+        assert report.ok, [f.as_dict() for f in report.failures]
+
+    def test_pristine_fixture_loads(self):
+        with WalTarget() as target:
+            # The unmutated log must load cleanly — the fixture itself
+            # cannot be the reason mutated cases "pass" via refusal.
+            assert target.check_input(target._pristine["wal"]) is None
+
+    def test_requires_start(self):
+        target = SnapshotTarget()
+        with pytest.raises(RuntimeError):
+            target.check_input(b"")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WalTarget(case_deadline_s=0)
+
+
+class TestWireTarget:
+    def test_smoke_sweep_is_clean(self):
+        report = run_fuzz("wire", seeds=(0,), cases_per_seed=10)
+        assert report.cases_run == 10
+        assert report.ok, [f.as_dict() for f in report.failures]
+
+    def test_clean_frame_and_garbage_are_both_fine(self):
+        with WireTarget() as target:
+            assert target.check_input(b'{"op":"ping"}\n') is None
+            assert target.check_input(b"\xff\xfe garbage \x00") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WireTarget(case_deadline_s=-1)
+
+
+class TestFuzzCli:
+    def test_smoke_run_exits_zero(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["fuzz", "--target", "snapshot", "--smoke", "--seeds", "1",
+             "--cases", "8"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["cases_run"] == 8
+
+    def test_failures_exit_nonzero(self, monkeypatch, capsys):
+        from repro import cli
+        from repro.fuzz import harness
+
+        monkeypatch.setitem(harness.TARGETS, "wire", _StubTarget)
+        code = cli.main(["fuzz", "--target", "wire", "--seeds", "1",
+                         "--cases", "5"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["failures"][0]["detail"] == "stub invariant violated"

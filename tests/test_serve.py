@@ -9,6 +9,7 @@ bit-identical to the offline matcher's.
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
 import time
@@ -18,9 +19,9 @@ import pytest
 
 from repro.core.batch import BatchMatcher
 from repro.core.matcher import FuzzyMatcher
-from repro.core.resilience import Deadline
-from repro.serve.admission import AdmissionQueue, WorkItem
-from repro.serve.client import ServeClient
+from repro.core.resilience import Deadline, RetryPolicy
+from repro.serve.admission import AdmissionQueue, ConnectionGate, WorkItem
+from repro.serve.client import ClientTimeoutError, ServeClient
 from repro.serve.lifecycle import (
     STAGES,
     DegradationLadder,
@@ -34,16 +35,21 @@ from repro.serve.protocol import (
     SHED_DEADLINE_EXPIRED,
     SHED_DISPLACED,
     SHED_DRAINING,
+    SHED_FRAME_TOO_LARGE,
     SHED_LOADING,
     SHED_OVERLOAD,
+    SHED_PIPELINE_OVERFLOW,
     SHED_QUEUE_FULL,
+    SHED_SLOW_FRAME,
+    SHED_TOO_MANY_CONNECTIONS,
+    FrameReader,
     ProtocolError,
     Request,
     SheddedError,
     decode_request,
     encode_line,
 )
-from repro.serve.server import MatchServer, ServeConfig
+from repro.serve.server import IdempotencyCache, MatchServer, ServeConfig
 
 from tests.conftest import ORG_INPUTS
 
@@ -417,24 +423,26 @@ class TestStartupFailureCleanup:
         finally:
             blocker.close()
 
-    def test_makefile_failure_closes_connection(self):
+    def test_dead_socket_closes_connection_and_releases_gate(self):
         server = MatchServer(engine_factory=lambda: (None, None))
 
         class FailingConn:
             def __init__(self):
                 self.closed = False
 
-            def makefile(self, mode):
-                raise OSError("simulated makefile failure")
+            def settimeout(self, value):
+                raise OSError("simulated dead socket")
 
             def close(self):
                 self.closed = True
 
         conn = FailingConn()
+        assert server.gate.admit("peer")
         server._conns.append(conn)
-        server._handle_connection(conn)
-        assert conn.closed, "connection socket leaked when makefile() failed"
+        server._handle_connection(conn, "peer")
+        assert conn.closed, "connection socket leaked when the first read failed"
         assert conn not in server._conns
+        assert server.gate.open_connections == 0
 
 
 class TestServerEndToEnd:
@@ -694,6 +702,400 @@ class TestServeStagesConstant:
         clock.advance(2.5)
         assert deadline.expired()
         assert deadline.remaining() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Wire boundary hardening (raw sockets against a live server)
+# ----------------------------------------------------------------------
+
+
+@contextmanager
+def raw_conn(server, timeout=5.0):
+    """A raw client socket + buffered reader against a running server."""
+    sock = socket.create_connection(server.address, timeout=timeout)
+    sock.settimeout(timeout)
+    reader = sock.makefile("rb")
+    try:
+        yield sock, reader
+    finally:
+        reader.close()
+        sock.close()
+
+
+def send_recv(sock, reader, raw):
+    """Send raw bytes, decode the next response line."""
+    sock.sendall(raw)
+    return json.loads(reader.readline())
+
+
+PING = b'{"op":"ping"}\n'
+
+
+class TestWireBoundary:
+    def test_blank_frames_are_skipped_and_connection_survives(self, org_engine):
+        with running_server(org_engine) as server:
+            with raw_conn(server) as (sock, reader):
+                response = send_recv(sock, reader, b"\n   \n\t\n" + PING)
+                assert response["ok"] is True
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            b"\xc3(\n",  # invalid UTF-8
+            b'["op","ping"]\n',  # JSON array, not an object
+            b"not json at all\n",
+        ],
+    )
+    def test_malformed_frame_is_typed_and_recoverable(self, org_engine, frame):
+        with running_server(org_engine) as server:
+            with raw_conn(server) as (sock, reader):
+                response = send_recv(sock, reader, frame)
+                assert response["outcome"] == "error"
+                assert response["error_type"] == "ProtocolError"
+                # The handler loop survived: the same connection still works.
+                assert send_recv(sock, reader, PING)["ok"] is True
+
+    def test_frame_split_across_single_byte_writes(self, org_engine):
+        with running_server(org_engine) as server:
+            with raw_conn(server) as (sock, reader):
+                for i in range(len(PING)):
+                    sock.sendall(PING[i : i + 1])
+                assert json.loads(reader.readline())["ok"] is True
+
+    def test_oversize_frame_sheds_then_recovers(self, org_engine):
+        config = ServeConfig(workers=2, max_frame_bytes=256)
+        with running_server(org_engine, config) as server:
+            with raw_conn(server) as (sock, reader):
+                huge = b'{"op":"ping","pad":"' + b"x" * 1024 + b'"}\n'
+                response = send_recv(sock, reader, huge)
+                assert response["outcome"] == "shed"
+                assert response["shed_reason"] == SHED_FRAME_TOO_LARGE
+                # The line's end was found, so the connection continues.
+                assert send_recv(sock, reader, PING)["ok"] is True
+            assert server.stats.as_dict()["shed_reasons"][SHED_FRAME_TOO_LARGE] == 1
+
+    def test_unterminated_oversize_disconnects(self, org_engine):
+        config = ServeConfig(
+            workers=2, max_frame_bytes=128, oversize_drain_bytes=128
+        )
+        with running_server(org_engine, config) as server:
+            with raw_conn(server) as (sock, reader):
+                sock.sendall(b"x" * 4096)  # no newline, past cap + drain budget
+                response = json.loads(reader.readline())
+                assert response["shed_reason"] == SHED_FRAME_TOO_LARGE
+                assert reader.readline() == b""  # server closed the connection
+
+    def test_slowloris_is_disconnected_within_deadline(self, org_engine):
+        config = ServeConfig(workers=2, frame_timeout_s=0.2)
+        with running_server(org_engine, config) as server:
+            with raw_conn(server) as (sock, reader):
+                sock.sendall(b"{")  # first byte arms the frame deadline
+                started = time.monotonic()
+                response = json.loads(reader.readline())
+                elapsed = time.monotonic() - started
+                assert response["shed_reason"] == SHED_SLOW_FRAME
+                assert reader.readline() == b""
+                assert elapsed < 3.0
+
+    def test_pipeline_overflow_disconnects(self, org_engine):
+        config = ServeConfig(workers=2, max_pipelined_frames=2)
+        with running_server(org_engine, config) as server:
+            with raw_conn(server) as (sock, reader):
+                sock.sendall(PING * 40)
+                reasons = []
+                while True:
+                    line = reader.readline()
+                    if not line:
+                        break
+                    reasons.append(json.loads(line).get("shed_reason"))
+                assert SHED_PIPELINE_OVERFLOW in reasons
+
+    def test_idle_connection_is_closed_quietly(self, org_engine):
+        config = ServeConfig(workers=2, idle_timeout_s=0.2)
+        with running_server(org_engine, config) as server:
+            with raw_conn(server) as (sock, reader):
+                assert reader.readline() == b""  # no shed line: just a close
+
+    def test_per_peer_connection_limit(self, org_engine):
+        config = ServeConfig(workers=2, max_connections_per_peer=1)
+        with running_server(org_engine, config) as server:
+            with raw_conn(server) as (sock1, reader1):
+                assert send_recv(sock1, reader1, PING)["ok"] is True
+                with raw_conn(server) as (sock2, reader2):
+                    refusal = json.loads(reader2.readline())
+                    assert refusal["shed_reason"] == SHED_TOO_MANY_CONNECTIONS
+                    assert reader2.readline() == b""
+                # The admitted connection is unaffected by the refusal.
+                assert send_recv(sock1, reader1, PING)["ok"] is True
+            # Closing the admitted connection frees the slot.
+            assert wait_until(lambda: server.gate.open_connections == 0)
+            with raw_conn(server) as (sock3, reader3):
+                assert send_recv(sock3, reader3, PING)["ok"] is True
+
+    def test_dead_on_arrival_deadline_is_shed(self, org_engine):
+        with running_server(org_engine) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                response = client.match(
+                    ["Boeing Company", "Seattle", "WA", "98004"],
+                    deadline_ms=0.001,
+                )
+        assert response["outcome"] == "shed"
+        assert response["shed_reason"] == SHED_DEADLINE_EXPIRED
+
+    def test_idempotent_replay_serves_cached_response(self, org_engine):
+        with running_server(org_engine) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                first = client.match(
+                    ["Beoing Company", "Seattle", "WA", "98004"],
+                    idempotency_key="dup-1",
+                )
+                second = client.match(
+                    ["Beoing Company", "Seattle", "WA", "98004"],
+                    idempotency_key="dup-1",
+                )
+            assert first == second
+            assert first["outcome"] == "completed"
+            assert server.stats.as_dict()["idempotent_replays"] == 1
+
+
+class TestFrameReaderUnit:
+    def _pair(self, **kwargs):
+        left, right = socket.socketpair()
+        left.settimeout(5.0)
+        return left, right, FrameReader(left, **kwargs)
+
+    def test_coalesced_and_split_frames(self):
+        left, right, reader = self._pair()
+        try:
+            right.sendall(b'{"a":1}\n{"b":2}\n{"c"')
+            assert reader.next_frame() == b'{"a":1}'
+            assert reader.next_frame() == b'{"b":2}'
+            right.sendall(b':3}\n')
+            assert reader.next_frame() == b'{"c":3}'
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_yields_trailing_unterminated_line(self):
+        left, right, reader = self._pair()
+        try:
+            right.sendall(b'{"tail":true}')
+            right.close()
+            assert reader.next_frame() == b'{"tail":true}'
+            assert reader.next_frame() is None
+        finally:
+            left.close()
+
+    def test_validation(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(ValueError):
+                FrameReader(left, max_frame_bytes=0)
+            with pytest.raises(ValueError):
+                FrameReader(left, frame_timeout_s=0)
+        finally:
+            left.close()
+            right.close()
+
+
+# ----------------------------------------------------------------------
+# Resilient client (fake servers with scripted behaviour)
+# ----------------------------------------------------------------------
+
+
+class FakeWireServer:
+    """A listener that runs one scripted handler per accepted connection."""
+
+    def __init__(self, handlers):
+        self.handlers = list(handlers)
+        self.lines = []
+        self.stop = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def _loop(self):
+        for handler in self.handlers:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                handler(self, conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop.set()
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+def _read_line(server, conn):
+    """Read one request line into ``server.lines``."""
+    with conn.makefile("rb") as reader:
+        server.lines.append(reader.readline())
+
+
+class TestServeClientResilience:
+    def test_silent_server_raises_typed_timeout(self):
+        def silent(server, conn):
+            server.stop.wait(10.0)  # accept, then never respond
+
+        with FakeWireServer([silent]) as fake:
+            host, port = fake.address
+            client = ServeClient(host, port, timeout_s=0.3)
+            try:
+                with pytest.raises(ClientTimeoutError) as info:
+                    client.ping()
+                # Still an OSError/TimeoutError for legacy call sites.
+                assert isinstance(info.value, TimeoutError)
+            finally:
+                client.close()
+
+    def test_retry_reconnects_and_reuses_idempotency_key(self):
+        def drop_after_read(server, conn):
+            _read_line(server, conn)  # connection closes on return
+
+        def answer(server, conn):
+            with conn.makefile("rb") as reader:
+                server.lines.append(reader.readline())
+                conn.sendall(b'{"outcome":"completed","ok":true}\n')
+
+        with FakeWireServer([drop_after_read, answer]) as fake:
+            host, port = fake.address
+            policy = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.002)
+            client = ServeClient(host, port, timeout_s=2.0, retry=policy)
+            try:
+                response = client.match(["x"])
+            finally:
+                client.close()
+        assert response["outcome"] == "completed"
+        assert len(fake.lines) == 2
+        keys = [json.loads(line)["idempotency_key"] for line in fake.lines]
+        assert keys[0] == keys[1]  # the retransmission reused the key
+
+    def test_retryable_shed_is_retried_on_one_connection(self):
+        def shed_then_answer(server, conn):
+            with conn.makefile("rb") as reader:
+                server.lines.append(reader.readline())
+                conn.sendall(
+                    b'{"outcome":"shed","shed_reason":"queue_full","ok":false}\n'
+                )
+                server.lines.append(reader.readline())
+                conn.sendall(b'{"outcome":"completed","ok":true}\n')
+
+        with FakeWireServer([shed_then_answer]) as fake:
+            host, port = fake.address
+            policy = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.002)
+            client = ServeClient(host, port, timeout_s=2.0, retry=policy)
+            try:
+                response = client.match(["x"])
+            finally:
+                client.close()
+        assert response["outcome"] == "completed"
+        assert len(fake.lines) == 2
+
+    def test_without_retry_shed_is_returned_as_is(self):
+        def shed_once(server, conn):
+            with conn.makefile("rb") as reader:
+                server.lines.append(reader.readline())
+                conn.sendall(
+                    b'{"outcome":"shed","shed_reason":"queue_full","ok":false}\n'
+                )
+
+        with FakeWireServer([shed_once]) as fake:
+            host, port = fake.address
+            client = ServeClient(host, port, timeout_s=2.0)
+            try:
+                response = client.match(["x"])
+                # No retry policy => no auto idempotency key either.
+                assert b"idempotency_key" not in fake.lines[0]
+            finally:
+                client.close()
+        assert response["outcome"] == "shed"
+
+
+# ----------------------------------------------------------------------
+# Boundary machinery units
+# ----------------------------------------------------------------------
+
+
+class TestConnectionGate:
+    def test_per_peer_and_global_caps(self):
+        gate = ConnectionGate(max_connections=3, max_per_peer=2)
+        assert gate.admit("a")
+        assert gate.admit("a")
+        assert not gate.admit("a")  # per-peer cap
+        assert gate.admit("b")
+        assert not gate.admit("c")  # global cap
+        gate.release("a")
+        assert gate.admit("c")
+        assert gate.open_connections == 3
+
+    def test_release_unknown_peer_is_harmless(self):
+        gate = ConnectionGate(max_connections=2, max_per_peer=2)
+        gate.release("ghost")
+        assert gate.open_connections == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionGate(max_connections=0, max_per_peer=1)
+        with pytest.raises(ValueError):
+            ConnectionGate(max_connections=1, max_per_peer=0)
+
+
+class TestIdempotencyCache:
+    def test_lru_eviction(self):
+        cache = IdempotencyCache(capacity=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        assert cache.get("a") == {"n": 1}  # refreshes "a"
+        cache.put("c", {"n": 3})  # evicts "b", the least recent
+        assert cache.get("b") is None
+        assert cache.get("a") == {"n": 1}
+        assert cache.get("c") == {"n": 3}
+        assert len(cache) == 2
+
+
+class TestRetryPolicy:
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.01, multiplier=2.0, max_delay=0.05
+        )
+        delays = [policy.delay(i) for i in range(5)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        import random
+
+        policy = RetryPolicy(base_delay=0.01, jitter=0.5)
+        a = [policy.delay(0, rng=random.Random(7)) for _ in range(3)]
+        b = [policy.delay(0, rng=random.Random(7)) for _ in range(3)]
+        assert a == b  # same seed, same jitter
+        assert all(0.005 <= d <= 0.01 for d in a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_pager_reexport_is_the_same_class(self):
+        from repro.db import pager
+
+        assert pager.RetryPolicy is RetryPolicy
 
 
 def test_bench_serve_importable():
