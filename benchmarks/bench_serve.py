@@ -19,6 +19,15 @@ Measures the online serving story end to end against an in-process
   unterminated frame attack the server while a well-behaved client
   keeps querying.  Both attackers must be disconnected within their
   budgets and the well-behaved client must see only typed outcomes.
+- ``metrics`` — the same 1x closed loop run twice, with the whole
+  observability plane (registry recording + request tracing) switched
+  off and then on.  The gate: metrics-on p50 within 5% of metrics-off
+  p50 plus a fixed sub-ms allowance.
+- ``stats_probe`` — a live full-section ``stats`` request after the
+  load levels: the latency histograms and ETI lookup counters must be
+  non-zero, the buffer-pool hit rate present, and the retained slowest
+  trace must span serve → matcher → db.  This is a correctness gate,
+  enforced even under ``--smoke``.
 
 The acceptance gate: at 1x offered load the served p50 must be within
 10% plus a fixed 2ms wire allowance of the direct p50 (admission,
@@ -71,6 +80,10 @@ SEED = 2003
 #: Fixed allowance for the wire itself (connect/JSON/syscalls), so the
 #: 10% relative gate stays meaningful when direct queries are sub-ms.
 WIRE_ALLOWANCE_S = 0.002
+
+#: Fixed allowance for the metrics-on/off comparison: at sub-ms p50 a
+#: bare 5% relative gate would be under scheduler jitter.
+METRICS_ALLOWANCE_S = 0.00015
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATHS = (
@@ -183,6 +196,88 @@ def run_load_level(host, port, inputs, clients, requests_per_client, level_seed)
         "outcomes": dict(outcomes),
         "shed_rate": round(outcomes["shed"] / total, 4),
         "degraded_rate": round(outcomes["degraded"] / total, 4),
+    }
+
+
+def run_metrics_comparison(server, host, port, inputs, requests):
+    """A/B the observability plane at 1x load: recording off, then on.
+
+    Both runs are the same single-client closed loop, so the only
+    difference is whether instruments record and request span trees are
+    captured.  The gate: metrics-on p50 within 5% of metrics-off p50
+    plus :data:`METRICS_ALLOWANCE_S`.
+    """
+    server.set_metrics_enabled(False)
+    off = run_load_level(
+        host, port, inputs, clients=1, requests_per_client=requests,
+        level_seed=31,
+    )
+    server.set_metrics_enabled(True)
+    on = run_load_level(
+        host, port, inputs, clients=1, requests_per_client=requests,
+        level_seed=37,
+    )
+    off_p50 = off["latency"]["p50_ms"]
+    on_p50 = on["latency"]["p50_ms"]
+    budget_ms = off_p50 * 1.05 + METRICS_ALLOWANCE_S * 1000
+    return {
+        "metrics_off_p50_ms": off_p50,
+        "metrics_on_p50_ms": on_p50,
+        "budget_ms": round(budget_ms, 3),
+        "within_gate": on_p50 <= budget_ms,
+        "off": off,
+        "on": on,
+    }
+
+
+def _span_names(node):
+    names = [node["name"]]
+    for child in node.get("children", []):
+        names.extend(_span_names(child))
+    return names
+
+
+def run_stats_probe(host, port):
+    """Fetch a live full-section stats payload and check its substance.
+
+    After the load levels the serving plane must be able to *show* the
+    work it did: non-zero latency histograms and ETI lookup counters, a
+    buffer-pool hit rate, and a retained trace whose span tree reaches
+    from the serve root through the matcher into the db layer.
+    """
+    with ServeClient(host, port) as client:
+        payload = client.stats(["serve", "metrics", "traces"])
+    problems = []
+    metrics = payload.get("metrics", {})
+    counters = {
+        (series["name"], tuple(sorted(series["labels"].items()))): series["value"]
+        for series in metrics.get("counters", [])
+    }
+    eti_lookups = counters.get(("repro_match_eti_lookups_total", ()), 0)
+    if eti_lookups <= 0:
+        problems.append("ETI lookup counter is zero")
+    request_hists = [
+        series
+        for series in metrics.get("histograms", [])
+        if series["name"] == "repro_serve_request_seconds" and series["count"]
+    ]
+    if not request_hists or all(s["sum"] <= 0 for s in request_hists):
+        problems.append("request latency histograms are empty")
+    gauges = {s["name"]: s["value"] for s in metrics.get("gauges", [])}
+    if "repro_pool_hit_rate" not in gauges:
+        problems.append("pool hit rate gauge missing")
+    slowest = payload.get("traces", {}).get("slowest")
+    names = _span_names(slowest) if slowest else []
+    for needed in ("request", "matcher", "db"):
+        if needed not in names:
+            problems.append(f"slowest trace lacks a {needed!r} span")
+    return {
+        "eti_lookups": eti_lookups,
+        "request_latency_count": sum(s["count"] for s in request_hists),
+        "pool_hit_rate": gauges.get("repro_pool_hit_rate"),
+        "slowest_trace_spans": names,
+        "ok": not problems,
+        "problems": problems,
     }
 
 
@@ -326,6 +421,10 @@ def main(argv=None) -> int:
                 requests_per_client=requests_per_client,
                 level_seed=multiple,
             )
+        metrics_comparison = run_metrics_comparison(
+            server, host, port, inputs, requests_per_client
+        )
+        stats_probe = run_stats_probe(host, port)
         hostile = run_hostile_mix(
             host,
             port,
@@ -346,6 +445,8 @@ def main(argv=None) -> int:
     overhead_budget_ms = direct_p50 * 1.10 + WIRE_ALLOWANCE_S * 1000
     overhead_ok = served_p50 <= overhead_budget_ms
     errors = sum(level["outcomes"]["error"] for level in levels.values())
+    errors += metrics_comparison["off"]["outcomes"]["error"]
+    errors += metrics_comparison["on"]["outcomes"]["error"]
 
     payload = {
         "benchmark": "serve_overhead_and_overload",
@@ -371,6 +472,8 @@ def main(argv=None) -> int:
             "budget_ms": round(overhead_budget_ms, 3),
             "within_gate": overhead_ok,
         },
+        "metrics_overhead": metrics_comparison,
+        "stats_probe": stats_probe,
     }
     for path in RESULT_PATHS:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -394,6 +497,19 @@ def main(argv=None) -> int:
         f"{overhead_budget_ms:.2f}ms ({'OK' if overhead_ok else 'OVER'})"
     )
     print(
+        f"metrics overhead: p50 off {metrics_comparison['metrics_off_p50_ms']:.2f}ms "
+        f"on {metrics_comparison['metrics_on_p50_ms']:.2f}ms vs budget "
+        f"{metrics_comparison['budget_ms']:.2f}ms "
+        f"({'OK' if metrics_comparison['within_gate'] else 'OVER'})"
+    )
+    print(
+        f"stats probe: eti_lookups {stats_probe['eti_lookups']}, "
+        f"latency samples {stats_probe['request_latency_count']}, "
+        f"pool hit rate {stats_probe['pool_hit_rate']}, "
+        f"trace spans {'->'.join(stats_probe['slowest_trace_spans'][:3]) or 'none'} "
+        f"({'OK' if stats_probe['ok'] else 'MISSING DATA'})"
+    )
+    print(
         f"hostile: slowloris held {hostile['slowloris']['held_s']:.2f}s, "
         f"oversized held {hostile['oversized_frame']['held_s']:.2f}s, "
         f"well-behaved p50 {hostile['well_behaved']['latency']['p50_ms']:.2f}ms"
@@ -413,8 +529,21 @@ def main(argv=None) -> int:
     ):
         print("ERROR: hostile connection outlived its budget", file=sys.stderr)
         return 1
+    if not stats_probe["ok"]:
+        # Correctness, not timing: enforced even under --smoke.
+        print(
+            f"ERROR: stats probe missing data: {stats_probe['problems']}",
+            file=sys.stderr,
+        )
+        return 1
     if not overhead_ok and not args.smoke:
         print("WARNING: 1x p50 overhead above the gate", file=sys.stderr)
+        return 1
+    if not metrics_comparison["within_gate"] and not args.smoke:
+        print(
+            "WARNING: metrics-on p50 above the 5% observability gate",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

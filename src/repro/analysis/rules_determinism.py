@@ -4,8 +4,10 @@ The parity guarantees the batch engine and the chaos suite rely on —
 "bit-identical to the sequential run", "identical to the clean run" —
 only hold because fuzzy-match scoring is a pure function of its inputs.
 This rule guards the modules on that path (``core/fms*.py``,
-``core/kernels.py``, ``core/osc.py``, and all of ``eti/``) against the
-three classic ways Python code goes nondeterministic:
+``core/kernels.py``, ``core/osc.py``, and all of ``eti/``), plus the
+observability plane (all of ``obs/`` — metric bucket edges and snapshot
+merges must be reproducible, and its only clock is the injected one),
+against the three classic ways Python code goes nondeterministic:
 
 - **unseeded randomness** — any ``random.*`` call except constructing an
   explicitly seeded ``random.Random(seed)``;
@@ -27,7 +29,7 @@ from typing import Iterator
 from repro.analysis.framework import Finding, Module, Rule, register
 
 _SCOPE_RE = re.compile(
-    r"^repro/(core/fms[^/]*\.py|core/kernels\.py|core/osc\.py|eti/)"
+    r"^repro/(core/fms[^/]*\.py|core/kernels\.py|core/osc\.py|eti/|obs/)"
 )
 
 CLOCK_ATTRIBUTES = frozenset(

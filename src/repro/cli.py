@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands covering the full workflow:
+Twelve subcommands covering the full workflow:
 
 - ``repro generate``  — write a synthetic Customer reference relation CSV;
 - ``repro corrupt``   — sample reference tuples and inject Table 4 errors;
@@ -13,7 +13,11 @@ Ten subcommands covering the full workflow:
 - ``repro recover``   — replay a warehouse's write-ahead log and checkpoint;
 - ``repro serve``     — run a long-lived match server over a warehouse
   (admission control, deadlines, load shedding, graceful drain);
-- ``repro ping``      — query a running server's readiness.
+- ``repro ping``      — query a running server's readiness (``--stats``
+  appends a one-line health summary);
+- ``repro stats``     — dump a running server's live metrics as JSON or
+  Prometheus text (``--watch`` refreshes continuously);
+- ``repro fuzz``      — sweep mutated inputs at one trust boundary.
 
 CSV conventions: the reference file's first column is the integer ``tid``;
 a dirty-input file may carry a ``target_tid`` first column (written by
@@ -489,14 +493,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_ping(args: argparse.Namespace) -> int:
-    """``repro ping``: print a running server's readiness payload.
+def _server_endpoint(args: argparse.Namespace) -> tuple[str, int] | None:
+    """Resolve the server address from ``--host/--port/--port-file``.
 
-    Exit codes: 0 = serving, 1 = any other state (loading, degraded,
-    draining), 2 = unreachable.
+    Returns ``None`` (after printing why) when the port file cannot be
+    read; raises ``SystemExit`` when no port was given at all.
     """
-    from repro.serve.client import ServeClient
-
     host, port = args.host, args.port
     if args.port_file:
         try:
@@ -504,25 +506,100 @@ def cmd_ping(args: argparse.Namespace) -> int:
                 bound_host, bound_port = handle.read().split()
         except (OSError, ValueError) as exc:
             print(f"cannot read --port-file: {exc}", file=sys.stderr)
-            return 2
+            return None
         host, port = bound_host, int(bound_port)
     if port is None:
-        raise SystemExit("ping needs --port or --port-file")
+        raise SystemExit(f"{args.command} needs --port or --port-file")
+    return host, port
+
+
+def cmd_ping(args: argparse.Namespace) -> int:
+    """``repro ping``: print a running server's readiness payload.
+
+    ``--stats`` swaps the JSON payload for a one-line health summary
+    (state, ladder stage, queue depth, wait p95, shed rate).  Exit
+    codes: 0 = serving, 1 = any other state (loading, degraded,
+    draining), 2 = unreachable.
+    """
+    from repro.serve.client import ServeClient
+
+    endpoint = _server_endpoint(args)
+    if endpoint is None:
+        return 2
+    host, port = endpoint
     try:
         with ServeClient(host, port, timeout_s=args.timeout_s) as client:
             payload = client.ping()
+            stats = client.stats(["serve"]) if args.stats else None
     except (OSError, ConnectionError) as exc:
         print(f"ping failed: {exc}", file=sys.stderr)
         return 2
-    print(json.dumps(payload, indent=2, sort_keys=True))
+    if stats is not None:
+        completed = stats.get("completed", 0)
+        shed = stats.get("shed", 0)
+        resolved = (
+            completed
+            + sum(stats.get("degraded_reasons", {}).values())
+            + sum(stats.get("errors", {}).values())
+            + shed
+        )
+        shed_rate = shed / resolved if resolved else 0.0
+        print(
+            f"{payload.get('state')} stage={payload.get('stage')} "
+            f"queue={payload.get('queue_depth')}/{payload.get('queue_capacity')} "
+            f"p95_wait={payload.get('p95_wait_ms')}ms "
+            f"shed_rate={shed_rate:.1%} completed={completed}"
+        )
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
     return 0 if payload.get("state") == "serving" else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: dump a running server's live metrics.
+
+    ``--format json`` prints the full stats payload (serve counters
+    plus the merged metrics snapshot; ``--traces`` adds recent and
+    slow span trees); ``--format prom`` renders the metrics section in
+    Prometheus text exposition format.  ``--watch`` refetches every
+    ``--interval-s`` seconds until interrupted.  Exit codes: 0 =
+    payload fetched, 2 = unreachable.
+    """
+    from repro.obs.exposition import render_prometheus
+    from repro.serve.client import ServeClient
+
+    endpoint = _server_endpoint(args)
+    if endpoint is None:
+        return 2
+    host, port = endpoint
+    sections = ["serve", "metrics"]
+    if args.traces:
+        sections.append("traces")
+    try:
+        while True:
+            with ServeClient(host, port, timeout_s=args.timeout_s) as client:
+                payload = client.stats(sections)
+            if args.format == "prom":
+                sys.stdout.write(render_prometheus(payload.get("metrics", {})))
+            else:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            if not args.watch:
+                return 0
+            sys.stdout.flush()
+            time.sleep(args.interval_s)
+    except (OSError, ConnectionError) as exc:
+        print(f"stats failed: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """``repro fuzz``: sweep mutated inputs at one trust boundary.
 
     Targets: ``wire`` (mutated frames against a live in-process server),
-    ``wal`` (mutated write-ahead logs through recovery), ``snapshot``
+    ``stats`` (mutated stats requests against the same server), ``wal``
+    (mutated write-ahead logs through recovery), ``snapshot``
     (mutated catalog metadata through the loader).  Prints a JSON report;
     exits 1 if any case crashed, hung, or failed untyped.  Failing
     inputs (raw and minimized) are written to ``--corpus-dir``.
@@ -783,13 +860,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--port-file", default=None, help="read host/port written by serve"
     )
     png.add_argument("--timeout-s", type=float, default=5.0)
+    png.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a one-line health summary instead of the JSON payload",
+    )
     png.set_defaults(func=cmd_ping)
 
+    st = sub.add_parser(
+        "stats", help="dump a running match server's live metrics"
+    )
+    st.add_argument("--host", default="127.0.0.1")
+    st.add_argument("--port", type=int, default=None)
+    st.add_argument(
+        "--port-file", default=None, help="read host/port written by serve"
+    )
+    st.add_argument("--timeout-s", type=float, default=5.0)
+    st.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="full payload as JSON, or Prometheus text exposition",
+    )
+    st.add_argument(
+        "--traces",
+        action="store_true",
+        help="include recent and slow request span trees (JSON format)",
+    )
+    st.add_argument(
+        "--watch", action="store_true", help="refetch until interrupted"
+    )
+    st.add_argument(
+        "--interval-s", type=float, default=2.0, help="--watch refresh period"
+    )
+    st.set_defaults(func=cmd_stats)
+
     fz = sub.add_parser(
-        "fuzz", help="fuzz a trust boundary: wire protocol, WAL, or snapshot"
+        "fuzz",
+        help="fuzz a trust boundary: wire protocol, stats op, WAL, or snapshot",
     )
     fz.add_argument(
-        "--target", choices=sorted(("wire", "wal", "snapshot")), default="wire"
+        "--target",
+        choices=sorted(("wire", "stats", "wal", "snapshot")),
+        default="wire",
     )
     fz.add_argument(
         "--seeds", type=int, default=3, help="number of consecutive seeds"

@@ -58,6 +58,11 @@ from repro.core.minhash import MinHasher
 from repro.core.reference import ReferenceTable
 from repro.core.resilience import ResiliencePolicy
 from repro.core.weights import WeightFunction
+from repro.obs.registry import (
+    MetricsRegistry,
+    RegistrySnapshot,
+    merge_snapshots,
+)
 from repro.db.database import Database
 from repro.db.errors import DatabaseError
 from repro.eti.builder import build_eti
@@ -637,3 +642,34 @@ class BatchMatcher:
             lookups = bucket["hits"] + bucket["misses"]
             bucket["hit_rate"] = bucket["hits"] / lookups if lookups else 0.0
         return total
+
+    def registries(self) -> list[MetricsRegistry]:
+        """Every matcher's metrics registry built so far (dedup'd).
+
+        One registry per cache bundle; matchers sharing a bundle (the
+        ``cache_factory=lambda: shared`` pattern) contribute it once.
+        """
+        with self._workers_lock:
+            matchers = [self._sequential, *self._workers]
+        registries: list[MetricsRegistry] = []
+        for matcher in matchers:
+            registry = matcher.caches.registry
+            if not any(registry is seen for seen in registries):
+                registries.append(registry)
+        return registries
+
+    def metrics_snapshot(self) -> RegistrySnapshot:
+        """Fleet totals: every per-matcher registry snapshot, merged."""
+        return merge_snapshots(
+            registry.snapshot() for registry in self.registries()
+        )
+
+    def set_metrics_enabled(self, enabled: bool) -> None:
+        """Toggle metric recording on every matcher registry at runtime.
+
+        Matchers built *after* the call get fresh (enabled) registries;
+        the serve layer re-applies the flag per worker matcher, which is
+        the only place matchers are created post-start.
+        """
+        for registry in self.registries():
+            registry.set_enabled(enabled)

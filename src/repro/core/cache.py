@@ -28,10 +28,10 @@ give each its own bundle (the default).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
 from repro.analysis.debuglock import make_lock
+from repro.obs.registry import MetricsRegistry
 
 _MISSING = object()
 
@@ -44,16 +44,69 @@ DEFAULT_WEIGHT_CAPACITY = 262_144
 DEFAULT_SIGNATURE_CAPACITY = 131_072
 
 
-@dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one cache."""
+    """Hit/miss/eviction counters for one cache — a registry view.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
+    The counts live in ``repro_cache_{hits,misses,evictions}_total``
+    series of a :class:`~repro.obs.registry.MetricsRegistry`, labelled
+    by cache name; this class is the read/write facade the cache uses,
+    so per-cache numbers and aggregate exposition read the same cells.
+    Without an explicit registry each instance gets a private one,
+    preserving the old standalone-counter behaviour.
+
+    The backing counters are relaxed (lockless): the cache only
+    increments them under its own LRU lock, and the pre-registry
+    dataclass had exactly the same unlocked-read semantics.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        cache_name: str = "",
+    ) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        labels = {"cache": cache_name} if cache_name else None
+        self._hits = registry.counter(
+            "repro_cache_hits_total", labels, relaxed=True
+        )
+        self._misses = registry.counter(
+            "repro_cache_misses_total", labels, relaxed=True
+        )
+        self._evictions = registry.counter(
+            "repro_cache_evictions_total", labels, relaxed=True
+        )
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache."""
+        return self._hits.value()
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through to a compute."""
+        return self._misses.value()
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped to stay within capacity."""
+        return self._evictions.value()
+
+    def record_hit(self) -> None:
+        """Count one cache hit."""
+        self._hits.inc()
+
+    def record_miss(self) -> None:
+        """Count one cache miss."""
+        self._misses.inc()
+
+    def record_eviction(self) -> None:
+        """Count one LRU eviction."""
+        self._evictions.inc()
 
     @property
     def lookups(self) -> int:
+        """Hits plus misses."""
         return self.hits + self.misses
 
     @property
@@ -81,12 +134,17 @@ class LRUCache:
     are: tuples, floats, frozen dataclasses).
     """
 
-    def __init__(self, capacity: int, name: str = "") -> None:
+    def __init__(
+        self,
+        capacity: int,
+        name: str = "",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if capacity < 0:
             raise ValueError("cache capacity must be >= 0")
         self.capacity = capacity
         self.name = name
-        self.stats = CacheStats()
+        self.stats = CacheStats(registry, name)
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = make_lock("LRUCache._lock")
 
@@ -105,15 +163,15 @@ class LRUCache:
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, counting a hit or miss."""
         if not self.enabled:
-            self.stats.misses += 1
+            self.stats.record_miss()
             return default
         with self._lock:
             value = self._data.get(key, _MISSING)
             if value is _MISSING:
-                self.stats.misses += 1
+                self.stats.record_miss()
                 return default
             self._data.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.record_hit()
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -128,20 +186,20 @@ class LRUCache:
             self._data[key] = value
             if len(self._data) > self.capacity:
                 self._data.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.record_eviction()
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value, computing and storing it on a miss."""
         if not self.enabled:
-            self.stats.misses += 1
+            self.stats.record_miss()
             return compute()
         with self._lock:
             value = self._data.get(key, _MISSING)
             if value is not _MISSING:
                 self._data.move_to_end(key)
-                self.stats.hits += 1
+                self.stats.record_hit()
                 return value
-            self.stats.misses += 1
+            self.stats.record_miss()
         value = compute()
         self.put(key, value)
         return value
@@ -162,6 +220,14 @@ class MatcherCaches:
       the weight provider (see :class:`CachingWeightFunction`).
     - ``signatures``: ``token -> signature entries`` memo in front of
       :func:`repro.eti.signature.signature_entries`.
+
+    Every bundle owns (or is handed) one
+    :class:`~repro.obs.registry.MetricsRegistry`; its three caches
+    write their counters there, labelled by cache name, and the
+    matcher publishes its per-query metrics to the same registry.
+    Per-bundle registries keep absolute counts meaningful (one bundle
+    per matcher) while fleet totals come from snapshot merging — see
+    ``BatchMatcher.metrics_snapshot``.
     """
 
     def __init__(
@@ -169,10 +235,18 @@ class MatcherCaches:
         reference_capacity: int = DEFAULT_REFERENCE_CAPACITY,
         weight_capacity: int = DEFAULT_WEIGHT_CAPACITY,
         signature_capacity: int = DEFAULT_SIGNATURE_CAPACITY,
+        registry: MetricsRegistry | None = None,
     ) -> None:
-        self.reference_tokens = LRUCache(reference_capacity, "reference_tokens")
-        self.token_weights = LRUCache(weight_capacity, "token_weights")
-        self.signatures = LRUCache(signature_capacity, "signatures")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.reference_tokens = LRUCache(
+            reference_capacity, "reference_tokens", self.registry
+        )
+        self.token_weights = LRUCache(
+            weight_capacity, "token_weights", self.registry
+        )
+        self.signatures = LRUCache(
+            signature_capacity, "signatures", self.registry
+        )
 
     @classmethod
     def disabled(cls) -> "MatcherCaches":

@@ -40,7 +40,6 @@ Two verification fast paths live here (see ``docs/INTERNALS.md``):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.config import MatchConfig, TranspositionCost
@@ -51,23 +50,61 @@ from repro.core.strings import (
 )
 from repro.core.tokens import TupleTokens
 from repro.core.weights import WeightFunction
+from repro.obs.registry import MetricsRegistry, default_registry
 
 
-@dataclass
 class FmsCounters:
     """Cumulative work counters for the transformation-cost DP.
 
-    ``dp_cells`` counts (input token × reference token) cells filled,
-    ``cutoff_prunes`` counts cells where the banded kernel's lower bound
-    proved the replacement dominated (no exact edit distance computed),
-    and ``budget_abandons`` counts DP runs that stopped early because the
-    running cost cleared the caller's budget.  Plain int increments:
-    concurrent queries may under-count, which only distorts reporting.
+    A view over relaxed counters in the process-global metrics registry
+    (``repro_fms_*_total`` series).  ``dp_cells`` counts (input token ×
+    reference token) cells filled, ``cutoff_prunes`` counts cells where
+    the banded kernel's lower bound proved the replacement dominated
+    (no exact edit distance computed), and ``budget_abandons`` counts
+    DP runs that stopped early because the running cost cleared the
+    caller's budget.  Lockless increments: concurrent queries may
+    under-count, which only distorts reporting.
     """
 
-    dp_cells: int = 0
-    cutoff_prunes: int = 0
-    budget_abandons: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        if registry is None:
+            registry = default_registry()
+        self._dp_cells = registry.counter(
+            "repro_fms_dp_cells_total", relaxed=True
+        )
+        self._cutoff_prunes = registry.counter(
+            "repro_fms_cutoff_prunes_total", relaxed=True
+        )
+        self._budget_abandons = registry.counter(
+            "repro_fms_budget_abandons_total", relaxed=True
+        )
+
+    @property
+    def dp_cells(self) -> int:
+        """DP cells filled across every run."""
+        return self._dp_cells.value()
+
+    @property
+    def cutoff_prunes(self) -> int:
+        """Cells settled by the banded kernel's lower bound alone."""
+        return self._cutoff_prunes.value()
+
+    @property
+    def budget_abandons(self) -> int:
+        """DP runs abandoned after clearing the caller's budget."""
+        return self._budget_abandons.value()
+
+    def add_dp_cells(self, cells: int) -> None:
+        """Count ``cells`` DP cells filled."""
+        self._dp_cells.inc(cells)
+
+    def add_cutoff_prune(self) -> None:
+        """Count one lower-bound prune."""
+        self._cutoff_prunes.inc()
+
+    def add_budget_abandon(self) -> None:
+        """Count one budget-driven early stop."""
+        self._budget_abandons.inc()
 
     def snapshot(self) -> tuple[int, int, int]:
         """Counter values at this instant, for before/after deltas."""
@@ -75,9 +112,9 @@ class FmsCounters:
 
     def reset(self) -> None:
         """Zero every counter (benchmark bracketing)."""
-        self.dp_cells = 0
-        self.cutoff_prunes = 0
-        self.budget_abandons = 0
+        self._dp_cells.reset()
+        self._cutoff_prunes.reset()
+        self._budget_abandons.reset()
 
 
 #: Module-wide counters shared by every transformation-cost DP run.
@@ -125,7 +162,7 @@ def _replace_cost(
         return replace if replace < alternative else alternative
     if replace >= alternative:
         # The lower bound alone proves the replacement is dominated.
-        COUNTERS.cutoff_prunes += 1
+        COUNTERS.add_cutoff_prune()
         return alternative
     # Float-boundary fallback: the bound was not decisive; pay for the
     # exact distance (memoized) to keep the cell bit-identical.
@@ -200,7 +237,7 @@ def transformation_cost(
             current.append(best)
             if best < row_min:
                 row_min = best
-        COUNTERS.dp_cells += n
+        COUNTERS.add_dp_cells(n)
         if budget is not None and i < m:
             # Admissible completion bound: input tokens i..m-1 remain.  If
             # more remain than there are reference tokens, the surplus must
@@ -212,7 +249,7 @@ def transformation_cost(
             if surplus > 0:
                 lower += sum(sorted(input_weights[i:])[:surplus])
             if lower > budget:
-                COUNTERS.budget_abandons += 1
+                COUNTERS.add_budget_abandon()
                 return lower
         older = previous
         previous = current

@@ -36,7 +36,7 @@ this module.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.obs.registry import MetricsRegistry, default_registry
 
 #: Patterns shorter than this go to the classic DP: for one- and
 #: two-character tokens the bit-vector setup costs more than the handful
@@ -44,28 +44,103 @@ from dataclasses import dataclass
 MYERS_MIN_PATTERN = 3
 
 
-@dataclass
 class KernelCounters:
     """Cumulative work counters for the edit-distance kernels.
 
-    Benchmarks and tests snapshot/diff these to *measure* (not assert)
-    where distance work went: ``classic_cells`` counts DP cells filled by
-    the reference kernel, ``myers_words`` counts outer-loop iterations of
-    the bit-parallel kernel (one per text character), ``banded_cells``
-    counts band cells filled, and ``banded_early_exits`` counts calls that
-    abandoned with a certified lower bound instead of an exact distance.
-    Counter updates are plain int increments; concurrent queries may
-    under-count slightly, which only ever distorts reporting, never
-    answers.
+    A view over relaxed counters in the process-global metrics registry
+    (``repro_kernel_*_total`` series).  Benchmarks and tests
+    snapshot/diff these to *measure* (not assert) where distance work
+    went: ``classic_cells`` counts DP cells filled by the reference
+    kernel, ``myers_words`` counts outer-loop iterations of the
+    bit-parallel kernel (one per text character), ``banded_cells``
+    counts band cells filled, and ``banded_early_exits`` counts calls
+    that abandoned with a certified lower bound instead of an exact
+    distance.  Counter updates are lockless increments; concurrent
+    queries may under-count slightly, which only ever distorts
+    reporting, never answers.
     """
 
-    classic_calls: int = 0
-    classic_cells: int = 0
-    myers_calls: int = 0
-    myers_words: int = 0
-    banded_calls: int = 0
-    banded_cells: int = 0
-    banded_early_exits: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        if registry is None:
+            registry = default_registry()
+        self._classic_calls = registry.counter(
+            "repro_kernel_classic_calls_total", relaxed=True
+        )
+        self._classic_cells = registry.counter(
+            "repro_kernel_classic_cells_total", relaxed=True
+        )
+        self._myers_calls = registry.counter(
+            "repro_kernel_myers_calls_total", relaxed=True
+        )
+        self._myers_words = registry.counter(
+            "repro_kernel_myers_words_total", relaxed=True
+        )
+        self._banded_calls = registry.counter(
+            "repro_kernel_banded_calls_total", relaxed=True
+        )
+        self._banded_cells = registry.counter(
+            "repro_kernel_banded_cells_total", relaxed=True
+        )
+        self._banded_early_exits = registry.counter(
+            "repro_kernel_banded_early_exits_total", relaxed=True
+        )
+
+    @property
+    def classic_calls(self) -> int:
+        """Calls routed to the classic DP kernel."""
+        return self._classic_calls.value()
+
+    @property
+    def classic_cells(self) -> int:
+        """DP cells filled by the classic kernel."""
+        return self._classic_cells.value()
+
+    @property
+    def myers_calls(self) -> int:
+        """Calls routed to the bit-parallel kernel."""
+        return self._myers_calls.value()
+
+    @property
+    def myers_words(self) -> int:
+        """Outer-loop iterations of the bit-parallel kernel."""
+        return self._myers_words.value()
+
+    @property
+    def banded_calls(self) -> int:
+        """Calls routed to the banded kernel."""
+        return self._banded_calls.value()
+
+    @property
+    def banded_cells(self) -> int:
+        """Band cells filled by the banded kernel."""
+        return self._banded_cells.value()
+
+    @property
+    def banded_early_exits(self) -> int:
+        """Banded calls that returned a certified lower bound."""
+        return self._banded_early_exits.value()
+
+    def add_classic(self, cells: int) -> None:
+        """Count one classic-DP call filling ``cells`` cells."""
+        self._classic_calls.inc()
+        self._classic_cells.inc(cells)
+
+    def add_myers(self, words: int) -> None:
+        """Count one bit-parallel call over ``words`` text characters."""
+        self._myers_calls.inc()
+        self._myers_words.inc(words)
+
+    def add_banded_call(self) -> None:
+        """Count one banded-kernel call."""
+        self._banded_calls.inc()
+
+    def add_banded_cells(self, cells: int) -> None:
+        """Count ``cells`` band cells filled."""
+        self._banded_cells.inc(cells)
+
+    def add_banded_early_exit(self) -> None:
+        """Count one early exit with a certified lower bound."""
+        self._banded_early_exits.inc()
 
     def snapshot(self) -> tuple[int, ...]:
         """The counter values at this instant, for before/after deltas."""
@@ -81,13 +156,13 @@ class KernelCounters:
 
     def reset(self) -> None:
         """Zero every counter (benchmark bracketing)."""
-        self.classic_calls = 0
-        self.classic_cells = 0
-        self.myers_calls = 0
-        self.myers_words = 0
-        self.banded_calls = 0
-        self.banded_cells = 0
-        self.banded_early_exits = 0
+        self._classic_calls.reset()
+        self._classic_cells.reset()
+        self._myers_calls.reset()
+        self._myers_words.reset()
+        self._banded_calls.reset()
+        self._banded_cells.reset()
+        self._banded_early_exits.reset()
 
 
 #: Module-wide counter instance shared by every kernel call.
@@ -110,8 +185,7 @@ def classic_distance(s1: str, s2: str) -> int:
     if len(s2) < len(s1):
         s1, s2 = s2, s1
     m = len(s1)
-    COUNTERS.classic_calls += 1
-    COUNTERS.classic_cells += m * len(s2)
+    COUNTERS.add_classic(m * len(s2))
     previous = list(range(m + 1))
     current = [0] * (m + 1)
     for row, c2 in enumerate(s2, start=1):
@@ -150,8 +224,7 @@ def myers_distance(s1: str, s2: str) -> int:
     if len(s2) < len(s1):
         s1, s2 = s2, s1
     m = len(s1)
-    COUNTERS.myers_calls += 1
-    COUNTERS.myers_words += len(s2)
+    COUNTERS.add_myers(len(s2))
     peq: dict[str, int] = {}
     bit = 1
     for ch in s1:
@@ -210,7 +283,7 @@ def bounded_distance(s1: str, s2: str, limit: int) -> int:
     n = len(s2)
     if n - m > limit:
         return n - m
-    COUNTERS.banded_calls += 1
+    COUNTERS.add_banded_call()
     # previous[j] = banded D[i-1][j]; cells outside row i-1's band are
     # stale and are never read (the col guards below enforce the band).
     previous = list(range(m + 1))
@@ -246,16 +319,16 @@ def bounded_distance(s1: str, s2: str, limit: int) -> int:
             prev_diag = previous[col]
         cells += high - low + 1
         if row_min > limit:
-            COUNTERS.banded_cells += cells
-            COUNTERS.banded_early_exits += 1
+            COUNTERS.add_banded_cells(cells)
+            COUNTERS.add_banded_early_exit()
             return limit + 1
         previous, current = current, previous
-    COUNTERS.banded_cells += cells
+    COUNTERS.add_banded_cells(cells)
     distance = previous[m]
     if distance > limit:
         # Banded values may over-estimate once past the cutoff; only the
         # threshold verdict is certified.
-        COUNTERS.banded_early_exits += 1
+        COUNTERS.add_banded_early_exit()
         return limit + 1
     return distance
 

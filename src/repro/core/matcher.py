@@ -45,6 +45,7 @@ from repro.core.weights import WeightFunction
 from repro.db.errors import DatabaseError, RecordNotFoundError
 from repro.eti.index import EtiIndex
 from repro.eti.signature import signature_entries_cached
+from repro.obs.tracing import trace_span
 
 if TYPE_CHECKING:
     from repro.db.pager import BufferPool
@@ -236,6 +237,31 @@ class FuzzyMatcher:
             else weights
         )
         self._reference_version = reference_version(reference)
+        # Per-query metrics live in the cache bundle's registry, so one
+        # snapshot carries a matcher's full telemetry (cache counters
+        # included) and fleet totals come from snapshot merging.
+        registry = self.caches.registry
+        self._obs_registry = registry
+        self._obs_match_seconds = {
+            strategy: registry.histogram(
+                "repro_match_seconds", {"strategy": strategy}
+            )
+            for strategy in ("naive", "basic", "osc")
+        }
+        self._obs_queries = registry.counter("repro_match_queries_total")
+        self._obs_eti_lookups = registry.counter(
+            "repro_match_eti_lookups_total", relaxed=True
+        )
+        self._obs_candidates = registry.counter(
+            "repro_match_candidates_fetched_total", relaxed=True
+        )
+        self._obs_fms = registry.counter(
+            "repro_match_fms_evaluations_total", relaxed=True
+        )
+        self._obs_prunes = registry.counter(
+            "repro_match_verify_budget_prunes_total", relaxed=True
+        )
+        self._obs_wal_tail = registry.gauge("repro_wal_tail_pages")
 
     # ------------------------------------------------------------------
     # Public API
@@ -289,6 +315,7 @@ class FuzzyMatcher:
 
         started = time.perf_counter()
         counters_before = self.caches.snapshot()
+        db_before = self._db_counters()
 
         requested = strategy
         circuit_skipped = False
@@ -306,27 +333,35 @@ class FuzzyMatcher:
         last_error: DatabaseError | None = None
         result = None
         used = requested
-        for index, attempt in enumerate(attempts):
-            indexed = attempt != "naive"
-            try:
-                if indexed:
-                    result = self._match_indexed(
-                        values, k, c, use_osc=(attempt == "osc"),
-                        trace=trace, meter=meter,
-                    )
-                else:
-                    result = self._match_naive(values, k, c, meter=meter)
-            except DatabaseError as exc:
+        matcher_ctx = trace_span("matcher", requested=requested)
+        with matcher_ctx:
+            for index, attempt in enumerate(attempts):
+                indexed = attempt != "naive"
+                try:
+                    if indexed:
+                        result = self._match_indexed(
+                            values, k, c, use_osc=(attempt == "osc"),
+                            trace=trace, meter=meter,
+                        )
+                    else:
+                        result = self._match_naive(values, k, c, meter=meter)
+                except DatabaseError as exc:
+                    if indexed and policy is not None:
+                        policy.breaker.record_failure()
+                    last_error = exc
+                    if (
+                        policy is None
+                        or not policy.fallback
+                        or index == len(attempts) - 1
+                    ):
+                        raise
+                    continue
                 if indexed and policy is not None:
-                    policy.breaker.record_failure()
-                last_error = exc
-                if policy is None or not policy.fallback or index == len(attempts) - 1:
-                    raise
-                continue
-            if indexed and policy is not None:
-                policy.breaker.record_success()
-            used = attempt
-            break
+                    policy.breaker.record_success()
+                used = attempt
+                break
+            self._emit_db_span(db_before)
+        matcher_ctx.annotate(strategy=used)
 
         result.stats.strategy = used
         if used != requested:
@@ -343,11 +378,68 @@ class FuzzyMatcher:
         if wal is not None:
             result.stats.wal_tail_pages = wal.tail_pages
         result.stats.elapsed_seconds = time.perf_counter() - started
+        self._publish_query(result.stats)
         return result
 
     def _pool(self) -> BufferPool:
         """The buffer pool under the reference relation (fetch metering)."""
         return self.reference.relation.heap.pool
+
+    def _db_counters(self) -> tuple[int, int, int, int, int]:
+        """``(pool hits, misses, physical reads, wal appends, syncs)``."""
+        pool = self._pool()
+        wal = pool.wal
+        stats = pool.stats
+        if wal is None:
+            return (stats.hits, stats.misses, stats.physical_reads, 0, 0)
+        return (
+            stats.hits,
+            stats.misses,
+            stats.physical_reads,
+            wal.stats.appends,
+            wal.stats.syncs,
+        )
+
+    def _emit_db_span(self, before: tuple[int, int, int, int, int]) -> None:
+        """Attach the query's storage-layer work as a ``db`` child span.
+
+        Annotates buffer-pool hit/miss/physical-read and WAL
+        append/fsync deltas onto the active trace; a no-op (one list
+        check) when no trace is recording.
+        """
+        ctx = trace_span("db")
+        with ctx:
+            after = self._db_counters()
+            wal = self._pool().wal
+            ctx.annotate(
+                pool_hits=after[0] - before[0],
+                pool_misses=after[1] - before[1],
+                physical_reads=after[2] - before[2],
+                wal_appends=after[3] - before[3],
+                wal_syncs=after[4] - before[4],
+                wal_tail_pages=wal.tail_pages if wal is not None else 0,
+            )
+
+    def _publish_query(self, stats: MatchStats) -> None:
+        """Fold one finished query's stats into the bundle registry.
+
+        The per-strategy latency histogram plus work counters mirror the
+        :class:`MatchStats` fields an operator tunes by, so live
+        aggregates and per-query numbers always come from one source.
+        """
+        hist = self._obs_match_seconds.get(stats.strategy)
+        if hist is not None:
+            hist.observe(stats.elapsed_seconds)
+        self._obs_queries.inc()
+        self._obs_eti_lookups.inc(stats.eti_lookups)
+        self._obs_candidates.inc(stats.candidates_fetched)
+        self._obs_fms.inc(stats.fms_evaluations)
+        self._obs_prunes.inc(stats.verify_budget_prunes)
+        self._obs_wal_tail.set(float(stats.wal_tail_pages))
+        if stats.degraded and stats.degraded_reason is not None:
+            self._obs_registry.counter(
+                "repro_match_degraded_total", {"reason": stats.degraded_reason}
+            ).inc()
 
     def match_many(
         self,
@@ -496,31 +588,34 @@ class FuzzyMatcher:
         # sorting the whole admitted set.  tid is unique, so the heap
         # never compares row values.
         kept: list[tuple[float, int, tuple]] = []
-        for tid, reference_values in self.reference.scan():
-            if meter is not None and stats.fms_evaluations % 32 == 0:
-                reason = meter.exhausted()
-                if reason is not None:
-                    stats.degraded = True
-                    stats.degraded_reason = reason
-                    break
-            reference_tokens, row = self._reference_tokens(
-                tid, values=reference_values
-            )
-            similarity = fms(
-                input_tokens,
-                reference_tokens,
-                self._weights,
-                self.config,
-                u_weight=u_weight,
-            )
-            stats.fms_evaluations += 1
-            if similarity < c or k <= 0:
-                continue
-            entry = (similarity, -tid, row)
-            if len(kept) < k:
-                heapq.heappush(kept, entry)
-            elif entry > kept[0]:
-                heapq.heappushpop(kept, entry)
+        scan_ctx = trace_span("matcher.naive_scan")
+        with scan_ctx:
+            for tid, reference_values in self.reference.scan():
+                if meter is not None and stats.fms_evaluations % 32 == 0:
+                    reason = meter.exhausted()
+                    if reason is not None:
+                        stats.degraded = True
+                        stats.degraded_reason = reason
+                        break
+                reference_tokens, row = self._reference_tokens(
+                    tid, values=reference_values
+                )
+                similarity = fms(
+                    input_tokens,
+                    reference_tokens,
+                    self._weights,
+                    self.config,
+                    u_weight=u_weight,
+                )
+                stats.fms_evaluations += 1
+                if similarity < c or k <= 0:
+                    continue
+                entry = (similarity, -tid, row)
+                if len(kept) < k:
+                    heapq.heappush(kept, entry)
+                elif entry > kept[0]:
+                    heapq.heappushpop(kept, entry)
+        scan_ctx.annotate(fms_evaluations=stats.fms_evaluations)
         kept.sort(key=lambda e: (-e[0], -e[1]))
         result.matches = [
             Match(-neg_tid, similarity, row) for similarity, neg_tid, row in kept
@@ -551,40 +646,53 @@ class FuzzyMatcher:
         input_tokens = TupleTokens.from_values(values)
         column_weights = config.normalized_column_weights(input_tokens.num_columns)
 
-        token_infos = [
-            _TokenInfo(token, column, self._weights.weight(token, column) * column_weights[column])
-            for token, column in input_tokens.all_tokens()
-        ]
-        input_weight = sum(info.weight for info in token_infos)
-        if log:
-            for info in token_infos:
-                log(f"token {info.token!r} (col {info.column}) w={info.weight:.3f}")
-            log(f"w(u) = {input_weight:.3f}, threshold = {c * input_weight:.3f}")
-        if input_weight <= 0.0:
-            if log:
-                log("all token weights are zero: no match possible")
-            return result
-
-        # Expand tokens into weighted signature entries.
-        entries: list[tuple[float, int, int, str, int]] = []
-        # (qgram_weight, token_index, coordinate, gram, column)
-        for token_index, info in enumerate(token_infos):
-            for entry in signature_entries_cached(
-                info.token, self.hasher, config, self.caches.signatures
-            ):
-                entries.append(
-                    (
-                        info.weight * entry.weight_fraction,
-                        token_index,
-                        entry.coordinate,
-                        entry.gram,
-                        info.column,
-                    )
+        build_ctx = trace_span("matcher.signature_build")
+        with build_ctx:
+            token_infos = [
+                _TokenInfo(
+                    token,
+                    column,
+                    self._weights.weight(token, column) * column_weights[column],
                 )
-        if use_osc:
-            # Decreasing weight; ties resolve in original (token) order for
-            # determinism.
-            entries.sort(key=lambda e: -e[0])
+                for token, column in input_tokens.all_tokens()
+            ]
+            input_weight = sum(info.weight for info in token_infos)
+            if log:
+                for info in token_infos:
+                    log(
+                        f"token {info.token!r} (col {info.column}) "
+                        f"w={info.weight:.3f}"
+                    )
+                log(
+                    f"w(u) = {input_weight:.3f}, "
+                    f"threshold = {c * input_weight:.3f}"
+                )
+            if input_weight <= 0.0:
+                if log:
+                    log("all token weights are zero: no match possible")
+                return result
+
+            # Expand tokens into weighted signature entries.
+            entries: list[tuple[float, int, int, str, int]] = []
+            # (qgram_weight, token_index, coordinate, gram, column)
+            for token_index, info in enumerate(token_infos):
+                for entry in signature_entries_cached(
+                    info.token, self.hasher, config, self.caches.signatures
+                ):
+                    entries.append(
+                        (
+                            info.weight * entry.weight_fraction,
+                            token_index,
+                            entry.coordinate,
+                            entry.gram,
+                            info.column,
+                        )
+                    )
+            if use_osc:
+                # Decreasing weight; ties resolve in original (token) order
+                # for determinism.
+                entries.sort(key=lambda e: -e[0])
+            build_ctx.annotate(tokens=len(token_infos), entries=len(entries))
 
         total_entry_weight = sum(e[0] for e in entries)
         adjustment_unit = 1.0 - 1.0 / config.q
@@ -604,82 +712,96 @@ class FuzzyMatcher:
         processed_weight = 0.0
         budget_reason = None
         lookups_done = 0
-        for qgram_weight, token_index, coordinate, gram, column in entries:
-            if meter is not None:
-                budget_reason = meter.exhausted()
-                if budget_reason is not None:
-                    if log:
-                        log(
-                            f"budget exhausted ({budget_reason}) after "
-                            f"{lookups_done} of {len(entries)} lookups; "
-                            "degrading to best-so-far"
-                        )
-                    break
-            lookups_done += 1
-            remaining = total_entry_weight - processed_weight
-            eti_entry = eti.lookup(gram, coordinate, column)
-            if log:
-                if eti_entry is None:
-                    outcome = "miss"
-                elif eti_entry.is_stop_qgram:
-                    outcome = f"stop q-gram (freq {eti_entry.frequency})"
-                else:
-                    outcome = f"{len(eti_entry.tid_list)} tids"
-                log(
-                    f"lookup ({gram!r}, coord {coordinate}, col {column}) "
-                    f"w={qgram_weight:.3f} -> {outcome}"
-                )
-            if eti_entry is not None and eti_entry.tid_list:
-                score_table.add_tid_list(eti_entry.tid_list, qgram_weight, remaining)
-            processed_weight += qgram_weight
+        eti_ctx = trace_span("matcher.eti_lookups")
+        with eti_ctx:
+            for qgram_weight, token_index, coordinate, gram, column in entries:
+                if meter is not None:
+                    budget_reason = meter.exhausted()
+                    if budget_reason is not None:
+                        if log:
+                            log(
+                                f"budget exhausted ({budget_reason}) after "
+                                f"{lookups_done} of {len(entries)} lookups; "
+                                "degrading to best-so-far"
+                            )
+                        break
+                lookups_done += 1
+                remaining = total_entry_weight - processed_weight
+                eti_entry = eti.lookup(gram, coordinate, column)
+                if log:
+                    if eti_entry is None:
+                        outcome = "miss"
+                    elif eti_entry.is_stop_qgram:
+                        outcome = f"stop q-gram (freq {eti_entry.frequency})"
+                    else:
+                        outcome = f"{len(eti_entry.tid_list)} tids"
+                    log(
+                        f"lookup ({gram!r}, coord {coordinate}, col {column}) "
+                        f"w={qgram_weight:.3f} -> {outcome}"
+                    )
+                if eti_entry is not None and eti_entry.tid_list:
+                    score_table.add_tid_list(
+                        eti_entry.tid_list, qgram_weight, remaining
+                    )
+                processed_weight += qgram_weight
 
-            if not use_osc or not score_table.scores:
-                continue
-            decision = fetching_test(
-                score_table, k, processed_weight, total_entry_weight
-            )
-            if not decision.should_fetch:
-                continue
-            stats.osc_fetch_attempts += 1
-            if log:
-                log(
-                    f"OSC fetching test passed: top-{k} {decision.top_tids}, "
-                    f"outside cap {decision.outside_score_cap:.3f}"
+                if not use_osc or not score_table.scores:
+                    continue
+                decision = fetching_test(
+                    score_table, k, processed_weight, total_entry_weight
                 )
-            similarities = [
-                # No cost budget here: the stopping test needs exact fms.
-                self._verify(tid, input_tokens, input_weight, fms_cache, stats)[0]
-                for tid in decision.top_tids
-            ]
-            if stopping_test(
-                similarities,
-                decision.outside_score_cap,
-                input_weight,
-                config.q,
-                conservative=config.osc_conservative,
-            ):
-                stats.osc_succeeded = True
+                if not decision.should_fetch:
+                    continue
+                stats.osc_fetch_attempts += 1
                 if log:
                     log(
-                        "OSC stopping test passed: fms "
-                        + ", ".join(f"{s:.3f}" for s in similarities)
-                        + f" >= bound {decision.outside_score_cap / input_weight:.3f}"
+                        f"OSC fetching test passed: top-{k} "
+                        f"{decision.top_tids}, "
+                        f"outside cap {decision.outside_score_cap:.3f}"
                     )
-                matches = [
-                    Match(tid, similarity, fms_cache[tid][1])
-                    for tid, similarity in zip(decision.top_tids, similarities)
-                    if similarity >= c
+                similarities = [
+                    # No cost budget here: the stopping test needs exact fms.
+                    self._verify(
+                        tid, input_tokens, input_weight, fms_cache, stats
+                    )[0]
+                    for tid in decision.top_tids
                 ]
-                matches.sort(key=lambda m: (-m.similarity, m.tid))
-                result.matches = matches
-                self._finalize(stats, score_table, lookups_before)
-                return result
-            if log:
-                log(
-                    "OSC stopping test failed (fms "
-                    + ", ".join(f"{s:.3f}" for s in similarities)
-                    + "); continuing lookups"
-                )
+                if stopping_test(
+                    similarities,
+                    decision.outside_score_cap,
+                    input_weight,
+                    config.q,
+                    conservative=config.osc_conservative,
+                ):
+                    stats.osc_succeeded = True
+                    if log:
+                        log(
+                            "OSC stopping test passed: fms "
+                            + ", ".join(f"{s:.3f}" for s in similarities)
+                            + " >= bound "
+                            + f"{decision.outside_score_cap / input_weight:.3f}"
+                        )
+                    matches = [
+                        Match(tid, similarity, fms_cache[tid][1])
+                        for tid, similarity in zip(
+                            decision.top_tids, similarities
+                        )
+                        if similarity >= c
+                    ]
+                    matches.sort(key=lambda m: (-m.similarity, m.tid))
+                    result.matches = matches
+                    self._finalize(stats, score_table, lookups_before)
+                    eti_ctx.annotate(
+                        lookups=lookups_done, osc_succeeded=True
+                    )
+                    return result
+                if log:
+                    log(
+                        "OSC stopping test failed (fms "
+                        + ", ".join(f"{s:.3f}" for s in similarities)
+                        + "); continuing lookups"
+                    )
+        eti_ctx.annotate(lookups=lookups_done)
 
         # Basic finish: fetch candidates in decreasing score order, stopping
         # once the next upper bound cannot displace the K-th verified match.
@@ -698,54 +820,63 @@ class FuzzyMatcher:
                 f"above floor {floor:.3f}"
             )
         verified: list[tuple[float, int]] = []
-        for position, (tid, score) in enumerate(candidates):
-            if meter is not None and budget_reason is None and position > 0:
-                reason = meter.exhausted()
-                if reason is not None:
-                    stats.degraded = True
-                    stats.degraded_reason = reason
+        verify_ctx = trace_span("matcher.verify", candidates=len(candidates))
+        with verify_ctx:
+            for position, (tid, score) in enumerate(candidates):
+                if meter is not None and budget_reason is None and position > 0:
+                    reason = meter.exhausted()
+                    if reason is not None:
+                        stats.degraded = True
+                        stats.degraded_reason = reason
+                        if log:
+                            log(
+                                f"budget exhausted ({reason}) after verifying "
+                                f"{position} candidates; returning best-so-far"
+                            )
+                        break
+                upper_bound = similarity_upper_bound(
+                    score, input_weight, config.q
+                )
+                if upper_bound < c:
+                    break
+                if len(verified) >= k and upper_bound <= verified[k - 1][0]:
                     if log:
                         log(
-                            f"budget exhausted ({reason}) after verifying "
-                            f"{position} candidates; returning best-so-far"
+                            f"stop: next upper bound {upper_bound:.3f} cannot "
+                            f"displace K-th fms {verified[k - 1][0]:.3f}"
                         )
                     break
-            upper_bound = similarity_upper_bound(score, input_weight, config.q)
-            if upper_bound < c:
-                break
-            if len(verified) >= k and upper_bound <= verified[k - 1][0]:
+                cost_budget = None
+                if self.config.budgeted_verification and len(verified) >= k:
+                    # A candidate can only displace the K-th verified match
+                    # if its transformation cost stays under (1 − kth) ·
+                    # w(u); later candidates see ever-tighter budgets as the
+                    # top-K improves, so the DP abandons most losers mid-row.
+                    cost_budget = (1.0 - verified[k - 1][0]) * input_weight
+                similarity, _, pruned = self._verify(
+                    tid, input_tokens, input_weight, fms_cache, stats,
+                    cost_budget=cost_budget,
+                )
+                if pruned:
+                    # Certified unable to displace the current top-K; the
+                    # similarity is an upper bound, never a result.
+                    if log:
+                        log(
+                            f"verify tid {tid}: score {score:.3f} -> "
+                            "budget-pruned (cannot beat K-th fms "
+                            f"{verified[k - 1][0]:.3f})"
+                        )
+                    continue
                 if log:
                     log(
-                        f"stop: next upper bound {upper_bound:.3f} cannot "
-                        f"displace K-th fms {verified[k - 1][0]:.3f}"
+                        f"verify tid {tid}: score {score:.3f} -> "
+                        f"fms {similarity:.3f}"
                     )
-                break
-            cost_budget = None
-            if self.config.budgeted_verification and len(verified) >= k:
-                # A candidate can only displace the K-th verified match if
-                # its transformation cost stays under (1 − kth) · w(u);
-                # later candidates see ever-tighter budgets as the top-K
-                # improves, so the DP abandons most losers mid-row.
-                cost_budget = (1.0 - verified[k - 1][0]) * input_weight
-            similarity, _, pruned = self._verify(
-                tid, input_tokens, input_weight, fms_cache, stats,
-                cost_budget=cost_budget,
-            )
-            if pruned:
-                # Certified unable to displace the current top-K; the
-                # similarity is an upper bound, never a result.
-                if log:
-                    log(
-                        f"verify tid {tid}: score {score:.3f} -> budget-pruned "
-                        f"(cannot beat K-th fms {verified[k - 1][0]:.3f})"
-                    )
-                continue
-            if log:
-                log(f"verify tid {tid}: score {score:.3f} -> fms {similarity:.3f}")
-            if similarity >= c:
-                verified.append((similarity, tid))
-                verified.sort(key=lambda item: (-item[0], item[1]))
-                del verified[k:]
+                if similarity >= c:
+                    verified.append((similarity, tid))
+                    verified.sort(key=lambda item: (-item[0], item[1]))
+                    del verified[k:]
+            verify_ctx.annotate(verified=len(verified))
         result.matches = [
             Match(tid, similarity, fms_cache[tid][1]) for similarity, tid in verified
         ]

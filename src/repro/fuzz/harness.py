@@ -1,8 +1,8 @@
 """The fuzz driver: seeded sweeps, a failure corpus, greedy minimization.
 
 :func:`run_fuzz` runs ``cases_per_seed`` mutated inputs for each seed
-against one of the three targets (``wire``, ``wal``, ``snapshot``) and
-returns a :class:`FuzzReport`.  A seed fully determines its case
+against one of the four targets (``wire``, ``stats``, ``wal``,
+``snapshot``) and returns a :class:`FuzzReport`.  A seed fully determines its case
 sequence, so any failure is replayable from ``(target, seed, case)``.
 
 When a case violates the target's invariant the raw input is written to
@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol
 
 from repro.fuzz.disk import SnapshotTarget, WalTarget
-from repro.fuzz.wire import WireTarget
+from repro.fuzz.wire import StatsTarget, WireTarget
 
 __all__ = [
     "FuzzFailure",
@@ -60,6 +60,7 @@ class FuzzTarget(Protocol):
 
 TARGETS: dict[str, Callable[..., FuzzTarget]] = {
     "wire": WireTarget,
+    "stats": StatsTarget,
     "wal": WalTarget,
     "snapshot": SnapshotTarget,
 }

@@ -27,7 +27,7 @@ from types import TracebackType
 
 from repro.fuzz.mutators import chunk_plan, mutate
 
-__all__ = ["WireTarget"]
+__all__ = ["StatsTarget", "WireTarget"]
 
 # Table 1 of the paper — small enough that an engine builds in
 # milliseconds, rich enough that match requests exercise the full path.
@@ -59,6 +59,9 @@ class WireTarget:
     """A live in-process match server plus the hostile-client machinery."""
 
     name = "wire"
+    #: Canonical frames this target's mutations start from; subclasses
+    #: narrow the pool to concentrate on one op.
+    seed_frames = _SEED_FRAMES
 
     def __init__(self, case_deadline_s: float = 5.0) -> None:
         if case_deadline_s <= 0:
@@ -149,7 +152,7 @@ class WireTarget:
 
         Returns ``None`` on a clean case, else ``(input, recipe, detail)``.
         """
-        seed_frame = _SEED_FRAMES[rng.randrange(len(_SEED_FRAMES))]
+        seed_frame = self.seed_frames[rng.randrange(len(self.seed_frames))]
         data, recipe = mutate(seed_frame, rng)
         plan = chunk_plan(len(data), rng)
         detail = self.check_input(data, plan)
@@ -248,4 +251,65 @@ class WireTarget:
             return f"liveness response not JSON: {line[:80]!r}"
         if not isinstance(payload, dict) or payload.get("ok") is not True:
             return f"liveness response not ok: {line[:80]!r}"
+        return None
+
+
+# Canonical stats frames: the default request, every explicit section
+# mix, plus near-miss invalids (empty list, bad section, wrong type) so
+# mutations straddle the accept/reject boundary of section decoding.
+_STATS_SEED_FRAMES = (
+    b'{"op":"stats"}\n',
+    b'{"op":"stats","id":"s1","sections":["serve"]}\n',
+    b'{"op":"stats","sections":["serve","metrics"]}\n',
+    b'{"op":"stats","sections":["serve","metrics","traces"]}\n',
+    b'{"op":"stats","sections":["traces","traces"]}\n',
+    b'{"op":"stats","sections":[]}\n',
+    b'{"op":"stats","sections":["bogus"]}\n',
+    b'{"op":"stats","sections":"serve"}\n',
+    b'{"op":"match","values":["Beoing Company","Seattle","WA","98004"]}\n',
+    b'{"op":"ping"}\n',
+)
+
+_STATS_PROBE = (
+    b'{"op":"stats","id":"fuzz-stats-liveness",'
+    b'"sections":["serve","metrics","traces"]}\n'
+)
+
+
+class StatsTarget(WireTarget):
+    """Fuzz the ``stats`` op: mutated stats requests against the server.
+
+    Same server and delivery machinery as :class:`WireTarget`, but the
+    seed pool concentrates on stats frames (section decoding is the new
+    attack surface) and liveness is strengthened: after each hostile
+    exchange a fresh connection must answer a well-formed full-section
+    stats request with ``ok`` and a ``metrics`` block — proving the
+    exposition plane itself survived, not just the ping path.
+    """
+
+    name = "stats"
+    seed_frames = _STATS_SEED_FRAMES
+
+    def _liveness(self, deadline: float) -> str | None:
+        """Ping must answer, then a full stats request must answer."""
+        detail = super()._liveness(deadline)
+        if detail is not None:
+            return detail
+        budget = max(0.1, deadline - time.monotonic())
+        try:
+            with socket.create_connection(self._address, timeout=budget) as sock:
+                sock.settimeout(budget)
+                sock.sendall(_STATS_PROBE)
+                with sock.makefile("rb") as reader:
+                    line = reader.readline()
+        except OSError as exc:
+            return f"stats probe failed: {type(exc).__name__}: {exc}"
+        try:
+            payload = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return f"stats probe response not JSON: {line[:80]!r}"
+        if not isinstance(payload, dict) or payload.get("ok") is not True:
+            return f"stats probe response not ok: {line[:80]!r}"
+        if "metrics" not in payload:
+            return f"stats probe response lacks metrics: {line[:120]!r}"
         return None

@@ -1,0 +1,130 @@
+"""Snapshot rendering: the JSON wire form and Prometheus text format.
+
+:func:`snapshot_as_dict` flattens a :class:`RegistrySnapshot` into a
+deterministic, JSON-ready structure (sorted by name then label pairs)
+that the serve layer ships over the ``stats`` wire op.
+:func:`render_prometheus` renders that *dict* form — not the snapshot
+object — so the CLI can produce Prometheus text from a response it
+received over the wire without reconstructing instrument state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.obs.registry import RegistrySnapshot
+
+__all__ = ["render_prometheus", "snapshot_as_dict"]
+
+
+def snapshot_as_dict(snapshot: RegistrySnapshot) -> dict[str, Any]:
+    """Flatten a snapshot into sorted, JSON-ready series lists."""
+    counters = [
+        {"name": name, "labels": dict(pairs), "value": value}
+        for (name, pairs), value in sorted(snapshot.counters.items())
+    ]
+    gauges = [
+        {"name": name, "labels": dict(pairs), "value": value}
+        for (name, pairs), value in sorted(snapshot.gauges.items())
+    ]
+    histograms = [
+        {
+            "name": name,
+            "labels": dict(pairs),
+            "edges": list(hist.edges),
+            "counts": list(hist.counts),
+            "sum": hist.sum,
+            "count": hist.count,
+        }
+        for (name, pairs), hist in sorted(snapshot.histograms.items())
+    ]
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers without a trailing ``.0``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus text exposition rules."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_block(labels: Mapping[str, Any]) -> str:
+    """``{k="v",...}`` with sorted keys, or the empty string."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(
+    labels: Mapping[str, Any], extra: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Series labels plus synthetic ones (``le`` for histogram buckets)."""
+    merged = dict(labels)
+    merged.update(extra)
+    return merged
+
+
+def render_prometheus(metrics: Mapping[str, Any]) -> str:
+    """Render the :func:`snapshot_as_dict` form as Prometheus text.
+
+    Histograms expose cumulative ``_bucket{le=...}`` samples with a
+    ``+Inf`` tail plus ``_sum`` and ``_count``, matching the standard
+    client-library output so existing scrapers parse it unchanged.
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for series in metrics.get("counters", []):
+        name = series["name"]
+        type_line(name, "counter")
+        lines.append(
+            f"{name}{_label_block(series.get('labels', {}))} "
+            f"{_format_value(series['value'])}"
+        )
+    for series in metrics.get("gauges", []):
+        name = series["name"]
+        type_line(name, "gauge")
+        lines.append(
+            f"{name}{_label_block(series.get('labels', {}))} "
+            f"{_format_value(series['value'])}"
+        )
+    for series in metrics.get("histograms", []):
+        name = series["name"]
+        labels = series.get("labels", {})
+        type_line(name, "histogram")
+        cumulative = 0
+        for edge, count in zip(series["edges"], series["counts"]):
+            cumulative += count
+            block = _label_block(_merge_labels(labels, {"le": repr(float(edge))}))
+            lines.append(f"{name}_bucket{block} {cumulative}")
+        cumulative += series["counts"][-1]
+        block = _label_block(_merge_labels(labels, {"le": "+Inf"}))
+        lines.append(f"{name}_bucket{block} {cumulative}")
+        lines.append(
+            f"{name}_sum{_label_block(labels)} "
+            f"{_format_value(series['sum'])}"
+        )
+        lines.append(f"{name}_count{_label_block(labels)} {series['count']}")
+    return "\n".join(lines) + "\n" if lines else ""

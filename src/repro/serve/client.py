@@ -224,9 +224,17 @@ class ServeClient:
         """Return the server's readiness payload."""
         return self.request({"op": "ping"})
 
-    def stats(self) -> dict[str, Any]:
-        """Return the server's outcome counters."""
-        return self.request({"op": "stats"})
+    def stats(self, sections: Sequence[str] | None = None) -> dict[str, Any]:
+        """Return the server's stats payload.
+
+        ``sections`` selects which report blocks the server includes
+        (any of ``"serve"``, ``"metrics"``, ``"traces"``); ``None``
+        requests the server default of serve counters plus metrics.
+        """
+        payload: dict[str, Any] = {"op": "stats"}
+        if sections is not None:
+            payload["sections"] = list(sections)
+        return self.request(payload)
 
     # ------------------------------------------------------------------
     # Lifecycle

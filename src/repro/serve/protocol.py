@@ -13,6 +13,7 @@ Request (``op`` selects the verb)::
      "deadline_ms": 100.0, "priority": "interactive"}
     {"op": "ping"}
     {"op": "stats"}
+    {"op": "stats", "sections": ["serve", "metrics", "traces"]}
 
 Response ``outcome`` values for ``op=match``:
 
@@ -56,6 +57,17 @@ from repro.core.matcher import MatchResult
 
 #: Protocol verbs.
 OPS = ("match", "ping", "stats")
+
+#: Sections a ``stats`` request may select.  ``serve`` is the server's
+#: counter summary, ``metrics`` the merged registry snapshot (latency
+#: histograms, cache/kernel counters), ``traces`` the recent/slow trace
+#: capture.  Omitting ``sections`` yields ``("serve", "metrics")`` —
+#: traces are opt-in because they are the bulky part.
+STATS_SECTIONS = ("serve", "metrics", "traces")
+
+#: Hard cap on the ``sections`` array length, so a hostile request
+#: cannot make the server chew through an arbitrarily long list.
+MAX_STATS_SECTIONS = 8
 
 #: Request priority classes, best first.  ``interactive`` requests are
 #: dequeued before ``bulk`` ones and may displace queued bulk work when
@@ -363,11 +375,42 @@ class Request:
     deadline_ms: float | None = None
     priority: str = PRIORITY_INTERACTIVE
     idempotency_key: str | None = None
+    sections: tuple[str, ...] | None = None
+    """For ``op=stats``: which payload sections to return (validated
+    against :data:`STATS_SECTIONS`); ``None`` means the default set."""
 
 
 #: Idempotency keys are client-generated opaque tokens; cap their length
 #: so the server's dedup cache cannot be ballooned by one hostile client.
 MAX_IDEMPOTENCY_KEY_CHARS = 128
+
+
+def _decode_sections(payload: dict[str, Any]) -> tuple[str, ...] | None:
+    """Validate a stats request's ``sections`` field (the fuzz surface).
+
+    Every entry must be a known section name; the list is bounded and
+    deduplicated preserving order.  ``None`` (absent) selects the
+    default set downstream.
+    """
+    raw_sections = payload.get("sections")
+    if raw_sections is None:
+        return None
+    if not isinstance(raw_sections, list) or not raw_sections:
+        raise ProtocolError("'sections' must be a non-empty array")
+    if len(raw_sections) > MAX_STATS_SECTIONS:
+        raise ProtocolError(
+            f"'sections' may list at most {MAX_STATS_SECTIONS} entries"
+        )
+    seen: list[str] = []
+    for section in raw_sections:
+        if not isinstance(section, str) or section not in STATS_SECTIONS:
+            raise ProtocolError(
+                f"'sections' entries must be one of {STATS_SECTIONS}, "
+                f"got {section!r}"
+            )
+        if section not in seen:
+            seen.append(section)
+    return tuple(seen)
 
 
 def decode_request(line: str | bytes) -> Request:
@@ -395,6 +438,10 @@ def decode_request(line: str | bytes) -> Request:
     request_id = payload.get("id")
     if request_id is not None and not isinstance(request_id, str):
         raise ProtocolError("id must be a string when present")
+    if op == "stats":
+        return Request(
+            op=op, id=request_id, sections=_decode_sections(payload)
+        )
     if op != "match":
         return Request(op=op, id=request_id)
 

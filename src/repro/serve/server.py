@@ -46,6 +46,14 @@ from repro.core.resilience import Deadline, QueryBudget
 from repro.db.database import Database
 from repro.db.errors import DatabaseError
 from repro.db.snapshot import save_database
+from repro.obs.exposition import snapshot_as_dict
+from repro.obs.registry import (
+    MetricsRegistry,
+    RegistrySnapshot,
+    default_registry,
+    merge_snapshots,
+)
+from repro.obs.tracing import Tracer
 from repro.serve.admission import AdmissionQueue, ConnectionGate, WorkItem
 from repro.serve.lifecycle import (
     STAGES,
@@ -143,6 +151,15 @@ class ServeConfig:
     """Per-peer-address cap on concurrently open connections."""
     idempotency_cache_size: int = 1024
     """Entries in the bounded response cache for client retries."""
+    slow_trace_ms: float = 50.0
+    """Requests slower than this land in the tracer's slow-query log."""
+    trace_ring_capacity: int = 64
+    """Recent request traces retained in the tracer's ring buffer."""
+    slow_trace_capacity: int = 16
+    """Slow request traces retained alongside the ring buffer."""
+    trace_requests: bool = True
+    """Capture a span tree per executed request (metrics must also be
+    enabled); ``False`` keeps only the metrics plane."""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -165,6 +182,7 @@ class ServeConfig:
             "frame_timeout_s",
             "idle_timeout_s",
             "write_timeout_s",
+            "slow_trace_ms",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
@@ -174,6 +192,8 @@ class ServeConfig:
             "max_connections",
             "max_connections_per_peer",
             "idempotency_cache_size",
+            "trace_ring_capacity",
+            "slow_trace_capacity",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
@@ -182,79 +202,91 @@ class ServeConfig:
 
 
 class ServeStats:
-    """Thread-safe outcome counters (reported by ``op=stats``)."""
+    """Thread-safe outcome counters (reported by ``op=stats``).
 
-    def __init__(self) -> None:
-        self._lock = make_lock("ServeStats._lock")
-        self._submitted: dict[str, int] = {}
-        self._completed = 0
-        self._degraded = 0
-        self._degraded_reasons: dict[str, int] = {}
-        self._shed: dict[str, int] = {}
-        self._errors: dict[str, int] = {}
-        self._stage_trips = 0
-        self._bulk_shed_sweeps = 0
-        self._idempotent_replays = 0
+    A view over strict counters in a
+    :class:`~repro.obs.registry.MetricsRegistry` (the ``repro_serve_*``
+    series); reason- and priority-classed outcomes become labeled series
+    (``repro_serve_shed_total{reason=...}`` etc).  :meth:`as_dict`
+    rebuilds the historical flat-dict report shape from the registry so
+    the wire contract predates-and-survives the metrics plane.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._completed = registry.counter("repro_serve_completed_total")
+        self._stage_trips = registry.counter("repro_serve_stage_trips_total")
+        self._bulk_shed_sweeps = registry.counter(
+            "repro_serve_bulk_shed_sweeps_total"
+        )
+        self._idempotent_replays = registry.counter(
+            "repro_serve_idempotent_replays_total"
+        )
 
     def record_submitted(self, priority: str) -> None:
         """Count one admitted request under its priority class."""
-        with self._lock:
-            self._submitted[priority] = self._submitted.get(priority, 0) + 1
+        self.registry.counter(
+            "repro_serve_submitted_total", {"priority": priority}
+        ).inc()
 
     def record_completed(self) -> None:
         """Count one full-fidelity completion."""
-        with self._lock:
-            self._completed += 1
+        self._completed.inc()
 
     def record_degraded(self, reason: str) -> None:
         """Count one degraded answer under its reason."""
-        with self._lock:
-            self._degraded += 1
-            self._degraded_reasons[reason] = (
-                self._degraded_reasons.get(reason, 0) + 1
-            )
+        self.registry.counter(
+            "repro_serve_degraded_total", {"reason": reason}
+        ).inc()
 
     def record_shed(self, reason: str) -> None:
         """Count one shed request under its typed reason."""
-        with self._lock:
-            self._shed[reason] = self._shed.get(reason, 0) + 1
+        self.registry.counter("repro_serve_shed_total", {"reason": reason}).inc()
 
     def record_error(self, error_type: str) -> None:
         """Count one typed error response."""
-        with self._lock:
-            self._errors[error_type] = self._errors.get(error_type, 0) + 1
+        self.registry.counter("repro_serve_errors_total", {"type": error_type}).inc()
 
     def record_stage_trip(self) -> None:
         """Count one degradation-ladder stage trip."""
-        with self._lock:
-            self._stage_trips += 1
+        self._stage_trips.inc()
 
     def record_bulk_shed_sweep(self) -> None:
         """Count one watchdog sweep that shed queued bulk work."""
-        with self._lock:
-            self._bulk_shed_sweeps += 1
+        self._bulk_shed_sweeps.inc()
 
     def record_replay(self) -> None:
         """Count one response answered from the idempotency cache."""
-        with self._lock:
-            self._idempotent_replays += 1
+        self._idempotent_replays.inc()
+
+    def _by_label(self, name: str) -> dict[str, int]:
+        """Series values of ``name`` keyed by their single label value."""
+        return {
+            pairs[0][1]: value
+            for pairs, value in self.registry.counter_values(name).items()
+            if pairs
+        }
 
     def as_dict(self) -> dict[str, Any]:
         """Snapshot of all counters as a JSON-ready dict."""
-        with self._lock:
-            shed_total = sum(self._shed.values())
-            return {
-                "submitted": dict(sorted(self._submitted.items())),
-                "completed": self._completed,
-                "degraded": self._degraded,
-                "degraded_reasons": dict(sorted(self._degraded_reasons.items())),
-                "shed": shed_total,
-                "shed_reasons": dict(sorted(self._shed.items())),
-                "errors": dict(sorted(self._errors.items())),
-                "stage_trips": self._stage_trips,
-                "bulk_shed_sweeps": self._bulk_shed_sweeps,
-                "idempotent_replays": self._idempotent_replays,
-            }
+        submitted = self._by_label("repro_serve_submitted_total")
+        degraded = self._by_label("repro_serve_degraded_total")
+        shed = self._by_label("repro_serve_shed_total")
+        errors = self._by_label("repro_serve_errors_total")
+        return {
+            "submitted": dict(sorted(submitted.items())),
+            "completed": self._completed.value(),
+            "degraded": sum(degraded.values()),
+            "degraded_reasons": dict(sorted(degraded.items())),
+            "shed": sum(shed.values()),
+            "shed_reasons": dict(sorted(shed.items())),
+            "errors": dict(sorted(errors.items())),
+            "stage_trips": self._stage_trips.value(),
+            "bulk_shed_sweeps": self._bulk_shed_sweeps.value(),
+            "idempotent_replays": self._idempotent_replays.value(),
+        }
 
 
 class IdempotencyCache:
@@ -323,6 +355,8 @@ class MatchServer:
         on_bound: Callable[[str, int], None] | None = None,
         before_execute: Callable[[WorkItem], None] | None = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if (engine is None) == (engine_factory is None):
             raise ValueError("pass exactly one of engine= or engine_factory=")
@@ -344,7 +378,27 @@ class MatchServer:
             cooldown_s=self.config.stage_cooldown_s,
             clock=clock,
         )
-        self.stats = ServeStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(
+                ring_capacity=self.config.trace_ring_capacity,
+                slow_capacity=self.config.slow_trace_capacity,
+                slow_threshold_s=self.config.slow_trace_ms / 1000.0,
+            )
+        )
+        self.stats = ServeStats(self.registry)
+        self._obs_queue_wait = self.registry.histogram(
+            "repro_serve_queue_wait_seconds"
+        )
+        self._obs_request_seconds = {
+            stage: self.registry.histogram(
+                "repro_serve_request_seconds", {"stage": stage}
+            )
+            for stage in STAGES
+        }
+        self.registry.register_collector(self._collect_gauges)
         self.gate = ConnectionGate(
             self.config.max_connections, self.config.max_connections_per_peer
         )
@@ -441,6 +495,7 @@ class MatchServer:
                 return
             self._drained = True
         self._shutdown_event.set()
+        self.registry.unregister_collector(self._collect_gauges)
         budget_s = (
             drain_budget_s if drain_budget_s is not None else self.config.drain_budget_s
         )
@@ -548,15 +603,91 @@ class MatchServer:
             payload["checkpoint_error"] = self.checkpoint_error
         return payload
 
-    def stats_payload(self) -> dict[str, Any]:
-        """The ``stats`` op response: counters plus state and stage."""
-        payload = self.stats.as_dict()
-        payload["ok"] = True
-        payload["state"] = self.lifecycle.state
-        payload["stage"] = self.ladder.stage()
-        payload["queue_max_depth"] = self.queue.max_depth
-        payload["ladder_trips"] = self.ladder.trips()
+    def stats_payload(
+        self, sections: tuple[str, ...] | None = None
+    ) -> dict[str, Any]:
+        """The ``stats`` op response, shaped by the requested sections.
+
+        ``sections=None`` means the default set ``("serve", "metrics")``;
+        ``traces`` is opt-in because serialized span trees are the
+        largest part of the payload.  Every response carries ``ok``,
+        ``state``, and ``stage`` regardless of sections.
+        """
+        selected = sections if sections else ("serve", "metrics")
+        payload: dict[str, Any] = {
+            "ok": True,
+            "state": self.lifecycle.state,
+            "stage": self.ladder.stage(),
+        }
+        if "serve" in selected:
+            payload.update(self.stats.as_dict())
+            payload["queue_max_depth"] = self.queue.max_depth
+            payload["ladder_trips"] = self.ladder.trips()
+        if "metrics" in selected:
+            payload["metrics"] = snapshot_as_dict(self.metrics_snapshot())
+        if "traces" in selected:
+            tracer = self.tracer
+            slowest = tracer.slowest()
+            payload["traces"] = {
+                "slow_threshold_ms": self.config.slow_trace_ms,
+                "recent": [span.as_dict() for span in tracer.recent(8)],
+                "slow": [span.as_dict() for span in tracer.slow()],
+                "slowest": slowest.as_dict() if slowest is not None else None,
+            }
         return payload
+
+    def metrics_snapshot(self) -> RegistrySnapshot:
+        """One merged snapshot across every registry this server touches.
+
+        Combines the server's own registry (serve-plane counters and
+        latency histograms plus collected gauges), each engine worker's
+        per-matcher registry (cache and match counters), and the
+        process-global default registry (kernel and FMS counters).
+        """
+        snapshots = [self.registry.snapshot()]
+        engine = self._engine
+        if engine is not None:
+            snapshots.append(engine.metrics_snapshot())
+        snapshots.append(default_registry().snapshot())
+        return merge_snapshots(snapshots)
+
+    def set_metrics_enabled(self, enabled: bool) -> None:
+        """Toggle metric recording everywhere (benchmark A/B switch)."""
+        self.registry.set_enabled(enabled)
+        engine = self._engine
+        if engine is not None:
+            engine.set_metrics_enabled(enabled)
+        default_registry().set_enabled(enabled)
+
+    def _collect_gauges(self, registry: MetricsRegistry) -> None:
+        """Refresh point-in-time gauges just before a snapshot.
+
+        Runs outside the registry lock (collector contract), reading
+        only values that are safe to sample concurrently.
+        """
+        registry.gauge("repro_serve_queue_depth").set(self.queue.depth)
+        registry.gauge("repro_serve_queue_max_depth").set(self.queue.max_depth)
+        registry.gauge("repro_serve_ladder_stage").set(
+            STAGES.index(self.ladder.stage())
+        )
+        registry.gauge("repro_serve_p95_wait_seconds").set(self.queue.p95_wait())
+        engine = self._engine
+        if engine is None:
+            return
+        pool = engine.reference.relation.heap.pool
+        stats = pool.stats
+        registry.gauge("repro_pool_hits").set(stats.hits)
+        registry.gauge("repro_pool_misses").set(stats.misses)
+        lookups = stats.hits + stats.misses
+        registry.gauge("repro_pool_hit_rate").set(
+            stats.hits / lookups if lookups else 0.0
+        )
+        registry.gauge("repro_pool_physical_reads").set(stats.physical_reads)
+        wal = pool.wal
+        if wal is not None:
+            registry.gauge("repro_wal_appends").set(wal.stats.appends)
+            registry.gauge("repro_wal_syncs").set(wal.stats.syncs)
+            registry.gauge("repro_wal_tail_pages").set(wal.tail_pages)
 
     # ------------------------------------------------------------------
     # Acceptor + connection handling
@@ -699,7 +830,7 @@ class MatchServer:
             if request.op == "ping":
                 return encode_line(self.readiness())
             if request.op == "stats":
-                return encode_line(self.stats_payload())
+                return encode_line(self.stats_payload(request.sections))
             return encode_line(self._respond_match(request))
         except Exception as exc:  # reprolint: disable=exception-taxonomy
             # The boundary invariant: no single request — however it
@@ -839,6 +970,45 @@ class MatchServer:
             self.health.deregister(name)
 
     def _execute(self, item: WorkItem, matcher: FuzzyMatcher) -> None:
+        """Observability wrapper around :meth:`_execute_inner`.
+
+        Records queue wait and per-stage service latency into the
+        registry, and (when tracing is on) captures the request's span
+        tree — a synthesized ``serve.queue_wait`` child plus whatever
+        spans the matcher and storage layers open — annotated with the
+        resolved outcome.
+        """
+        self._obs_queue_wait.observe(item.queue_wait)
+        started = time.perf_counter()
+        if self.config.trace_requests and self.registry.enabled:
+            with self.tracer.trace(
+                "request",
+                op=item.request.op,
+                id=item.request.id,
+                priority=item.request.priority,
+            ) as root:
+                root.child("serve.queue_wait", duration_s=item.queue_wait)
+                self._execute_inner(item, matcher)
+                if item.shed_reason is not None:
+                    root.annotate(outcome="shed", reason=item.shed_reason)
+                elif item.error_type is not None:
+                    root.annotate(outcome="error", error_type=item.error_type)
+                else:
+                    result = item.result
+                    degraded = result is not None and result.stats.degraded
+                    root.annotate(
+                        outcome="degraded" if degraded else "completed",
+                        strategy=item.effective_strategy,
+                        stage=item.stage,
+                    )
+        else:
+            self._execute_inner(item, matcher)
+        stage = item.stage or self.ladder.stage()
+        histogram = self._obs_request_seconds.get(stage)
+        if histogram is not None:
+            histogram.observe(time.perf_counter() - started)
+
+    def _execute_inner(self, item: WorkItem, matcher: FuzzyMatcher) -> None:
         request = item.request
         if item.deadline is not None and item.deadline.expired():
             # The whole deadline was burned waiting in the queue; running

@@ -1,0 +1,15 @@
+"""Fixture: nondeterminism in the observability plane (obs-scoped)."""
+# reprolint: path=repro/obs/fixture.py
+
+import random
+import time
+
+
+def sample_buckets() -> float:
+    """BAD: unseeded RNG, wall clock, and raw set iteration."""
+    jitter = random.random()
+    stamped = time.time()
+    total = 0.0
+    for name in {"repro_a_total", "repro_b_total"}:
+        total += jitter + stamped + len(name)
+    return total

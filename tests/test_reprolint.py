@@ -28,6 +28,11 @@ BAD_FIXTURES = [
         ["`random.random(...)`", "`time.time()`", "iterates a set directly"],
     ),
     (
+        "bad_determinism_obs.py",
+        "determinism",
+        ["`random.random(...)`", "`time.time()`", "iterates a set directly"],
+    ),
+    (
         "bad_api.py",
         "api-consistency",
         [
